@@ -1,0 +1,248 @@
+(* Benchmark harness: regenerates every table and figure of the paper
+   (printed below in the paper's format), runs the ablation studies from
+   DESIGN.md, and times each regeneration step with Bechamel — one
+   Test.make per table/figure, all in one executable.
+
+   Run with: dune exec bench/main.exe             (everything)
+             dune exec bench/main.exe -- tables   (tables only)
+             dune exec bench/main.exe -- quick    (skip bechamel timing) *)
+
+open Bechamel
+open Toolkit
+
+let line = String.make 78 '='
+let section title = Printf.printf "\n%s\n== %s\n%s\n\n" line title line
+
+(* ------------------------------------------------------------------ *)
+(* Paper artifacts                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let print_tables ctx =
+  section "Paper tables (reproduced)";
+  print_endline (Report.Tables.table1 ctx);
+  print_newline ();
+  print_endline (Report.Tables.table2 ctx);
+  print_newline ();
+  print_endline (Report.Tables.table3 ctx);
+  print_newline ();
+  print_endline (Report.Tables.table4 ctx);
+  print_newline ();
+  print_endline (Report.Tables.table5 ctx)
+
+let print_figures ctx =
+  section "Paper figures (reproduced as data series)";
+  print_endline (Report.Figures.fig1 ctx);
+  print_newline ();
+  print_endline (Report.Figures.fig2 ctx);
+  print_newline ();
+  print_endline (Report.Figures.fig3 ctx);
+  print_newline ();
+  print_endline (Report.Figures.fig4 ctx);
+  print_newline ();
+  print_endline (Report.Figures.fig5 ctx);
+  print_newline ();
+  print_endline
+    "Fig. 6 (configuration-selection graph) is exported as Graphviz dot;\n\
+     regenerate with: dune exec bin/substation_cli.exe -- figure 6 -o fig6.dot"
+
+let print_summary ctx =
+  section "Headline claims: paper vs measured";
+  print_endline (Report.Experiments.render (Report.Experiments.summary ctx));
+  print_newline ();
+  print_endline
+    (Report.Experiments.render (Report.Experiments.heuristic_gap_records ctx));
+  print_newline ();
+  print_endline
+    "B=96, L=128 configuration (paper: PT 18.43 ms, DS 16.19 ms, ours 16.22 ms):";
+  print_endline
+    (Report.Experiments.render
+       (Report.Experiments.b96_comparison ~device:ctx.Report.Context.device ()));
+  print_newline ();
+  print_string (Report.Cost.render (Report.Cost.bert_savings ctx))
+
+let print_ablations ctx =
+  section "Ablations (DESIGN.md section 5)";
+  print_endline
+    (Report.Ablations.render_fusion_layout (Report.Ablations.fusion_layout ctx));
+  print_newline ();
+  print_endline (Report.Ablations.render_selection (Report.Ablations.selection ctx));
+  print_newline ();
+  print_endline
+    (Report.Ablations.render_device (Report.Ablations.device_sensitivity ()));
+  print_newline ();
+  print_endline
+    (Report.Ablations.render_gemm_algorithm (Report.Ablations.gemm_algorithm ctx))
+
+let print_extensions ctx =
+  let device = ctx.Report.Context.device in
+  section "Beyond the paper: presets, cross-attention, memory";
+  print_endline
+    "Per-layer optimized time across model presets (paper SVIII: other\n\
+     transformers differ only by dimensions):";
+  List.iter
+    (fun (name, hp) ->
+      let workload = Frameworks.Executor.Encoder_layer in
+      let ours =
+        Frameworks.Executor.total_time (Frameworks.Ours.report ~device ~workload hp)
+      in
+      let pt =
+        Frameworks.Executor.total_time
+          (Frameworks.Pytorch_sim.report ~device ~workload hp)
+      in
+      Printf.printf "  %-14s ours %7.2f ms   PyTorch %7.2f ms   speedup %.2fx\n"
+        name (ours *. 1e3) (pt *. 1e3) (pt /. ours))
+    Transformer.Hparams.presets;
+  print_newline ();
+  print_endline "K/V algebraic fusion in cross-attention (SIV-D closing remark):";
+  List.iter
+    (fun (v, fwd, bwd) ->
+      Printf.printf "  %-10s forward %6.0f us   backward(dX) %6.0f us\n"
+        (Transformer.Cross_attention.kv_variant_to_string v)
+        (fwd *. 1e6) (bwd *. 1e6))
+    (Transformer.Cross_attention.kv_fusion_times ~device ctx.Report.Context.hp);
+  print_newline ();
+  let unfused = ctx.Report.Context.unfused in
+  let fused = ctx.Report.Context.ours.Frameworks.Ours.recipe.Substation.Recipe.fused in
+  let pu = Ops.Memory.profile unfused and pf = Ops.Memory.profile fused in
+  Format.printf "Activation memory (BERT-large layer, fwd+bwd):@.";
+  Format.printf "  unfused: %a@." Ops.Memory.pp pu;
+  Format.printf "  fused:   %a@.@." Ops.Memory.pp pf;
+  (* the recipe beyond transformers (paper SVIII) *)
+  let show_workload name program table =
+    let recipe = Substation.Recipe.optimize ~name_table:table ~device program in
+    Printf.printf
+      "  %-10s %2d ops -> %2d kernels, %4.1f%% less movement, optimized %6.2f ms\n"
+      name
+      (List.length program.Ops.Program.ops)
+      (List.length recipe.Substation.Recipe.fused.Ops.Program.ops)
+      (100.0 *. Substation.Recipe.movement_reduction recipe)
+      (recipe.Substation.Recipe.selection.Substation.Selector.total_time *. 1e3)
+  in
+  print_endline "The recipe beyond transformers (paper SVIII):";
+  show_workload "MLP" (Workloads.Mlp.program Workloads.Mlp.default)
+    Workloads.Mlp.kernel_names;
+  show_workload "LSTM cell"
+    (Workloads.Lstm.program Workloads.Lstm.default)
+    Workloads.Lstm.kernel_names;
+  List.iter
+    (fun (v, fwd, bwd) ->
+      Printf.printf "  LSTM gates %-12s forward %4.0f us   backward(dX) %4.0f us\n"
+        (Workloads.Lstm.variant_to_string v)
+        (fwd *. 1e6) (bwd *. 1e6))
+    (Workloads.Lstm.gate_fusion_times ~device Workloads.Lstm.default)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel timing of each regeneration step                           *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_tests ctx =
+  let hp = ctx.Report.Context.hp in
+  let device = ctx.Report.Context.device in
+  let recipe = ctx.Report.Context.ours.Frameworks.Ours.recipe in
+  let db = recipe.Substation.Recipe.db in
+  let fused = recipe.Substation.Recipe.fused in
+  let stage = Staged.stage in
+  [
+    Test.make ~name:"table1:class-proportions"
+      (stage (fun () -> Report.Tables.table1_data ctx));
+    Test.make ~name:"table2:algebraic-fusion"
+      (stage (fun () -> Report.Tables.table2_data ~device hp));
+    Test.make ~name:"table3:per-operator"
+      (stage (fun () -> Report.Tables.table3_data ctx));
+    Test.make ~name:"table4:mha-frameworks"
+      (stage (fun () -> Report.Tables.table4_data ctx));
+    Test.make ~name:"table5:encoder-frameworks"
+      (stage (fun () -> Report.Tables.table5_data ctx));
+    Test.make ~name:"fig1:mha-dataflow"
+      (stage (fun () -> Report.Figures.fig1_data ctx));
+    Test.make ~name:"fig2:encoder-dataflow"
+      (stage (fun () -> Report.Figures.fig2_data ctx));
+    Test.make ~name:"fig4:gemm-distributions"
+      (stage (fun () -> Report.Figures.fig4_data ctx));
+    Test.make ~name:"fig5:fused-distributions"
+      (stage (fun () -> Report.Figures.fig5_data ctx));
+    Test.make ~name:"fig6:selection-graph"
+      (stage (fun () -> Report.Figures.fig6_dot ~max_ops:2 ctx));
+    (* recipe stages on the real workload *)
+    Test.make ~name:"recipe:fusion-pass"
+      (stage (fun () ->
+           Substation.Fusion.fuse ~name_table:Transformer.Encoder.kernel_names
+             ctx.Report.Context.unfused));
+    Test.make ~name:"recipe:sssp-selection"
+      (stage (fun () -> Substation.Selector.select db));
+    Test.make ~name:"recipe:config-sweep-one-op"
+      (stage (fun () ->
+           Substation.Config_space.measure_all ~device fused
+             (List.find
+                (fun (o : Ops.Op.t) -> o.Ops.Op.name = "SM")
+                fused.Ops.Program.ops)));
+    Test.make ~name:"numerics:tiny-encoder-step"
+      (stage (fun () ->
+           let tiny = Transformer.Hparams.tiny in
+           let prng = Prng.create 1L in
+           let params = Transformer.Params.init tiny in
+           let x = Transformer.Params.random_input tiny prng in
+           let d_y = Transformer.Params.random_cotangent tiny prng in
+           Transformer.Encoder.run tiny ~x ~d_y ~params));
+  ]
+
+let run_bechamel ctx =
+  section "Bechamel timings (host-side cost of each regeneration step)";
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 0.25) ~stabilize:false ()
+  in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let rows =
+    List.concat_map
+      (fun test ->
+        let results = Benchmark.all cfg [ Instance.monotonic_clock ] test in
+        let analysis = Analyze.all ols Instance.monotonic_clock results in
+        Hashtbl.fold
+          (fun name est acc ->
+            let ns =
+              match Analyze.OLS.estimates est with
+              | Some (v :: _) -> v
+              | Some [] | None -> nan
+            in
+            [ name; Printf.sprintf "%.3f ms" (ns /. 1e6) ] :: acc)
+          analysis [])
+      (bechamel_tests ctx)
+  in
+  print_endline
+    (Report.Table_fmt.render ~header:[ "benchmark"; "time per run" ] rows)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  Printf.printf
+    "substation benchmark harness - reproducing \"Data Movement Is All You \
+     Need\" (MLSys 2021)\nworkload: BERT-large encoder layer, device model: \
+     V100\n";
+  Printf.printf "building evaluation context (all frameworks + recipe)...\n%!";
+  let t0 = Unix.gettimeofday () in
+  let ctx = Report.Context.create () in
+  Printf.printf "context ready in %.1f s\n%!" (Unix.gettimeofday () -. t0);
+  (match what with
+  | "tables" -> print_tables ctx
+  | "figures" -> print_figures ctx
+  | "summary" -> print_summary ctx
+  | "ablations" -> print_ablations ctx
+  | "extensions" -> print_extensions ctx
+  | "quick" ->
+      print_tables ctx;
+      print_figures ctx;
+      print_summary ctx;
+      print_ablations ctx;
+      print_extensions ctx
+  | _ ->
+      print_tables ctx;
+      print_figures ctx;
+      print_summary ctx;
+      print_ablations ctx;
+      print_extensions ctx;
+      run_bechamel ctx);
+  print_newline ();
+  print_endline "done."

@@ -1,0 +1,392 @@
+(* substation — command-line driver for the data-movement optimization
+   recipe: dataflow analysis, fusion, configuration tuning, global
+   selection, and regeneration of the paper's tables and figures. *)
+
+open Cmdliner
+
+(* ---------------- shared options ---------------- *)
+
+let hparams_conv =
+  let parse = function
+    | "bert-large" | "bert" -> Ok Transformer.Hparams.bert_large
+    | "b96" -> Ok Transformer.Hparams.bert_large_b96
+    | "tiny" -> Ok Transformer.Hparams.tiny
+    | s -> Error (`Msg ("unknown configuration: " ^ s))
+  in
+  let print ppf hp = Transformer.Hparams.pp ppf hp in
+  Arg.conv (parse, print)
+
+let hp_arg =
+  Arg.(
+    value
+    & opt hparams_conv Transformer.Hparams.bert_large
+    & info [ "c"; "config" ] ~docv:"CONFIG"
+        ~doc:"Model configuration: bert-large (default), b96, or tiny.")
+
+let device_conv =
+  let parse = function
+    | "v100" -> Ok Gpu.Device.v100
+    | "a100" -> Ok Gpu.Device.a100
+    | s -> Error (`Msg ("unknown device: " ^ s))
+  in
+  Arg.conv (parse, Gpu.Device.pp)
+
+let device_arg =
+  Arg.(
+    value
+    & opt device_conv Gpu.Device.v100
+    & info [ "d"; "device" ] ~docv:"DEVICE"
+        ~doc:"Device model: v100 (default) or a100.")
+
+let mha_arg =
+  Arg.(
+    value & flag
+    & info [ "mha" ] ~doc:"Operate on the standalone multi-head attention block.")
+
+let workload_of_mha mha =
+  if mha then Frameworks.Executor.Mha_block else Frameworks.Executor.Encoder_layer
+
+let program_of ~mha hp =
+  if mha then Transformer.Mha.program hp else Transformer.Encoder.program hp
+
+let table_of ~mha =
+  if mha then Transformer.Mha.kernel_names else Transformer.Encoder.kernel_names
+
+(* ---------------- commands ---------------- *)
+
+let analyze hp _device mha =
+  let program = program_of ~mha hp in
+  let graph = Ops.Program.graph program in
+  Format.printf "Configuration: %a@.@." Transformer.Hparams.pp hp;
+  List.iter
+    (fun r -> Format.printf "%a@." Sdfg.Analysis.pp_report r)
+    (Sdfg.Analysis.analyze graph);
+  Format.printf "@.Operator class shares (of %.3f binary Gflop):@."
+    (float_of_int (Sdfg.Analysis.total_flop graph) /. 1073741824.0);
+  List.iter
+    (fun (s : Sdfg.Analysis.class_share) ->
+      Format.printf "  %-22s %6.2f%% of flop in %d operators@."
+        (Sdfg.Opclass.to_string s.cls)
+        (100.0 *. s.flop_share) s.op_count)
+    (Sdfg.Analysis.class_shares graph)
+
+let fuse hp _device mha =
+  let program = program_of ~mha hp in
+  let groups = Substation.Fusion.groups ~name_table:(table_of ~mha) program in
+  List.iter
+    (fun (g : Substation.Fusion.group) ->
+      Format.printf "%-12s <- %s@." g.fused.Ops.Op.name
+        (String.concat " + "
+           (List.map (fun (o : Ops.Op.t) -> o.Ops.Op.name) g.members)))
+    groups;
+  let unfused, fused = Substation.Fusion.movement_saved ~bytes_per_elem:2 program in
+  Format.printf "@.data movement: %.1f MB unfused -> %.1f MB fused (%.2f%% saved)@."
+    (float_of_int unfused /. 1e6)
+    (float_of_int fused /. 1e6)
+    (100.0 *. (1.0 -. (float_of_int fused /. float_of_int unfused)))
+
+let tune hp device mha op_filter csv_out =
+  let program =
+    Substation.Fusion.fuse ~name_table:(table_of ~mha) (program_of ~mha hp)
+  in
+  let db = Substation.Perfdb.build ~device program in
+  (match csv_out with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Substation.Perfdb.export_csv db);
+      close_out oc;
+      Format.printf "wrote full configuration database to %s@." path
+  | None -> ());
+  List.iter
+    (fun name ->
+      match op_filter with
+      | Some f when f <> name -> ()
+      | _ ->
+          let qs = Substation.Perfdb.quantiles db name [ 0.0; 0.25; 0.5; 0.75; 1.0 ] in
+          let n = List.length (Substation.Perfdb.entries db name) in
+          (match qs with
+          | [ best; q25; med; q75; worst ] ->
+              Format.printf
+                "%-12s %6d configs  best %8.1f us  q25 %8.1f  med %8.1f  q75 \
+                 %8.1f  worst %9.1f@."
+                name n (best *. 1e6) (q25 *. 1e6) (med *. 1e6) (q75 *. 1e6)
+                (worst *. 1e6)
+          | _ -> ()))
+    (Substation.Perfdb.op_names db)
+
+let select hp device mha =
+  let program =
+    Substation.Fusion.fuse ~name_table:(table_of ~mha) (program_of ~mha hp)
+  in
+  let db = Substation.Perfdb.build ~device program in
+  let sel = Substation.Selector.select db in
+  Format.printf "%a@.@." Substation.Selector.pp_selection sel;
+  List.iter
+    (fun (c : Substation.Selector.choice) ->
+      Format.printf "  %-12s %8.1f us@." c.op.Ops.Op.name
+        (c.measured.Substation.Config_space.time *. 1e6))
+    (sel.Substation.Selector.forward @ sel.Substation.Selector.backward);
+  Format.printf "@.selected container layouts:@.";
+  List.iter
+    (fun (c, l) -> Format.printf "  %-12s %s@." c (Layout.to_string l))
+    sel.Substation.Selector.layouts
+
+let compare_frameworks hp device mha =
+  let workload = workload_of_mha mha in
+  let show name (r : Frameworks.Executor.report) =
+    Format.printf "%-10s forward %8.2f ms   backward %8.2f ms   total %8.2f ms@."
+      name
+      (r.Frameworks.Executor.forward_time *. 1e3)
+      (r.Frameworks.Executor.backward_time *. 1e3)
+      (Frameworks.Executor.total_time r *. 1e3)
+  in
+  show "PyTorch" (Frameworks.Pytorch_sim.report ~device ~workload hp);
+  show "TF+XLA" (Frameworks.Xla_sim.report ~device ~workload hp);
+  show "DeepSpeed" (Frameworks.Deepspeed_sim.report ~device ~workload hp);
+  if mha then show "cuDNN" (Frameworks.Cudnn_sim.report ~device hp);
+  show "Ours" (Frameworks.Ours.report ~device ~workload hp)
+
+let memory hp _device mha =
+  let program = program_of ~mha hp in
+  let fused = Substation.Fusion.fuse ~name_table:(table_of ~mha) program in
+  let pu = Ops.Memory.profile program in
+  let pf = Ops.Memory.profile fused in
+  Format.printf "Configuration: %a@.@." Transformer.Hparams.pp hp;
+  Format.printf "unfused program: %a@." Ops.Memory.pp pu;
+  Format.printf "fused program:   %a@.@." Ops.Memory.pp pf;
+  Format.printf "largest containers:@.";
+  let sorted =
+    List.sort
+      (fun (a : Ops.Memory.lifetime) b -> compare b.bytes a.bytes)
+      pu.Ops.Memory.lifetimes
+  in
+  List.iteri
+    (fun i (l : Ops.Memory.lifetime) ->
+      if i < 12 then
+        Format.printf "  %-12s %8.1f MB  live [%d, %d]%s@." l.container
+          (float_of_int l.bytes /. 1e6)
+          l.first_use l.last_use
+          (if l.persistent then " (persistent)" else ""))
+    sorted;
+  Format.printf "@.fits a 16 GB V100: %b@."
+    (Ops.Memory.fits pu ~capacity:16_000_000_000)
+
+let trace hp device mha out =
+  let workload = workload_of_mha mha in
+  let result = Frameworks.Ours.optimize ~device ~workload hp in
+  let report = Frameworks.Executor.time_plan device result.Frameworks.Ours.plan in
+  let json =
+    Gpu.Trace.combined ~process:"substation"
+      ~forward:report.Frameworks.Executor.forward
+      ~backward:report.Frameworks.Executor.backward ()
+  in
+  let path = Option.value out ~default:"trace.json" in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Format.printf
+    "wrote %s (%d kernels) - open in chrome://tracing or ui.perfetto.dev@."
+    path
+    (List.length report.Frameworks.Executor.forward.Gpu.Simulator.timings
+    + List.length report.Frameworks.Executor.backward.Gpu.Simulator.timings)
+
+let with_context hp device f =
+  let ctx = Report.Context.create ~hp ~device () in
+  f ctx
+
+let table hp device n as_csv =
+  with_context hp device (fun ctx ->
+      let s =
+        if as_csv then Report.Tables.csv ctx n
+        else
+          match n with
+          | 1 -> Report.Tables.table1 ctx
+          | 2 -> Report.Tables.table2 ctx
+          | 3 -> Report.Tables.table3 ctx
+          | 4 -> Report.Tables.table4 ctx
+          | 5 -> Report.Tables.table5 ctx
+          | _ -> "tables are numbered 1-5"
+      in
+      print_endline s)
+
+let figure hp device n out =
+  with_context hp device (fun ctx ->
+      let s =
+        match n with
+        | 1 -> Report.Figures.fig1 ctx
+        | 2 -> Report.Figures.fig2 ctx
+        | 3 -> Report.Figures.fig3 ctx
+        | 4 -> Report.Figures.fig4 ctx
+        | 5 -> Report.Figures.fig5 ctx
+        | 6 -> Report.Figures.fig6_dot ctx
+        | _ -> "figures are numbered 1-6"
+      in
+      match out with
+      | None -> print_endline s
+      | Some path ->
+          let oc = open_out path in
+          output_string oc s;
+          close_out oc;
+          Format.printf "wrote %s@." path)
+
+let summary hp device =
+  with_context hp device (fun ctx ->
+      print_endline (Report.Experiments.render (Report.Experiments.summary ctx));
+      print_endline
+        (Report.Experiments.render (Report.Experiments.heuristic_gap_records ctx));
+      print_endline
+        (Report.Experiments.render (Report.Experiments.b96_comparison ~device ())))
+
+let presets device =
+  Format.printf
+    "Optimized per-layer training-step time across model presets (paper \
+     SVIII: other transformers differ only by dimensions)@.@.";
+  Format.printf "%-14s %-36s %10s %10s %8s@." "preset" "configuration"
+    "ours (ms)" "PT (ms)" "speedup";
+  List.iter
+    (fun (name, hp) ->
+      let workload = Frameworks.Executor.Encoder_layer in
+      let ours =
+        Frameworks.Executor.total_time
+          (Frameworks.Ours.report ~device ~workload hp)
+      in
+      let pt =
+        Frameworks.Executor.total_time
+          (Frameworks.Pytorch_sim.report ~device ~workload hp)
+      in
+      Format.printf "%-14s %-36s %10.2f %10.2f %7.2fx@." name
+        (Format.asprintf "%a" Transformer.Hparams.pp hp)
+        (ours *. 1e3) (pt *. 1e3) (pt /. ours))
+    Transformer.Hparams.presets
+
+let kv_fusion device =
+  Format.printf
+    "K/V algebraic fusion in encoder/decoder cross-attention (paper SIV-D)@.@.";
+  List.iter
+    (fun (v, fwd, bwd) ->
+      Format.printf "  %-10s forward %6.0f us   backward(dX) %6.0f us@."
+        (Transformer.Cross_attention.kv_variant_to_string v)
+        (fwd *. 1e6) (bwd *. 1e6))
+    (Transformer.Cross_attention.kv_fusion_times ~device
+       Transformer.Hparams.bert_large)
+
+let cost hp device =
+  with_context hp device (fun ctx ->
+      print_string (Report.Cost.render (Report.Cost.bert_savings ctx)))
+
+let train steps lr =
+  let hp = Transformer.Hparams.tiny in
+  let m = Transformer.Model.create ~n_layers:2 ~vocab:8 hp in
+  Format.printf "training a %d-parameter toy BERT (%d layers)...@."
+    (Transformer.Model.parameter_count m)
+    m.Transformer.Model.n_layers;
+  let h = Transformer.Training.train m ~steps ~lr (Prng.create 42L) in
+  Array.iteri (fun i l -> Format.printf "step %3d  loss %.4f@." i l) h.losses;
+  Format.printf "loss: %.4f -> %.4f@." h.initial_loss h.final_loss
+
+(* ---------------- command wiring ---------------- *)
+
+let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
+
+let analyze_cmd =
+  cmd "analyze" "Dataflow analysis: flop, data volumes, operator classes."
+    Term.(const analyze $ hp_arg $ device_arg $ mha_arg)
+
+let fuse_cmd =
+  cmd "fuse" "Run the fusion pass and report kernels and data-movement savings."
+    Term.(const fuse $ hp_arg $ device_arg $ mha_arg)
+
+let op_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "op" ] ~docv:"OP" ~doc:"Restrict to one operator.")
+
+let tune_csv_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dump-csv" ] ~docv:"FILE"
+        ~doc:"Also write the full configuration database as CSV.")
+
+let tune_cmd =
+  cmd "tune" "Sweep every configuration of every operator (paper Figs. 4-5)."
+    Term.(const tune $ hp_arg $ device_arg $ mha_arg $ op_arg $ tune_csv_arg)
+
+let select_cmd =
+  cmd "select" "Global configuration selection via SSSP (paper Fig. 6)."
+    Term.(const select $ hp_arg $ device_arg $ mha_arg)
+
+let compare_cmd =
+  cmd "compare" "Compare simulated frameworks (paper Tables IV-V)."
+    Term.(const compare_frameworks $ hp_arg $ device_arg $ mha_arg)
+
+let n_arg =
+  Arg.(required & pos 0 (some int) None & info [] ~docv:"N" ~doc:"Number.")
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write output to FILE.")
+
+let csv_arg =
+  Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of aligned text.")
+
+let table_cmd =
+  cmd "table" "Regenerate a paper table (1-5)."
+    Term.(const table $ hp_arg $ device_arg $ n_arg $ csv_arg)
+
+let figure_cmd =
+  cmd "figure" "Regenerate a paper figure (1-5; 6 as Graphviz dot)."
+    Term.(const figure $ hp_arg $ device_arg $ n_arg $ out_arg)
+
+let summary_cmd =
+  cmd "summary" "Paper-vs-measured record for every headline claim."
+    Term.(const summary $ hp_arg $ device_arg)
+
+let cost_cmd =
+  cmd "cost" "Training-cost savings estimate (the paper's $85k claim)."
+    Term.(const cost $ hp_arg $ device_arg)
+
+let presets_cmd =
+  cmd "presets" "Optimize a layer of each well-known model configuration."
+    Term.(const presets $ device_arg)
+
+let kv_fusion_cmd =
+  cmd "kv-fusion" "Algebraic K/V fusion for cross-attention (Table II analogue)."
+    Term.(const kv_fusion $ device_arg)
+
+let memory_cmd =
+  cmd "memory" "Activation-memory profile of the training step."
+    Term.(const memory $ hp_arg $ device_arg $ mha_arg)
+
+let trace_cmd =
+  cmd "trace" "Export the optimized kernel timeline as a Chrome trace."
+    Term.(const trace $ hp_arg $ device_arg $ mha_arg $ out_arg)
+
+let steps_arg =
+  Arg.(value & opt int 30 & info [ "steps" ] ~docv:"N" ~doc:"Training steps.")
+
+let lr_arg =
+  Arg.(value & opt float 0.15 & info [ "lr" ] ~docv:"LR" ~doc:"Learning rate.")
+
+let train_cmd =
+  cmd "train" "Train a toy stacked-encoder model (functional numerics)."
+    Term.(const train $ steps_arg $ lr_arg)
+
+let () =
+  let info =
+    Cmd.info "substation"
+      ~doc:
+        "Data-movement optimization recipe for transformers (MLSys 2021 \
+         reproduction)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            analyze_cmd; fuse_cmd; tune_cmd; select_cmd; compare_cmd; table_cmd;
+            figure_cmd; summary_cmd; train_cmd; memory_cmd; trace_cmd; presets_cmd;
+            kv_fusion_cmd; cost_cmd;
+          ]))

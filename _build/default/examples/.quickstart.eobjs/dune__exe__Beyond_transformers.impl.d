@@ -1,0 +1,1 @@
+examples/beyond_transformers.ml: Dense Format Frameworks Gpu List Ops Printf Prng String Substation Workloads

@@ -1,0 +1,1 @@
+examples/beyond_transformers.mli:

@@ -1,0 +1,1 @@
+examples/encoder_optimization.ml: Format Gpu List Ops Report Sdfg Substation Transformer

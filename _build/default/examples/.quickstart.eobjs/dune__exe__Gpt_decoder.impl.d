@@ -1,0 +1,1 @@
+examples/gpt_decoder.ml: Dense Float Format Gpu List Ops Prng String Substation Transformer

@@ -1,0 +1,1 @@
+examples/gpt_decoder.mli:

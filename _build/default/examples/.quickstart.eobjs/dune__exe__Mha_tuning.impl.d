@@ -1,0 +1,1 @@
+examples/mha_tuning.ml: Dense Format Frameworks Gpu List Ops Prng Substation Transformer

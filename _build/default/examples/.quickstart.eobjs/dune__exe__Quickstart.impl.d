@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dense Format Frameworks Gpu List Ops Prng Sdfg Substation Transformer

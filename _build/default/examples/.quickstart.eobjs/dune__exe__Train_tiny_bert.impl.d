@@ -1,0 +1,1 @@
+examples/train_tiny_bert.ml: Array Dense Format Prng Transformer

@@ -1,0 +1,56 @@
+(* End-to-end training of a toy stacked-encoder model on a synthetic token
+   reconstruction task. Demonstrates that the operator programs are a real
+   training substrate: embedding, N encoder layers, tied output head,
+   cross-entropy, SGD — all running through the same forward/backward
+   operators that the performance recipe optimizes.
+
+   Run with: dune exec examples/train_tiny_bert.exe *)
+
+let () =
+  let hp = { Transformer.Hparams.tiny with batch = 4; seq = 6 } in
+  let model = Transformer.Model.create ~n_layers:2 ~vocab:12 hp in
+  Format.printf
+    "Toy BERT: %d layers, vocab %d, %d parameters (config %a)@.@."
+    model.Transformer.Model.n_layers model.Transformer.Model.vocab
+    (Transformer.Model.parameter_count model)
+    Transformer.Hparams.pp hp;
+
+  let prng = Prng.create 2024L in
+  let steps = 40 in
+  let history = Transformer.Training.train model ~steps ~lr:0.12 prng in
+  Array.iteri
+    (fun i loss ->
+      if i mod 5 = 0 || i = steps - 1 then
+        Format.printf "step %3d   loss %.4f@." i loss)
+    history.Transformer.Training.losses;
+  Format.printf "@.loss %.4f -> %.4f (%.1fx reduction)@."
+    history.Transformer.Training.initial_loss
+    history.Transformer.Training.final_loss
+    (history.Transformer.Training.initial_loss
+    /. history.Transformer.Training.final_loss);
+
+  (* After training, the model reconstructs its input tokens. *)
+  let tokens =
+    Transformer.Training.random_batch prng ~vocab:model.Transformer.Model.vocab
+      ~batch:hp.Transformer.Hparams.batch ~seq:hp.Transformer.Hparams.seq
+  in
+  let cache = Transformer.Model.forward model ~tokens in
+  let logits = cache.Transformer.Model.logits in
+  let correct = ref 0 and total = ref 0 in
+  Array.iteri
+    (fun b row ->
+      Array.iteri
+        (fun j target ->
+          let best = ref 0 and best_v = ref neg_infinity in
+          for v = 0 to model.Transformer.Model.vocab - 1 do
+            let s = Dense.get logits [ ("v", v); ("b", b); ("j", j) ] in
+            if s > !best_v then begin
+              best_v := s;
+              best := v
+            end
+          done;
+          incr total;
+          if !best = target then incr correct)
+        row)
+    tokens;
+  Format.printf "reconstruction accuracy on a fresh batch: %d/%d@." !correct !total

@@ -1,0 +1,1 @@
+lib/core/config_space.ml: Axis Float Gpu Hashtbl Int64 Layout List Ops Prng Sdfg

@@ -1,0 +1,1 @@
+lib/core/fusion.ml: Array Hashtbl List Ops Sdfg Stdlib String

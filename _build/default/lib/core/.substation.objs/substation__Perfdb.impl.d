@@ -1,0 +1,1 @@
+lib/core/perfdb.ml: Array Buffer Config_space Float Gpu Hashtbl Layout List Ops Printf String

@@ -1,0 +1,1 @@
+lib/core/perfdb.mli: Config_space Gpu Layout Ops

@@ -1,0 +1,1 @@
+lib/core/recipe.ml: Fusion Ops Perfdb Selector

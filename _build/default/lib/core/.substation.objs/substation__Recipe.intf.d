@@ -1,0 +1,1 @@
+lib/core/recipe.mli: Fusion Gpu Ops Perfdb Selector

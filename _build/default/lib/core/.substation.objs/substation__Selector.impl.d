@@ -1,0 +1,1 @@
+lib/core/selector.ml: Array Axis Buffer Config_space Format Gpu Hashtbl Layout List Ops Option Perfdb Printf Sssp String

@@ -1,0 +1,1 @@
+lib/core/selector.mli: Config_space Format Layout Ops Perfdb

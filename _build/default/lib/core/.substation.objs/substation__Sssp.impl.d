@@ -1,0 +1,1 @@
+lib/core/sssp.ml: Array List

@@ -1,0 +1,297 @@
+type pattern =
+  | Producer_consumer_map
+  | Map_into_reduction
+  | Reduction_into_map
+  | Sibling
+  | Warp_shared_reduction
+
+let pattern_to_string = function
+  | Producer_consumer_map -> "producer-consumer map chain"
+  | Map_into_reduction -> "map feeding a reduction"
+  | Reduction_into_map -> "reduction feeding a map"
+  | Sibling -> "sibling operators (launch sharing)"
+  | Warp_shared_reduction -> "warp-shared two-dimensional reduction (sink)"
+
+type group = {
+  members : Ops.Op.t list;
+  fused : Ops.Op.t;
+  steps : (string * pattern) list;
+}
+
+let is_barrier (op : Ops.Op.t) =
+  Sdfg.Opclass.equal op.cls Sdfg.Opclass.Contraction
+
+let external_reads _program members =
+  let written = Hashtbl.create 16 in
+  let seen = Hashtbl.create 16 in
+  let reads = ref [] in
+  List.iter
+    (fun (op : Ops.Op.t) ->
+      List.iter
+        (fun c ->
+          if not (Hashtbl.mem written c) && not (Hashtbl.mem seen c) then begin
+            Hashtbl.add seen c ();
+            reads := c :: !reads
+          end)
+        op.reads;
+      List.iter (fun c -> Hashtbl.replace written c ()) op.writes)
+    members;
+  List.rev !reads
+
+let external_writes (program : Ops.Program.t) members =
+  let member_names = List.map (fun (m : Ops.Op.t) -> m.name) members in
+  let is_member (o : Ops.Op.t) = List.mem o.name member_names in
+  let read_outside c =
+    List.exists
+      (fun (o : Ops.Op.t) -> (not (is_member o)) && List.mem c o.reads)
+      program.Ops.Program.ops
+  in
+  let read_anywhere c =
+    List.exists (fun (o : Ops.Op.t) -> List.mem c o.reads) program.Ops.Program.ops
+  in
+  let seen = Hashtbl.create 16 in
+  let writes = ref [] in
+  List.iter
+    (fun (op : Ops.Op.t) ->
+      List.iter
+        (fun c ->
+          if not (Hashtbl.mem seen c) && (read_outside c || not (read_anywhere c))
+          then begin
+            Hashtbl.add seen c ();
+            writes := c :: !writes
+          end)
+        op.writes)
+    members;
+  List.rev !writes
+
+(* --- grouping ------------------------------------------------------- *)
+
+type item = Barrier of Ops.Op.t | Region of raw_group list
+
+and raw_group = {
+  ops : Ops.Op.t list;
+  space : Ops.Iteration.t;
+  steps : (string * pattern) list;
+}
+
+let multiset l = List.sort Stdlib.compare l
+
+let shared_reduction (a : Ops.Iteration.t) (b : Ops.Iteration.t) =
+  Ops.Iteration.has_reduction a
+  && Ops.Iteration.has_reduction b
+  && multiset (Ops.Iteration.reduction_sizes a)
+     = multiset (Ops.Iteration.reduction_sizes b)
+
+(* Space of a group formed by warp-sharing two reductions over the same
+   extents (the BDRB case): independent dims are pooled, the shared
+   reduction kept. *)
+let sink_merge_space (target : Ops.Iteration.t) (sunk : Ops.Iteration.t) =
+  let extra =
+    List.filter
+      (fun (a, _) -> not (List.mem_assoc a target.Ops.Iteration.independent))
+      sunk.Ops.Iteration.independent
+  in
+  Ops.Iteration.make
+    ~independent:(target.Ops.Iteration.independent @ extra)
+    ~reduction:target.Ops.Iteration.reduction
+
+(* The Fig. 3 pattern through which [op] joins a group. *)
+let classify_join (group : raw_group) (op : Ops.Op.t) =
+  let consumes =
+    List.exists
+      (fun (m : Ops.Op.t) -> List.exists (fun w -> List.mem w op.reads) m.writes)
+      group.ops
+  in
+  if not consumes then Sibling
+  else if Ops.Iteration.has_reduction op.space
+          && not (Ops.Iteration.has_reduction group.space) then
+    Map_into_reduction
+  else if Ops.Iteration.has_reduction group.space
+          && not (Ops.Iteration.has_reduction op.space) then
+    Reduction_into_map
+  else Producer_consumer_map
+
+let group_region ops =
+  let extend groups (op : Ops.Op.t) =
+    match groups with
+    | ({ ops = gops; space; steps } as g) :: rest -> begin
+        match Ops.Iteration.merge ~a:space ~b:op.space with
+        | Some merged ->
+            {
+              ops = gops @ [ op ];
+              space = merged;
+              steps = steps @ [ (op.name, classify_join g op) ];
+            }
+            :: rest
+        | None -> { ops = [ op ]; space = op.space; steps = [] } :: groups
+      end
+    | [] -> [ { ops = [ op ]; space = op.space; steps = [] } ]
+  in
+  List.rev (List.fold_left extend [] ops)
+
+let segment (ops : Ops.Op.t list) =
+  let flush acc current =
+    if current = [] then acc else Region (group_region (List.rev current)) :: acc
+  in
+  let rec go acc current last_backward = function
+    | [] -> List.rev (flush acc current)
+    | (op : Ops.Op.t) :: rest ->
+        if is_barrier op then
+          go (Barrier op :: flush acc current) [] op.backward rest
+        else if op.backward <> last_backward && current <> [] then
+          (* forward/backward boundary is a fusion barrier *)
+          go (flush acc current) [ op ] op.backward rest
+        else go acc (op :: current) op.backward rest
+  in
+  go [] [] false ops
+
+let terminal_outputs (program : Ops.Program.t) (g : raw_group) =
+  let reads_of_others =
+    List.concat_map (fun (o : Ops.Op.t) -> o.reads) program.Ops.Program.ops
+  in
+  List.for_all
+    (fun (op : Ops.Op.t) ->
+      List.for_all (fun c -> not (List.mem c reads_of_others)) op.writes)
+    g.ops
+
+(* Move a trailing terminal-reduction group of each region into the first
+   compatible group of the next region. *)
+let sink program items =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  let next_region_index i =
+    let rec find j =
+      if j >= n then None
+      else match arr.(j) with Region _ -> Some j | Barrier _ -> find (j + 1)
+    in
+    find (i + 1)
+  in
+  for i = 0 to n - 1 do
+    match arr.(i) with
+    | Barrier _ -> ()
+    | Region groups -> begin
+        match List.rev groups with
+        | last :: _ when Ops.Iteration.has_reduction last.space
+                         && terminal_outputs program last -> begin
+            match next_region_index i with
+            | None -> ()
+            | Some j ->
+                let target_groups =
+                  match arr.(j) with Region g -> g | Barrier _ -> assert false
+                in
+                let sunk_steps g =
+                  List.map (fun (o : Ops.Op.t) -> (o.name, Warp_shared_reduction)) last.ops
+                  @ g.steps
+                in
+                let try_merge g =
+                  match Ops.Iteration.merge ~a:g.space ~b:last.space with
+                  | Some merged ->
+                      Some
+                        {
+                          ops = last.ops @ g.ops;
+                          space = merged;
+                          steps = sunk_steps g;
+                        }
+                  | None ->
+                      if shared_reduction g.space last.space then
+                        Some
+                          {
+                            ops = last.ops @ g.ops;
+                            space = sink_merge_space g.space last.space;
+                            steps = sunk_steps g;
+                          }
+                      else None
+                in
+                let rec place acc = function
+                  | [] -> None
+                  | g :: rest -> begin
+                      match try_merge g with
+                      | Some merged ->
+                          Some (List.rev_append acc (merged :: rest))
+                      | None -> place (g :: acc) rest
+                    end
+                in
+                (match place [] target_groups with
+                | None -> ()
+                | Some new_target ->
+                    arr.(j) <- Region new_target;
+                    let remaining = List.rev (List.tl (List.rev groups)) in
+                    arr.(i) <- Region remaining)
+          end
+        | _ -> ()
+      end
+  done;
+  Array.to_list arr
+
+(* --- fused-operator construction ------------------------------------ *)
+
+let canonical_name name_table members =
+  let names = multiset (List.map (fun (o : Ops.Op.t) -> o.name) members) in
+  let rec find = function
+    | [] -> String.concat "+" (List.map (fun (o : Ops.Op.t) -> o.name) members)
+    | (key, name) :: rest -> if multiset key = names then name else find rest
+  in
+  find name_table
+
+let build_fused name_table program (g : raw_group) =
+  match g.ops with
+  | [ single ] ->
+      (* Singleton non-contraction groups still become one custom kernel and
+         may carry a canonical name (BSB, BAOB, BEI). *)
+      let name = canonical_name name_table [ single ] in
+      { members = [ single ]; fused = { single with Ops.Op.name = name }; steps = [] }
+  | members ->
+      let reads = external_reads program members in
+      let writes = external_writes program members in
+      let has_red = Ops.Iteration.has_reduction g.space in
+      let fused =
+        {
+          Ops.Op.name = canonical_name name_table members;
+          cls =
+            (if has_red then Sdfg.Opclass.Normalization
+             else Sdfg.Opclass.Elementwise);
+          reads;
+          writes;
+          space = g.space;
+          flop = List.fold_left (fun acc (o : Ops.Op.t) -> acc + o.flop) 0 members;
+          kind = (if has_red then Ops.Op.Reduce else Ops.Op.Map);
+          run = (fun env -> List.iter (fun (o : Ops.Op.t) -> o.run env) members);
+          backward = List.for_all (fun (o : Ops.Op.t) -> o.backward) members;
+          (* differentiation is defined on the unfused program; fused
+             kernels are a performance artifact *)
+          vjp = None;
+        }
+      in
+      { members; fused; steps = g.steps }
+
+let groups ?(name_table = []) (program : Ops.Program.t) =
+  let items = sink program (segment program.Ops.Program.ops) in
+  List.concat_map
+    (function
+      | Barrier op -> [ { members = [ op ]; fused = op; steps = [] } ]
+      | Region gs -> List.map (build_fused name_table program) gs)
+    items
+
+let fuse ?name_table program =
+  let gs = groups ?name_table program in
+  Ops.Program.replace_ops program (List.map (fun g -> g.fused) gs)
+
+let movement_saved ~bytes_per_elem (program : Ops.Program.t) =
+  let graph = Ops.Program.graph program in
+  let unfused =
+    List.fold_left
+      (fun acc op -> acc + Sdfg.Graph.io_elements graph (Ops.Op.to_graph_op op))
+      0 program.Ops.Program.ops
+  in
+  let volume c = Sdfg.Graph.volume_of graph c in
+  let fused =
+    List.fold_left
+      (fun acc g ->
+        let reads = external_reads program g.members in
+        let writes = external_writes program g.members in
+        acc
+        + List.fold_left (fun a c -> a + volume c) 0 reads
+        + List.fold_left (fun a c -> a + volume c) 0 writes)
+      0 (groups program)
+  in
+  (unfused * bytes_per_elem, fused * bytes_per_elem)

@@ -1,0 +1,70 @@
+(** Operator fusion (paper §IV).
+
+    The engine works on the operator list of a program in schedule order.
+    Tensor contractions are fusion barriers (cuBLAS cannot host arbitrary
+    fused operators, §IV-C), as is the forward/backward boundary. Within
+    each region between barriers, operators are greedily merged while their
+    iteration spaces remain compatible ({!Ops.Iteration.compatible}): the
+    same independent extents, or differing only by a reduction — covering
+    the paper's four structural patterns, including sibling operators that
+    share no data (fusing them still saves kernel launches).
+
+    A final "sink" pass implements the scheduling freedom the paper's BDRB
+    kernel exhibits: a trailing group whose outputs are terminal (weight
+    gradients) may move past a contraction barrier into the next region and
+    merge with a group reducing over the same extents — that is how the
+    backward bias-dW of the second linear layer joins the dropout/ReLU/bias
+    group despite the GEMMs between them. *)
+
+(** The structural fusion patterns of the paper's Fig. 3 (plus the
+    warp-sharing case its §IV text describes for two-dimensional
+    reductions). Each non-first member of a group joined it through one. *)
+type pattern =
+  | Producer_consumer_map
+      (** pattern 1: an element-wise chain (bias → dropout → residual) *)
+  | Map_into_reduction
+      (** pattern 2: a map whose output feeds a reduction (… → layernorm) *)
+  | Reduction_into_map
+      (** pattern 3: a reduction whose result a map consumes (softmax → dropout) *)
+  | Sibling
+      (** pattern 4: operators with no dataflow between them, fused to share
+          one kernel launch (the three attention input biases) *)
+  | Warp_shared_reduction
+      (** a terminal reduction sunk past a contraction barrier into a group
+          reducing over the same extents (how bias-dW joins BDRB) *)
+
+val pattern_to_string : pattern -> string
+
+type group = {
+  members : Ops.Op.t list;  (** original operators, in execution order *)
+  fused : Ops.Op.t;  (** the single fused operator *)
+  steps : (string * pattern) list;
+      (** how each non-first member joined (member name, pattern) *)
+}
+
+(** [fuse ?name_table program] rewrites the program, replacing each fused
+    group by one operator. [name_table] maps member-name sets to canonical
+    kernel names (e.g. {!Transformer.Encoder.kernel_names}); unnamed groups
+    get the concatenation of member names. *)
+val fuse : ?name_table:(string list * string) list -> Ops.Program.t
+  -> Ops.Program.t
+
+(** [groups ?name_table program] exposes the grouping for inspection;
+    singleton groups are included (their [fused] op is the original). *)
+val groups : ?name_table:(string list * string) list -> Ops.Program.t
+  -> group list
+
+(** [external_reads program members] / [external_writes program members]:
+    the containers a kernel fusing [members] must actually load / store —
+    interim containers (produced and consumed strictly inside the group)
+    are elided. These determine the fused kernel's data movement. *)
+val external_reads : Ops.Program.t -> Ops.Op.t list -> string list
+
+val external_writes : Ops.Program.t -> Ops.Op.t list -> string list
+
+(** [movement_saved ~device_bytes_per_elem program] compares the total data
+    movement of the program's operators before and after fusion: the
+    paper's §VI-C accounting that yields the ~22.91% reduction. Returns
+    [(unfused_bytes, fused_bytes)]. *)
+val movement_saved :
+  bytes_per_elem:int -> Ops.Program.t -> int * int

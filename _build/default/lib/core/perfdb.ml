@@ -1,0 +1,104 @@
+type t = {
+  device : Gpu.Device.t;
+  program : Ops.Program.t;
+  table : (string, Config_space.measured list) Hashtbl.t;
+  order : string list;
+}
+
+let build ?quality ~device (program : Ops.Program.t) =
+  let table = Hashtbl.create 64 in
+  let order =
+    List.map
+      (fun (op : Ops.Op.t) ->
+        Hashtbl.replace table op.name
+          (Config_space.measure_all ?quality ~device program op);
+        op.name)
+      program.Ops.Program.ops
+  in
+  { device; program; table; order }
+
+let device t = t.device
+let program t = t.program
+let op_names t = t.order
+
+let entries t name =
+  match Hashtbl.find_opt t.table name with
+  | Some es -> es
+  | None -> invalid_arg ("Perfdb.entries: unknown operator " ^ name)
+
+let fastest = function
+  | [] -> invalid_arg "Perfdb: empty entry list"
+  | e :: rest ->
+      List.fold_left
+        (fun (best : Config_space.measured) (m : Config_space.measured) ->
+          if m.time < best.time then m else best)
+        e rest
+
+let best t name = fastest (entries t name)
+
+let satisfies (m : Config_space.measured) constraints =
+  List.for_all
+    (fun (c, l) ->
+      match List.assoc_opt c m.layouts with
+      | None -> true
+      | Some l' -> Layout.equal l l')
+    constraints
+
+let best_matching t name ~constraints =
+  match List.filter (fun m -> satisfies m constraints) (entries t name) with
+  | [] -> None
+  | es -> Some (fastest es)
+
+let sum_best t =
+  List.fold_left (fun acc name -> acc +. (best t name).Config_space.time) 0.0
+    t.order
+
+let quantiles t name ps =
+  let times =
+    List.sort Float.compare
+      (List.map (fun (m : Config_space.measured) -> m.time) (entries t name))
+  in
+  let arr = Array.of_list times in
+  let n = Array.length arr in
+  List.map
+    (fun p ->
+      if n = 0 then nan
+      else begin
+        let idx = int_of_float (p *. float_of_int (n - 1)) in
+        arr.(max 0 (min (n - 1) idx))
+      end)
+    ps
+
+let config_fields (m : Config_space.measured) =
+  match m.Config_space.config with
+  | Config_space.Gemm_cfg c ->
+      ( "gemm",
+        Printf.sprintf "algo=%d;tc=%b;ta=%s;tb=%s" c.algo.Gpu.Gemm_model.algo_id
+          c.use_tc
+          (Gpu.Gemm_model.transpose_to_string c.ta)
+          (Gpu.Gemm_model.transpose_to_string c.tb) )
+  | Config_space.Fused_cfg c ->
+      ( "fused",
+        Printf.sprintf "vec=%s;warp=%s" c.vec_axis
+          (match c.warp_axis with None -> "grid" | Some a -> a) )
+
+let export_csv t =
+  let buf = Buffer.create (1 lsl 16) in
+  Buffer.add_string buf "operator,kind,knobs,layouts,time_us\n";
+  List.iter
+    (fun name ->
+      List.iter
+        (fun (m : Config_space.measured) ->
+          let kind, knobs = config_fields m in
+          let layouts =
+            String.concat ";"
+              (List.map
+                 (fun (c, l) -> c ^ "=" ^ Layout.to_string l)
+                 m.Config_space.layouts)
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "%s,%s,%s,\"%s\",%.3f\n" name kind knobs layouts
+               (m.Config_space.time *. 1e6)))
+        (entries t name))
+    t.order;
+  Buffer.contents buf

@@ -1,0 +1,39 @@
+(** Performance database: every measured configuration of every operator of
+    a program (paper §V's exhaustive benchmark sweep, feeding §VI-A's
+    configuration selection). *)
+
+type t
+
+(** [build ?quality ~device program] sweeps the configuration space of each
+    operator. *)
+val build : ?quality:float -> device:Gpu.Device.t -> Ops.Program.t -> t
+
+val device : t -> Gpu.Device.t
+val program : t -> Ops.Program.t
+val op_names : t -> string list
+val entries : t -> string -> Config_space.measured list
+
+(** [best db op] is the fastest configuration regardless of layouts. *)
+val best : t -> string -> Config_space.measured
+
+(** [best_matching db op ~constraints] is the fastest entry consistent with
+    the layout constraints: for every [(container, layout)] pair that the
+    entry also assigns, the layouts must agree. [None] when no entry
+    qualifies. *)
+val best_matching :
+  t -> string -> constraints:(string * Layout.t) list
+  -> Config_space.measured option
+
+(** [sum_best db] adds up each operator's unconstrained best time — the
+    lower bound the paper compares its global selection against (within 4%,
+    §VI-A). *)
+val sum_best : t -> float
+
+(** [quantiles db op ps] returns time quantiles (e.g. [[0.; 0.25; 0.5; 1.]])
+    of the configuration distribution — the violin summaries of Figs. 4/5. *)
+val quantiles : t -> string -> float list -> float list
+
+(** [export_csv db] serializes every measured configuration as CSV
+    (operator, configuration kind and knobs, per-container layouts, time in
+    microseconds) for external plotting of the Fig. 4/5 distributions. *)
+val export_csv : t -> string

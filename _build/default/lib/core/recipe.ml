@@ -1,0 +1,36 @@
+type result = {
+  program : Ops.Program.t;
+  fused : Ops.Program.t;
+  groups : Fusion.group list;
+  db : Perfdb.t;
+  selection : Selector.selection;
+  movement_unfused_bytes : int;
+  movement_fused_bytes : int;
+}
+
+let optimize ?(name_table = []) ~device program =
+  let groups = Fusion.groups ~name_table program in
+  let fused = Fusion.fuse ~name_table program in
+  let db = Perfdb.build ~device fused in
+  let selection = Selector.select db in
+  let movement_unfused_bytes, movement_fused_bytes =
+    Fusion.movement_saved ~bytes_per_elem:2 program
+  in
+  {
+    program;
+    fused;
+    groups;
+    db;
+    selection;
+    movement_unfused_bytes;
+    movement_fused_bytes;
+  }
+
+let movement_reduction r =
+  if r.movement_unfused_bytes = 0 then 0.0
+  else
+    1.0
+    -. (float_of_int r.movement_fused_bytes
+       /. float_of_int r.movement_unfused_bytes)
+
+let speedup_vs r ~baseline_time = baseline_time /. r.selection.Selector.total_time

@@ -1,0 +1,32 @@
+(** The end-to-end optimization recipe (paper §III):
+
+    1. dataflow analysis (SDFG construction + operator classification),
+    2. maximal fusion (+ the program should already carry the algebraic
+       fusion choice, see {!Ops.Contraction.grouped}),
+    3. exhaustive per-operator configuration measurement,
+    4. global configuration selection by SSSP + constraint propagation.
+
+    [optimize] runs all steps and returns every intermediate product, so
+    reports and benchmarks can interrogate any stage. *)
+
+type result = {
+  program : Ops.Program.t;  (** the input (unfused) program *)
+  fused : Ops.Program.t;
+  groups : Fusion.group list;
+  db : Perfdb.t;
+  selection : Selector.selection;
+  movement_unfused_bytes : int;
+  movement_fused_bytes : int;
+}
+
+val optimize :
+  ?name_table:(string list * string) list -> device:Gpu.Device.t
+  -> Ops.Program.t -> result
+
+(** [movement_reduction r] is the fractional data-movement saving of fusion
+    (paper §VI-C reports ~22.91%). *)
+val movement_reduction : result -> float
+
+(** [speedup_vs r ~baseline_time] divides a baseline's total time by the
+    optimized total. *)
+val speedup_vs : result -> baseline_time:float -> float

@@ -1,0 +1,404 @@
+type choice = { op : Ops.Op.t; measured : Config_space.measured }
+
+type transpose = {
+  containers : string list;
+  from_layout : Layout.t;
+  to_layout : Layout.t;
+  cost : float;
+}
+
+type selection = {
+  forward : choice list;
+  backward : choice list;
+  transposes : transpose list;
+  layouts : (string * Layout.t) list;
+  forward_time : float;
+  backward_time : float;
+  total_time : float;
+  sum_best_forward : float;
+}
+
+let volume_of program c =
+  List.fold_left (fun a (_, d) -> a * d) 1 (Ops.Program.container_dims program c)
+
+type boundary = {
+  containers : string list;
+  rep : string;
+  rep_dims : (Axis.t * int) list;
+  candidates : Layout.t list;
+}
+
+let make_boundary program containers =
+  let rep =
+    List.fold_left
+      (fun best c ->
+        if volume_of program c > volume_of program best then c else best)
+      (List.hd containers) containers
+  in
+  let rep_dims = Ops.Program.container_dims program rep in
+  {
+    containers;
+    rep;
+    rep_dims;
+    candidates = Layout.all (List.map fst rep_dims);
+  }
+
+let main_input program (first : Ops.Op.t) =
+  let written =
+    List.concat_map (fun (o : Ops.Op.t) -> o.writes) program.Ops.Program.ops
+  in
+  let inputs = List.filter (fun c -> not (List.mem c written)) first.reads in
+  match inputs with
+  | [] -> List.hd first.reads
+  | c :: rest ->
+      List.fold_left
+        (fun best c ->
+          if volume_of program c > volume_of program best then c else best)
+        c rest
+
+let boundaries program (fwd : Ops.Op.t list) =
+  let n = List.length fwd in
+  let arr = Array.of_list fwd in
+  let source = make_boundary program [ main_input program arr.(0) ] in
+  let interior =
+    List.init (n - 1) (fun i ->
+        let producer = arr.(i) and consumer = arr.(i + 1) in
+        let shared =
+          List.filter (fun c -> List.mem c consumer.reads) producer.writes
+        in
+        let containers =
+          if shared <> [] then shared else producer.writes
+        in
+        make_boundary program containers)
+  in
+  let last = arr.(n - 1) in
+  let read_by_someone c =
+    List.exists (fun (o : Ops.Op.t) -> List.mem c o.reads) program.Ops.Program.ops
+  in
+  let outputs =
+    match List.filter (fun c -> not (read_by_someone c)) last.writes with
+    | [] -> last.writes
+    | cs -> cs
+  in
+  Array.of_list ((source :: interior) @ [ make_boundary program outputs ])
+
+(* Cost of physically permuting every container at a boundary. *)
+let transpose_cost (device : Gpu.Device.t) program (b : boundary) =
+  let bytes =
+    2 * 2
+    * List.fold_left (fun acc c -> acc + volume_of program c) 0 b.containers
+  in
+  (float_of_int bytes /. (device.mem_bandwidth *. 0.85)) +. device.launch_overhead
+
+(* Fastest entry of [op] whose layouts assign [l_in] to [rep_in] and [l_out]
+   to [rep_out]; buckets computed in one pass over the entries. When the
+   operator does not actually read the incoming boundary (the schedule is
+   not a strict consumer chain, e.g. sibling operators in an unfused
+   program), the incoming layout is irrelevant and the bucket key uses a
+   wildcard. *)
+let wildcard = "*"
+
+let edge_weights db (op : Ops.Op.t) ~rep_in ~rep_out =
+  let in_relevant = List.mem rep_in op.reads in
+  let table = Hashtbl.create 64 in
+  List.iter
+    (fun (m : Config_space.measured) ->
+      let li =
+        if in_relevant then
+          Option.map Layout.to_string (List.assoc_opt rep_in m.layouts)
+        else Some wildcard
+      in
+      match (li, List.assoc_opt rep_out m.layouts) with
+      | Some li, Some lo ->
+          let key = (li, Layout.to_string lo) in
+          let current = Hashtbl.find_opt table key in
+          if current = None || m.time < Option.get current then
+            Hashtbl.replace table key m.time
+      | _ -> ())
+    (Perfdb.entries db op.name);
+  (table, in_relevant)
+
+let constrain_gradients program constraints (op : Ops.Op.t) =
+  List.iter
+    (fun c ->
+      if String.length c > 2 && String.sub c 0 2 = "d_" then begin
+        let primal = String.sub c 2 (String.length c - 2) in
+        match Hashtbl.find_opt constraints primal with
+        | Some layout when not (Hashtbl.mem constraints c) ->
+            let primal_dims = Ops.Program.container_dims program primal in
+            let c_dims = Ops.Program.container_dims program c in
+            if List.map fst primal_dims = List.map fst c_dims then
+              Hashtbl.replace constraints c layout
+        | _ -> ()
+      end)
+    (op.reads @ op.writes)
+
+let repair_pass db ?(initial = []) ops =
+  let program = Perfdb.program db in
+  let constraints = Hashtbl.create 64 in
+  List.iter (fun (c, l) -> Hashtbl.replace constraints c l) initial;
+  let choices =
+    List.map
+      (fun (op : Ops.Op.t) ->
+        constrain_gradients program constraints op;
+        let cs =
+          Hashtbl.fold (fun c l acc -> (c, l) :: acc) constraints []
+        in
+        let measured =
+          match Perfdb.best_matching db op.name ~constraints:cs with
+          | Some m -> m
+          | None -> Perfdb.best db op.name
+        in
+        List.iter
+          (fun (c, l) ->
+            if not (Hashtbl.mem constraints c) then
+              Hashtbl.replace constraints c l)
+          measured.Config_space.layouts;
+        { op; measured })
+      ops
+  in
+  let layouts = Hashtbl.fold (fun c l acc -> (c, l) :: acc) constraints [] in
+  (choices, List.sort (fun (a, _) (b, _) -> String.compare a b) layouts)
+
+let sum_time choices =
+  List.fold_left (fun acc c -> acc +. c.measured.Config_space.time) 0.0 choices
+
+let select db =
+  let program = Perfdb.program db in
+  let fwd = Ops.Program.forward_ops program in
+  let bwd = Ops.Program.backward_ops program in
+  if fwd = [] then invalid_arg "Selector.select: program has no forward ops";
+  let bs = boundaries program fwd in
+  let device = Perfdb.device db in
+  let graph = Sssp.create () in
+  let node_ids =
+    Array.map
+      (fun b -> List.map (fun l -> (l, Sssp.add_node graph (b.rep, l))) b.candidates)
+      bs
+  in
+  let src = Sssp.add_node graph ("source", []) in
+  let dst = Sssp.add_node graph ("sink", []) in
+  List.iter (fun (_, id) -> Sssp.add_edge graph ~src ~dst:id 0.0) node_ids.(0);
+  List.iter
+    (fun (_, id) -> Sssp.add_edge graph ~src:id ~dst 0.0)
+    node_ids.(Array.length node_ids - 1);
+  (* operator edges *)
+  List.iteri
+    (fun i (op : Ops.Op.t) ->
+      let weights, in_relevant =
+        edge_weights db op ~rep_in:bs.(i).rep ~rep_out:bs.(i + 1).rep
+      in
+      List.iter
+        (fun (li, id_in) ->
+          let li_key = if in_relevant then Layout.to_string li else wildcard in
+          List.iter
+            (fun (lo, id_out) ->
+              match Hashtbl.find_opt weights (li_key, Layout.to_string lo) with
+              | Some w -> Sssp.add_edge graph ~src:id_in ~dst:id_out w
+              | None -> ())
+            node_ids.(i + 1))
+        node_ids.(i))
+    fwd;
+  (* transpose edges inside interior boundaries *)
+  Array.iteri
+    (fun i b ->
+      if i > 0 && i < Array.length bs - 1 then begin
+        let cost = transpose_cost device program b in
+        List.iter
+          (fun (l1, id1) ->
+            List.iter
+              (fun (l2, id2) ->
+                if not (Layout.equal l1 l2) then
+                  Sssp.add_edge graph ~src:id1 ~dst:id2 cost)
+              node_ids.(i))
+          node_ids.(i)
+      end)
+    bs;
+  let _, path =
+    match Sssp.shortest_path graph ~src ~dst with
+    | Some r -> r
+    | None -> invalid_arg "Selector.select: no feasible configuration path"
+  in
+  (* Decode boundary layout choices (and transposes) from the path. *)
+  let layer_of = Hashtbl.create 64 in
+  Array.iteri
+    (fun i ids -> List.iter (fun (l, id) -> Hashtbl.replace layer_of id (i, l)) ids)
+    node_ids;
+  let chosen = Hashtbl.create 16 in
+  let transposes = ref [] in
+  let rec walk = function
+    | [] | [ _ ] -> ()
+    | a :: (b :: _ as rest) ->
+        (match (Hashtbl.find_opt layer_of a, Hashtbl.find_opt layer_of b) with
+        | Some (ia, la), Some (ib, lb) when ia = ib && not (Layout.equal la lb)
+          ->
+            transposes :=
+              {
+                containers = bs.(ia).containers;
+                from_layout = la;
+                to_layout = lb;
+                cost = transpose_cost device program bs.(ia);
+              }
+              :: !transposes
+        | _ -> ());
+        (match Hashtbl.find_opt layer_of b with
+        | Some (ib, lb) -> Hashtbl.replace chosen ib lb
+        | None -> ());
+        walk rest
+  in
+  (match path with
+  | first :: _ ->
+      (match Hashtbl.find_opt layer_of first with
+      | Some (i0, l0) -> Hashtbl.replace chosen i0 l0
+      | None -> ())
+  | [] -> ());
+  walk path;
+  (* Seed the repair pass with the boundary layouts (tied across the
+     boundary's containers through the positional isomorphism). *)
+  let initial =
+    Array.to_list bs
+    |> List.mapi (fun i b -> (i, b))
+    |> List.concat_map (fun (i, b) ->
+           match Hashtbl.find_opt chosen i with
+           | None -> []
+           | Some layout ->
+               List.map
+                 (fun c ->
+                   ( c,
+                     Config_space.iso_layout ~rep_dims:b.rep_dims
+                       ~target_dims:(Ops.Program.container_dims program c)
+                       layout ))
+                 b.containers)
+  in
+  let fwd_choices, _ = repair_pass db ~initial fwd in
+  let all_choices, layouts = repair_pass db ~initial (fwd @ bwd) in
+  let bwd_choices =
+    List.filteri (fun i _ -> i >= List.length fwd) all_choices
+  in
+  ignore fwd_choices;
+  let fwd_choices =
+    List.filteri (fun i _ -> i < List.length fwd) all_choices
+  in
+  let transposes = List.rev !transposes in
+  let transpose_time = List.fold_left (fun a t -> a +. t.cost) 0.0 transposes in
+  let forward_time = sum_time fwd_choices +. transpose_time in
+  let backward_time = sum_time bwd_choices in
+  {
+    forward = fwd_choices;
+    backward = bwd_choices;
+    transposes;
+    layouts;
+    forward_time;
+    backward_time;
+    total_time = forward_time +. backward_time;
+    sum_best_forward =
+      List.fold_left
+        (fun acc (op : Ops.Op.t) -> acc +. (Perfdb.best db op.name).Config_space.time)
+        0.0 fwd;
+  }
+
+let greedy db =
+  let program = Perfdb.program db in
+  let fwd = Ops.Program.forward_ops program in
+  let bwd = Ops.Program.backward_ops program in
+  let device = Perfdb.device db in
+  let pick (op : Ops.Op.t) = { op; measured = Perfdb.best db op.name } in
+  let fwd_choices = List.map pick fwd in
+  let bwd_choices = List.map pick bwd in
+  let all = fwd_choices @ bwd_choices in
+  (* first writer fixes each container's layout; disagreeing consumers pay
+     a transpose *)
+  let fixed = Hashtbl.create 64 in
+  let transposes = ref [] in
+  List.iter
+    (fun ch ->
+      List.iter
+        (fun (c, l) ->
+          match Hashtbl.find_opt fixed c with
+          | None -> Hashtbl.replace fixed c l
+          | Some l' when Layout.equal l l' -> ()
+          | Some l' ->
+              let bytes = 2 * 2 * volume_of program c in
+              transposes :=
+                {
+                  containers = [ c ];
+                  from_layout = l';
+                  to_layout = l;
+                  cost =
+                    (float_of_int bytes /. (device.mem_bandwidth *. 0.85))
+                    +. device.launch_overhead;
+                }
+                :: !transposes)
+        ch.measured.Config_space.layouts)
+    all;
+  let transposes = List.rev !transposes in
+  let transpose_time = List.fold_left (fun a t -> a +. t.cost) 0.0 transposes in
+  let layouts =
+    Hashtbl.fold (fun c l acc -> (c, l) :: acc) fixed []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let forward_time = sum_time fwd_choices +. transpose_time in
+  let backward_time = sum_time bwd_choices in
+  {
+    forward = fwd_choices;
+    backward = bwd_choices;
+    transposes;
+    layouts;
+    forward_time;
+    backward_time;
+    total_time = forward_time +. backward_time;
+    sum_best_forward = sum_time fwd_choices;
+  }
+
+let graph_dot ?(max_ops = 2) db =
+  let program = Perfdb.program db in
+  let fwd = Ops.Program.forward_ops program in
+  let n = min max_ops (List.length fwd) in
+  let fwd_n = List.filteri (fun i _ -> i < n) fwd in
+  let bs = boundaries program (Ops.Program.forward_ops program) in
+  let buf = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "digraph selection {\n  rankdir=LR;\n  node [shape=box, fontname=\"Helvetica\"];\n";
+  pf "  source [shape=circle];\n  target [shape=circle];\n";
+  let node_name i l = Printf.sprintf "b%d_%s" i (String.concat "" l) in
+  for i = 0 to n do
+    List.iter
+      (fun l ->
+        pf "  %s [label=\"%s\\n%s\"];\n" (node_name i l) (bs.(i)).rep
+          (Layout.to_string l))
+      (bs.(i)).candidates
+  done;
+  List.iter
+    (fun l -> pf "  source -> %s [label=\"0\"];\n" (node_name 0 l))
+    (bs.(0)).candidates;
+  List.iteri
+    (fun i (op : Ops.Op.t) ->
+      let weights, in_relevant =
+        edge_weights db op ~rep_in:(bs.(i)).rep ~rep_out:(bs.(i + 1)).rep
+      in
+      List.iter
+        (fun li ->
+          let li_key = if in_relevant then Layout.to_string li else wildcard in
+          List.iter
+            (fun lo ->
+              match Hashtbl.find_opt weights (li_key, Layout.to_string lo) with
+              | Some w ->
+                  pf "  %s -> %s [label=\"%s: %.0f us\"];\n" (node_name i li)
+                    (node_name (i + 1) lo) op.name (w *. 1e6)
+              | None -> ())
+            (bs.(i + 1)).candidates)
+        (bs.(i)).candidates)
+    fwd_n;
+  List.iter
+    (fun l -> pf "  %s -> target [label=\"0\"];\n" (node_name n l))
+    (bs.(n)).candidates;
+  pf "}\n";
+  Buffer.contents buf
+
+let pp_selection ppf s =
+  Format.fprintf ppf
+    "@[<v>forward %.3f ms (%d ops, %d transposes), backward %.3f ms (%d ops), \
+     total %.3f ms; per-op forward lower bound %.3f ms@]"
+    (s.forward_time *. 1e3) (List.length s.forward) (List.length s.transposes)
+    (s.backward_time *. 1e3) (List.length s.backward) (s.total_time *. 1e3)
+    (s.sum_best_forward *. 1e3)

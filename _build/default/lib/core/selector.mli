@@ -1,0 +1,53 @@
+(** End-to-end configuration selection (paper §VI-A, Fig. 6).
+
+    The forward operator chain is turned into a layered graph: one layer
+    per dataflow boundary (the tensors flowing between consecutive
+    operators), one node per candidate layout of that boundary, an edge per
+    operator weighted with the fastest configuration matching the two
+    boundary layouts, plus intra-layer transpose edges (changing layout
+    between operators is allowed when it pays for itself). A shortest path
+    from source to sink fixes the global forward configuration.
+
+    As in the paper, the search runs on the forward graph only and skips
+    residual bypass edges; a subsequent repair pass walks all operators in
+    order, holding every already-fixed container layout as a constraint and
+    choosing each operator's fastest consistent configuration — backward
+    operators inherit forward layouts, with each gradient container [d_T]
+    tied to its primal [T]. The result is therefore not guaranteed optimal;
+    [sum_best_forward] exposes the per-operator lower bound the paper
+    compares against (within 4%). *)
+
+type choice = { op : Ops.Op.t; measured : Config_space.measured }
+
+type transpose = {
+  containers : string list;
+  from_layout : Layout.t;
+  to_layout : Layout.t;
+  cost : float;  (** seconds *)
+}
+
+type selection = {
+  forward : choice list;
+  backward : choice list;
+  transposes : transpose list;
+  layouts : (string * Layout.t) list;  (** every container fixed *)
+  forward_time : float;  (** forward kernels + transposes, s *)
+  backward_time : float;
+  total_time : float;
+  sum_best_forward : float;  (** per-op unconstrained lower bound *)
+}
+
+(** [select db] runs selection over the database's program (which should be
+    the fused program). *)
+val select : Perfdb.t -> selection
+
+(** [greedy db] is the ablation baseline: each operator takes its
+    unconstrained best configuration and transposes are inserted wherever
+    consecutive choices disagree on a boundary layout. *)
+val greedy : Perfdb.t -> selection
+
+(** [graph_dot ?max_ops db] renders the selection graph (Fig. 6) for the
+    first [max_ops] operators (default 2: the QKV projection and AIB). *)
+val graph_dot : ?max_ops:int -> Perfdb.t -> string
+
+val pp_selection : Format.formatter -> selection -> unit

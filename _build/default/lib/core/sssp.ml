@@ -1,0 +1,104 @@
+type 'a t = {
+  mutable labels : 'a array;
+  mutable size : int;
+  mutable edges : (int * int * float) list;
+  mutable adjacency : (int * float) list array option; (* cache *)
+}
+
+let create () = { labels = [||]; size = 0; edges = []; adjacency = None }
+
+let add_node g label =
+  if g.size = Array.length g.labels then begin
+    let capacity = max 8 (2 * g.size) in
+    let grown = Array.make capacity label in
+    Array.blit g.labels 0 grown 0 g.size;
+    g.labels <- grown
+  end;
+  g.labels.(g.size) <- label;
+  g.size <- g.size + 1;
+  g.adjacency <- None;
+  g.size - 1
+
+let check_node g n =
+  if n < 0 || n >= g.size then invalid_arg "Sssp: node id out of range"
+
+let add_edge g ~src ~dst weight =
+  check_node g src;
+  check_node g dst;
+  if weight < 0.0 then invalid_arg "Sssp.add_edge: negative weight";
+  g.edges <- (src, dst, weight) :: g.edges;
+  g.adjacency <- None
+
+let label g n =
+  check_node g n;
+  g.labels.(n)
+
+let node_count g = g.size
+let edge_count g = List.length g.edges
+
+let adjacency g =
+  match g.adjacency with
+  | Some adj -> adj
+  | None ->
+      let adj = Array.make (max 1 g.size) [] in
+      List.iter (fun (s, d, w) -> adj.(s) <- (d, w) :: adj.(s)) g.edges;
+      g.adjacency <- Some adj;
+      adj
+
+let shortest_path g ~src ~dst =
+  check_node g src;
+  check_node g dst;
+  let adj = adjacency g in
+  let dist = Array.make g.size infinity in
+  let prev = Array.make g.size (-1) in
+  let visited = Array.make g.size false in
+  dist.(src) <- 0.0;
+  let next_unvisited () =
+    let best = ref (-1) in
+    for i = 0 to g.size - 1 do
+      if (not visited.(i)) && dist.(i) < infinity
+         && (!best = -1 || dist.(i) < dist.(!best))
+      then best := i
+    done;
+    if !best = -1 then None else Some !best
+  in
+  let rec loop () =
+    match next_unvisited () with
+    | None -> ()
+    | Some u ->
+        visited.(u) <- true;
+        if u <> dst then begin
+          List.iter
+            (fun (v, w) ->
+              if dist.(u) +. w < dist.(v) then begin
+                dist.(v) <- dist.(u) +. w;
+                prev.(v) <- u
+              end)
+            adj.(u);
+          loop ()
+        end
+  in
+  loop ();
+  if dist.(dst) = infinity then None
+  else begin
+    let rec path acc n = if n = src then src :: acc else path (n :: acc) prev.(n) in
+    Some (dist.(dst), path [] dst)
+  end
+
+let brute_force g ~src ~dst =
+  let adj = adjacency g in
+  let best = ref None in
+  let rec explore node cost path =
+    if node = dst then begin
+      match !best with
+      | Some (c, _) when c <= cost -> ()
+      | _ -> best := Some (cost, List.rev path)
+    end
+    else
+      List.iter
+        (fun (v, w) ->
+          if not (List.mem v path) then explore v (cost +. w) (v :: path))
+        adj.(node)
+  in
+  explore src 0.0 [ src ];
+  !best

@@ -1,0 +1,31 @@
+(** Single-source shortest path over labelled directed graphs.
+
+    The configuration-selection step (paper §VI-A, Fig. 6) builds a DAG
+    whose nodes are (dataflow boundary, layout) pairs and whose edge
+    weights are measured kernel times, then runs SSSP from the source to
+    the sink. Weights are non-negative, so Dijkstra's algorithm applies;
+    the graphs are small (hundreds of nodes), so a simple array-scan
+    priority selection suffices. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** [add_node g label] returns the new node's id. *)
+val add_node : 'a t -> 'a -> int
+
+(** [add_edge g ~src ~dst weight] adds a directed edge; negative weights are
+    rejected. *)
+val add_edge : 'a t -> src:int -> dst:int -> float -> unit
+
+val label : 'a t -> int -> 'a
+val node_count : 'a t -> int
+val edge_count : 'a t -> int
+
+(** [shortest_path g ~src ~dst] returns the total weight and the node list
+    from [src] to [dst] inclusive, or [None] if unreachable. *)
+val shortest_path : 'a t -> src:int -> dst:int -> (float * int list) option
+
+(** [brute_force g ~src ~dst] enumerates all simple paths — exponential, for
+    testing SSSP on small graphs only. *)
+val brute_force : 'a t -> src:int -> dst:int -> (float * int list) option

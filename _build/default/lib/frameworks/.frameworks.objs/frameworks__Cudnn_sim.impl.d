@@ -1,0 +1,1 @@
+lib/frameworks/cudnn_sim.ml: Executor Gpu List Ops Sdfg Transformer

@@ -1,0 +1,1 @@
+lib/frameworks/cudnn_sim.mli: Executor Gpu Transformer

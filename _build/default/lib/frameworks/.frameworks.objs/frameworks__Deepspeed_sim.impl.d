@@ -1,0 +1,1 @@
+lib/frameworks/deepspeed_sim.ml: Executor List Ops Substation Transformer

@@ -1,0 +1,1 @@
+lib/frameworks/deepspeed_sim.mli: Executor Gpu Transformer

@@ -1,0 +1,1 @@
+lib/frameworks/executor.ml: Gpu List Ops Substation

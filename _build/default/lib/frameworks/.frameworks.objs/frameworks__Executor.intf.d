@@ -1,0 +1,1 @@
+lib/frameworks/executor.mli: Dense Gpu Ops

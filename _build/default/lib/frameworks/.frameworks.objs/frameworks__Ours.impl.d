@@ -1,0 +1,1 @@
+lib/frameworks/ours.ml: Executor Gpu List Ops Sdfg Substation Transformer

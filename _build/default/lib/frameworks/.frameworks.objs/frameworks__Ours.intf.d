@@ -1,0 +1,1 @@
+lib/frameworks/ours.mli: Executor Gpu Substation Transformer

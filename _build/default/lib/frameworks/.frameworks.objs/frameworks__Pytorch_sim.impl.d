@@ -1,0 +1,1 @@
+lib/frameworks/pytorch_sim.ml: Executor Ops Transformer

@@ -1,0 +1,1 @@
+lib/frameworks/pytorch_sim.mli: Executor Gpu Transformer

@@ -1,0 +1,1 @@
+lib/frameworks/xla_sim.ml: Executor Ops Substation Transformer

@@ -1,0 +1,1 @@
+lib/frameworks/xla_sim.mli: Executor Gpu Transformer

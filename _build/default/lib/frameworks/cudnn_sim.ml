@@ -1,0 +1,51 @@
+let name = "cuDNN"
+let dispatch = 0.0
+
+(* Rows processed per softmax kernel launch, observed behaviour of the
+   black-box implementation: two rows per launch forward, and separate
+   dgrad launches for softmax, scaling and masking backward. *)
+let fwd_rows_per_launch = 2
+let bwd_storm_factor = 5
+
+let softmax_storm ~name_ ~launches (hp : Transformer.Hparams.t) =
+  let beta_elems = hp.heads * hp.batch * hp.seq * hp.seq in
+  Gpu.Kernel.make ~name:name_ ~cls:Sdfg.Opclass.Normalization
+    ~flop:(6 * beta_elems) ~unit_:Gpu.Device.Fp16_simd ~compute_efficiency:0.3
+    ~launches
+    [
+      Gpu.Kernel.access ~efficiency:0.3 "beta" Gpu.Kernel.Read beta_elems;
+      Gpu.Kernel.access ~efficiency:0.3 "alpha" Gpu.Kernel.Write beta_elems;
+    ]
+
+let plan ~device hp =
+  let program =
+    Transformer.Mha.program ~variant:Transformer.Encoder.Qkv_separate hp
+  in
+  let fwd = Ops.Program.forward_ops program in
+  let bwd = Ops.Program.backward_ops program in
+  let not_softmax (op : Ops.Op.t) =
+    not (List.mem op.name [ "softmax"; "attn_dropout"; "softmax_dx"; "attn_dropout_dx" ])
+  in
+  let rows = hp.Transformer.Hparams.heads * hp.Transformer.Hparams.batch * hp.Transformer.Hparams.seq in
+  let fwd_kernels =
+    Executor.default_kernels ~quality:0.8 ~device program
+      (List.filter not_softmax fwd)
+    @ [ softmax_storm ~name_:"softmax_storm" ~launches:(rows / fwd_rows_per_launch) hp ]
+  in
+  let bwd_kernels =
+    Executor.default_kernels ~quality:0.8 ~device program
+      (List.filter not_softmax bwd)
+    @ [
+        softmax_storm ~name_:"softmax_dgrad_storm"
+          ~launches:(rows * bwd_storm_factor / fwd_rows_per_launch) hp;
+      ]
+  in
+  {
+    Executor.name;
+    program;
+    kernels_forward = fwd_kernels;
+    kernels_backward = bwd_kernels;
+    dispatch_overhead = dispatch;
+  }
+
+let report ~device hp = Executor.time_plan device (plan ~device hp)

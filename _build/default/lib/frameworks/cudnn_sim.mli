@@ -1,0 +1,14 @@
+(** cuDNN multi-head attention baseline (paper Table IV's "cuDNN" column).
+
+    cuDNN 7.6's experimental [cudnnMultiHeadAttnForward] is a black box the
+    paper could only profile: its runtime is dominated by "very large
+    numbers of softmax kernels". The model reproduces that failure mode: a
+    per-row-block softmax kernel storm whose launch overhead (tens of
+    thousands of launches) swamps the attention GEMMs, yielding runtimes
+    two orders of magnitude above the other implementations. Only the MHA
+    workload is supported, as in the paper. *)
+
+val name : string
+
+val plan : device:Gpu.Device.t -> Transformer.Hparams.t -> Executor.plan
+val report : device:Gpu.Device.t -> Transformer.Hparams.t -> Executor.report

@@ -1,0 +1,35 @@
+let name = "DeepSpeed"
+let dispatch = 1.0e-6
+
+let tuned_kernels ~device program ops =
+  List.map
+    (fun (op : Ops.Op.t) ->
+      let config = Substation.Config_space.tuned_default_config ~device program op in
+      (Substation.Config_space.measure ~device program op config)
+        .Substation.Config_space.kernel)
+    ops
+
+let plan ~device ~workload hp =
+  let program, table =
+    match (workload : Executor.workload) with
+    | Executor.Encoder_layer ->
+        ( Transformer.Encoder.program_with ~variant:Transformer.Encoder.Qkv_fused
+            hp,
+          Transformer.Encoder.kernel_names )
+    | Executor.Mha_block ->
+        ( Transformer.Mha.program ~variant:Transformer.Encoder.Qkv_fused hp,
+          Transformer.Mha.kernel_names )
+  in
+  let fused = Substation.Fusion.fuse ~name_table:table program in
+  let fwd = Ops.Program.forward_ops fused in
+  let bwd = Ops.Program.backward_ops fused in
+  {
+    Executor.name;
+    program = fused;
+    kernels_forward = tuned_kernels ~device fused fwd;
+    kernels_backward = tuned_kernels ~device fused bwd;
+    dispatch_overhead = dispatch;
+  }
+
+let report ~device ~workload hp =
+  Executor.time_plan device (plan ~device ~workload hp)

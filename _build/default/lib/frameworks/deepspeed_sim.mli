@@ -1,0 +1,17 @@
+(** DeepSpeed-like baseline (paper's "DS" columns).
+
+    The closest competitor: a manually-optimized BERT library with full
+    kernel fusion, algebraic Q/K/V fusion and hand-tuned GEMM algorithm
+    choices — but one fixed, hand-picked data layout rather than the
+    recipe's per-operator global layout optimization. That remaining gap is
+    exactly the paper's 1.08x. *)
+
+val name : string
+
+val plan :
+  device:Gpu.Device.t -> workload:Executor.workload -> Transformer.Hparams.t
+  -> Executor.plan
+
+val report :
+  device:Gpu.Device.t -> workload:Executor.workload -> Transformer.Hparams.t
+  -> Executor.report

@@ -1,0 +1,51 @@
+type workload = Encoder_layer | Mha_block
+
+type plan = {
+  name : string;
+  program : Ops.Program.t;
+  kernels_forward : Gpu.Kernel.t list;
+  kernels_backward : Gpu.Kernel.t list;
+  dispatch_overhead : float;
+}
+
+type report = {
+  plan : plan;
+  forward : Gpu.Simulator.run;
+  backward : Gpu.Simulator.run;
+  forward_time : float;
+  backward_time : float;
+}
+
+let total_time r = r.forward_time +. r.backward_time
+
+let launches kernels =
+  List.fold_left (fun acc (k : Gpu.Kernel.t) -> acc + k.launches) 0 kernels
+
+let time_plan device plan =
+  let forward = Gpu.Simulator.run device plan.kernels_forward in
+  let backward = Gpu.Simulator.run device plan.kernels_backward in
+  {
+    plan;
+    forward;
+    backward;
+    forward_time =
+      forward.Gpu.Simulator.total_time
+      +. (plan.dispatch_overhead *. float_of_int (launches plan.kernels_forward));
+    backward_time =
+      backward.Gpu.Simulator.total_time
+      +. (plan.dispatch_overhead *. float_of_int (launches plan.kernels_backward));
+  }
+
+let run_functional plan inputs = Ops.Program.run plan.program inputs
+
+let default_kernels ?quality ~device program ops =
+  List.map
+    (fun (op : Ops.Op.t) ->
+      let config = Substation.Config_space.default_config program op in
+      (Substation.Config_space.measure ?quality ~device program op config)
+        .Substation.Config_space.kernel)
+    ops
+
+let workload_to_string = function
+  | Encoder_layer -> "BERT encoder layer"
+  | Mha_block -> "multi-head attention"

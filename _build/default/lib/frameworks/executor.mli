@@ -1,0 +1,40 @@
+(** Execution plans: a functional program paired with the kernel stream a
+    framework would launch for it, plus per-kernel dispatch overhead.
+
+    All baselines and the recipe-optimized implementation reduce to plans,
+    so they are timed by the same simulator and can be checked for
+    numerical agreement through the same interpreter. *)
+
+type workload = Encoder_layer | Mha_block
+
+type plan = {
+  name : string;
+  program : Ops.Program.t;  (** functional semantics *)
+  kernels_forward : Gpu.Kernel.t list;
+  kernels_backward : Gpu.Kernel.t list;
+  dispatch_overhead : float;  (** CPU-side cost per kernel, s *)
+}
+
+type report = {
+  plan : plan;
+  forward : Gpu.Simulator.run;
+  backward : Gpu.Simulator.run;
+  forward_time : float;  (** kernels + dispatch, s *)
+  backward_time : float;
+}
+
+val total_time : report -> float
+
+(** [time_plan device plan] runs the kernel stream through the simulator. *)
+val time_plan : Gpu.Device.t -> plan -> report
+
+(** [run_functional plan inputs] interprets the plan's program. *)
+val run_functional : plan -> (string * Dense.t) list -> Ops.Op.env
+
+(** [default_kernels ?quality program ops ~device] builds one kernel per
+    operator using the framework-natural configuration. *)
+val default_kernels :
+  ?quality:float -> device:Gpu.Device.t -> Ops.Program.t -> Ops.Op.t list
+  -> Gpu.Kernel.t list
+
+val workload_to_string : workload -> string

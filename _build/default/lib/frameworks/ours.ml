@@ -1,0 +1,58 @@
+let name = "Ours"
+let dispatch = 1.0e-6
+
+type result = { plan : Executor.plan; recipe : Substation.Recipe.result }
+
+let transpose_kernel (t : Substation.Selector.transpose) program =
+  let vol c =
+    List.fold_left (fun a (_, d) -> a * d) 1 (Ops.Program.container_dims program c)
+  in
+  let accesses =
+    List.concat_map
+      (fun c ->
+        [
+          Gpu.Kernel.access ~efficiency:0.85 c Gpu.Kernel.Read (vol c);
+          Gpu.Kernel.access ~efficiency:0.85 (c ^ "'") Gpu.Kernel.Write (vol c);
+        ])
+      t.Substation.Selector.containers
+  in
+  Gpu.Kernel.make ~name:"transpose" ~cls:Sdfg.Opclass.Elementwise ~flop:0
+    ~unit_:Gpu.Device.Fp16_simd ~compute_efficiency:0.5 accesses
+
+let optimize ~device ~workload hp =
+  let program, table =
+    match (workload : Executor.workload) with
+    | Executor.Encoder_layer ->
+        ( Transformer.Encoder.program_with ~variant:Transformer.Encoder.Qkv_fused
+            hp,
+          Transformer.Encoder.kernel_names )
+    | Executor.Mha_block ->
+        ( Transformer.Mha.program ~variant:Transformer.Encoder.Qkv_fused hp,
+          Transformer.Mha.kernel_names )
+  in
+  let recipe = Substation.Recipe.optimize ~name_table:table ~device program in
+  let sel = recipe.Substation.Recipe.selection in
+  let kernels choices =
+    List.map
+      (fun (c : Substation.Selector.choice) ->
+        c.measured.Substation.Config_space.kernel)
+      choices
+  in
+  let transposes =
+    List.map
+      (fun t -> transpose_kernel t recipe.Substation.Recipe.fused)
+      sel.Substation.Selector.transposes
+  in
+  let plan =
+    {
+      Executor.name;
+      program = recipe.Substation.Recipe.fused;
+      kernels_forward = kernels sel.Substation.Selector.forward @ transposes;
+      kernels_backward = kernels sel.Substation.Selector.backward;
+      dispatch_overhead = dispatch;
+    }
+  in
+  { plan; recipe }
+
+let plan ~device ~workload hp = (optimize ~device ~workload hp).plan
+let report ~device ~workload hp = Executor.time_plan device (plan ~device ~workload hp)

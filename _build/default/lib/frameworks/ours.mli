@@ -1,0 +1,24 @@
+(** The recipe-optimized implementation (paper's "Ours" columns).
+
+    Runs the full pipeline — maximal fusion, algebraic Q/K/V fusion,
+    exhaustive configuration measurement, SSSP configuration selection with
+    backward inference — and emits the selected kernel stream, including
+    any transposes the global selection decided to pay for. *)
+
+val name : string
+
+type result = {
+  plan : Executor.plan;
+  recipe : Substation.Recipe.result;
+}
+
+val optimize :
+  device:Gpu.Device.t -> workload:Executor.workload -> Transformer.Hparams.t -> result
+
+val plan :
+  device:Gpu.Device.t -> workload:Executor.workload -> Transformer.Hparams.t
+  -> Executor.plan
+
+val report :
+  device:Gpu.Device.t -> workload:Executor.workload -> Transformer.Hparams.t
+  -> Executor.report

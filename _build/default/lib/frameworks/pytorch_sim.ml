@@ -1,0 +1,25 @@
+let name = "PyTorch"
+let quality = 0.72
+let dispatch = 3.0e-6
+
+let program_for workload hp =
+  match (workload : Executor.workload) with
+  | Executor.Encoder_layer ->
+      Transformer.Encoder.program_with ~variant:Transformer.Encoder.Qkv_fused hp
+  | Executor.Mha_block ->
+      Transformer.Mha.program ~variant:Transformer.Encoder.Qkv_fused hp
+
+let plan ~device ~workload hp =
+  let program = program_for workload hp in
+  let fwd = Ops.Program.forward_ops program in
+  let bwd = Ops.Program.backward_ops program in
+  {
+    Executor.name;
+    program;
+    kernels_forward = Executor.default_kernels ~quality ~device program fwd;
+    kernels_backward = Executor.default_kernels ~quality ~device program bwd;
+    dispatch_overhead = dispatch;
+  }
+
+let report ~device ~workload hp =
+  Executor.time_plan device (plan ~device ~workload hp)

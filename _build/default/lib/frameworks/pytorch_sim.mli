@@ -1,0 +1,22 @@
+(** PyTorch-like baseline (paper's "PT" columns).
+
+    Models PyTorch 1.5's built-in transformer implementation as the paper
+    characterizes it: the Q/K/V algebraic fusion is performed, data layouts
+    are the framework's fixed natural ones, GEMM algorithms come from the
+    cuBLAS heuristic, element-wise and normalization operators each launch
+    their own generic (non-layout-specialized) kernel, and eager execution
+    pays a per-kernel dispatch cost. *)
+
+val name : string
+
+(** Achievable fraction of specialized-kernel bandwidth for PyTorch's
+    generic kernels (calibrated against Table III's PT column). *)
+val quality : float
+
+val plan :
+  device:Gpu.Device.t -> workload:Executor.workload -> Transformer.Hparams.t
+  -> Executor.plan
+
+val report :
+  device:Gpu.Device.t -> workload:Executor.workload -> Transformer.Hparams.t
+  -> Executor.report

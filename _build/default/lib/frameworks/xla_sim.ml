@@ -1,0 +1,28 @@
+let name = "TF+XLA"
+let quality = 0.82
+let dispatch = 1.0e-6
+
+let plan ~device ~workload hp =
+  let program, table =
+    match (workload : Executor.workload) with
+    | Executor.Encoder_layer ->
+        ( Transformer.Encoder.program_with
+            ~variant:Transformer.Encoder.Qkv_separate hp,
+          Transformer.Encoder.kernel_names )
+    | Executor.Mha_block ->
+        ( Transformer.Mha.program ~variant:Transformer.Encoder.Qkv_separate hp,
+          Transformer.Mha.kernel_names )
+  in
+  let fused = Substation.Fusion.fuse ~name_table:table program in
+  let fwd = Ops.Program.forward_ops fused in
+  let bwd = Ops.Program.backward_ops fused in
+  {
+    Executor.name;
+    program = fused;
+    kernels_forward = Executor.default_kernels ~quality ~device fused fwd;
+    kernels_backward = Executor.default_kernels ~quality ~device fused bwd;
+    dispatch_overhead = dispatch;
+  }
+
+let report ~device ~workload hp =
+  Executor.time_plan device (plan ~device ~workload hp)

@@ -1,0 +1,18 @@
+(** TensorFlow + XLA baseline (paper's "TF+XLA" columns).
+
+    XLA's automatic fusion finds the same element-wise/normalization fusion
+    opportunities as the recipe (paper §VI-C), so the plan runs the *fused*
+    program — but it performs no algebraic Q/K/V fusion, keeps the
+    framework's fixed data layouts, and uses the cuBLAS heuristic for
+    contractions. Compiled execution keeps dispatch cheap. *)
+
+val name : string
+val quality : float
+
+val plan :
+  device:Gpu.Device.t -> workload:Executor.workload -> Transformer.Hparams.t
+  -> Executor.plan
+
+val report :
+  device:Gpu.Device.t -> workload:Executor.workload -> Transformer.Hparams.t
+  -> Executor.report

@@ -1,0 +1,1 @@
+lib/gpu/cost_model.ml: Device Float Format Kernel List

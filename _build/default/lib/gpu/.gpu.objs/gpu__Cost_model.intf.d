@@ -1,0 +1,1 @@
+lib/gpu/cost_model.mli: Device Format Kernel

@@ -1,0 +1,1 @@
+lib/gpu/gemm_model.ml: Device Float Int64 Kernel List Printf Prng Sdfg

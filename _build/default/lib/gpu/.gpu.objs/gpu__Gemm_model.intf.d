@@ -1,0 +1,1 @@
+lib/gpu/gemm_model.mli: Device Kernel

@@ -1,0 +1,1 @@
+lib/gpu/kernel.ml: Device Format List Sdfg

@@ -1,0 +1,1 @@
+lib/gpu/mue.ml: Cost_model Device Float Kernel

@@ -1,0 +1,1 @@
+lib/gpu/mue.mli: Cost_model Device

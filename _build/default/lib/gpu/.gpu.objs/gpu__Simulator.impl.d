@@ -1,0 +1,1 @@
+lib/gpu/simulator.ml: Cost_model Device Format Kernel List Sdfg

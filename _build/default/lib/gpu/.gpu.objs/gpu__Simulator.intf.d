@@ -1,0 +1,1 @@
+lib/gpu/simulator.mli: Cost_model Device Format Kernel Sdfg

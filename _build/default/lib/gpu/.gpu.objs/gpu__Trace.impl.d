@@ -1,0 +1,1 @@
+lib/gpu/trace.ml: Buffer Char Cost_model Fun Kernel List Printf Sdfg Simulator String

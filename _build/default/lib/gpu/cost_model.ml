@@ -1,0 +1,64 @@
+type bound_kind = Compute_bound | Memory_bound | Overhead_bound
+
+type timing = {
+  kernel : Kernel.t;
+  compute_time : float;
+  memory_time : float;
+  overhead : float;
+  time : float;
+  achieved_bandwidth : float;
+  achieved_flops : float;
+  pct_of_peak : float;
+  bound : bound_kind;
+}
+
+let time (dev : Device.t) (k : Kernel.t) =
+  let peak = Device.peak_for dev k.unit_ in
+  let compute_time =
+    if k.flop = 0 then 0.0
+    else float_of_int k.flop /. (peak *. k.compute_efficiency)
+  in
+  let memory_time =
+    List.fold_left
+      (fun acc (a : Kernel.access) ->
+        acc
+        +. float_of_int (a.elems * a.bytes_per_elem)
+           /. (dev.mem_bandwidth *. a.efficiency))
+      0.0 k.accesses
+  in
+  let overhead = float_of_int k.launches *. dev.launch_overhead in
+  let busy = Float.max compute_time memory_time in
+  let time = busy +. overhead in
+  let bytes = float_of_int (Kernel.bytes_moved k) in
+  let bound =
+    if overhead > busy then Overhead_bound
+    else if compute_time >= memory_time then Compute_bound
+    else Memory_bound
+  in
+  {
+    kernel = k;
+    compute_time;
+    memory_time;
+    overhead;
+    time;
+    achieved_bandwidth = (if time > 0.0 then bytes /. time else 0.0);
+    achieved_flops = (if time > 0.0 then float_of_int k.flop /. time else 0.0);
+    pct_of_peak =
+      (if time > 0.0 && peak > 0.0 then
+         float_of_int k.flop /. time /. peak *. 100.0
+       else 0.0);
+    bound;
+  }
+
+let total dev kernels =
+  List.fold_left (fun acc k -> acc +. (time dev k).time) 0.0 kernels
+
+let bound_to_string = function
+  | Compute_bound -> "compute-bound"
+  | Memory_bound -> "memory-bound"
+  | Overhead_bound -> "overhead-bound"
+
+let pp_timing ppf t =
+  Format.fprintf ppf "%-24s %8.1f us (%s, %.1f%% peak, %.0f GB/s)"
+    t.kernel.Kernel.name (t.time *. 1e6) (bound_to_string t.bound) t.pct_of_peak
+    (t.achieved_bandwidth /. 1e9)

@@ -1,0 +1,31 @@
+(** Roofline-style kernel timing.
+
+    [time = max(compute_time, memory_time) + launches * launch_overhead]
+
+    where [compute_time = flop / (unit peak * compute_efficiency)] and
+    [memory_time] sums each access stream's [bytes / (peak bw * efficiency)].
+    This reproduces the paper's central observation mechanically: operators
+    whose flop/byte ratio is below the device's balance point are timed by
+    data movement, and layout changes act through the access efficiencies. *)
+
+type bound_kind = Compute_bound | Memory_bound | Overhead_bound
+
+type timing = {
+  kernel : Kernel.t;
+  compute_time : float;  (** s *)
+  memory_time : float;  (** s *)
+  overhead : float;  (** s *)
+  time : float;  (** total = max(compute, memory) + overhead *)
+  achieved_bandwidth : float;  (** bytes_moved / time *)
+  achieved_flops : float;  (** flop / time *)
+  pct_of_peak : float;  (** achieved_flops / unit peak * 100 *)
+  bound : bound_kind;
+}
+
+val time : Device.t -> Kernel.t -> timing
+
+(** [total dev kernels] sums kernel times. *)
+val total : Device.t -> Kernel.t list -> float
+
+val bound_to_string : bound_kind -> string
+val pp_timing : Format.formatter -> timing -> unit

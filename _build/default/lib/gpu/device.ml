@@ -1,0 +1,55 @@
+type t = {
+  name : string;
+  mem_bandwidth : float;
+  tensor_core_peak : float;
+  fp16_peak : float;
+  fp32_peak : float;
+  launch_overhead : float;
+  warp_size : int;
+  vector_bytes : int;
+  sm_count : int;
+}
+
+let v100 =
+  {
+    name = "V100-SXM2-16GB";
+    mem_bandwidth = 900e9;
+    tensor_core_peak = 125e12;
+    fp16_peak = 31.4e12;
+    fp32_peak = 15.7e12;
+    launch_overhead = 4.0e-6;
+    warp_size = 32;
+    vector_bytes = 16;
+    sm_count = 80;
+  }
+
+let a100 =
+  {
+    name = "A100-SXM4-40GB";
+    mem_bandwidth = 1555e9;
+    tensor_core_peak = 312e12;
+    fp16_peak = 78e12;
+    fp32_peak = 19.5e12;
+    launch_overhead = 4.0e-6;
+    warp_size = 32;
+    vector_bytes = 16;
+    sm_count = 108;
+  }
+
+type compute_unit = Tensor_core | Fp16_simd | Fp32_simd
+
+let peak_for t = function
+  | Tensor_core -> t.tensor_core_peak
+  | Fp16_simd -> t.fp16_peak
+  | Fp32_simd -> t.fp32_peak
+
+let compute_unit_to_string = function
+  | Tensor_core -> "tensor cores"
+  | Fp16_simd -> "16-bit FPUs"
+  | Fp32_simd -> "32-bit FPUs"
+
+let pp ppf t =
+  Format.fprintf ppf "%s (%.0f GB/s, TC %.0f Tflop/s, FP16 %.1f Tflop/s)"
+    t.name (t.mem_bandwidth /. 1e9)
+    (t.tensor_core_peak /. 1e12)
+    (t.fp16_peak /. 1e12)

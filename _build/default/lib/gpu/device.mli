@@ -1,0 +1,34 @@
+(** Analytic GPU device models.
+
+    This is the substitution for the paper's Lassen V100 nodes (DESIGN.md §2):
+    a roofline-style device description exposing exactly the quantities the
+    paper's analysis relies on — peak memory bandwidth, tensor-core and FPU
+    peaks, kernel launch overhead, warp width and vector width. *)
+
+type t = {
+  name : string;
+  mem_bandwidth : float;  (** peak DRAM bandwidth, bytes/s *)
+  tensor_core_peak : float;  (** FP16 tensor-core peak, flop/s *)
+  fp16_peak : float;  (** half-precision FPU peak, flop/s *)
+  fp32_peak : float;  (** single-precision FPU peak, flop/s *)
+  launch_overhead : float;  (** fixed cost per kernel launch, s *)
+  warp_size : int;
+  vector_bytes : int;  (** widest vectorized load/store, bytes *)
+  sm_count : int;
+}
+
+(** Nvidia V100 (SXM2 16 GB): 900 GB/s HBM2, 125 Tflop/s tensor cores,
+    31.4 Tflop/s FP16 — the paper's evaluation platform. *)
+val v100 : t
+
+(** Nvidia A100 (SXM 40 GB): 1555 GB/s, 312 Tflop/s tensor cores — used by
+    the device-sensitivity ablation: a faster compute unit makes training
+    even more memory-bound. *)
+val a100 : t
+
+(** [peak_for dev ~unit_] selects the peak flop/s of a compute unit. *)
+type compute_unit = Tensor_core | Fp16_simd | Fp32_simd
+
+val peak_for : t -> compute_unit -> float
+val compute_unit_to_string : compute_unit -> string
+val pp : Format.formatter -> t -> unit

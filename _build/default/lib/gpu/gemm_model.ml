@@ -1,0 +1,171 @@
+type transpose = N | T
+type shape = { m : int; n : int; k : int; batch : int }
+
+type algo = {
+  algo_id : int;
+  tile_m : int;
+  tile_n : int;
+  tile_k : int;
+  split_k : int;
+  wasteful : bool;
+}
+
+let algorithms =
+  [
+    { algo_id = 0; tile_m = 128; tile_n = 128; tile_k = 32; split_k = 1; wasteful = false };
+    { algo_id = 1; tile_m = 128; tile_n = 64; tile_k = 32; split_k = 1; wasteful = false };
+    { algo_id = 2; tile_m = 64; tile_n = 128; tile_k = 32; split_k = 1; wasteful = false };
+    { algo_id = 3; tile_m = 64; tile_n = 64; tile_k = 32; split_k = 1; wasteful = false };
+    { algo_id = 4; tile_m = 64; tile_n = 64; tile_k = 64; split_k = 1; wasteful = false };
+    { algo_id = 5; tile_m = 256; tile_n = 128; tile_k = 32; split_k = 1; wasteful = false };
+    { algo_id = 6; tile_m = 128; tile_n = 128; tile_k = 64; split_k = 1; wasteful = false };
+    { algo_id = 7; tile_m = 128; tile_n = 128; tile_k = 32; split_k = 2; wasteful = false };
+    { algo_id = 8; tile_m = 64; tile_n = 64; tile_k = 32; split_k = 4; wasteful = false };
+    { algo_id = 9; tile_m = 32; tile_n = 32; tile_k = 32; split_k = 1; wasteful = false };
+    { algo_id = 10; tile_m = 128; tile_n = 128; tile_k = 32; split_k = 1; wasteful = true };
+    { algo_id = 11; tile_m = 64; tile_n = 64; tile_k = 32; split_k = 1; wasteful = true };
+  ]
+
+let flop { m; n; k; batch } = 2 * m * n * k * batch
+
+let ceil_div a b = (a + b - 1) / b
+
+(* Deterministic +-8% perturbation standing in for microarchitectural noise
+   (clock behaviour, L2 conflicts); keyed so it is stable across runs. *)
+let perturb ~use_tc shape ta tb algo =
+  let key =
+    Printf.sprintf "gemm:%d:%d:%d:%d:%b:%s%s:%d" shape.m shape.n shape.k
+      shape.batch use_tc
+      (match ta with N -> "n" | T -> "t")
+      (match tb with N -> "n" | T -> "t")
+      algo.algo_id
+  in
+  let bits = Prng.hash64 key in
+  let unit_ = Int64.to_float (Int64.shift_right_logical bits 11) /. 9007199254740992.0 in
+  0.92 +. (0.16 *. unit_)
+
+let compute_efficiency (dev : Device.t) ~use_tc shape ~ta ~tb algo =
+  let base = if use_tc then 0.80 else 0.85 in
+  (* Tile quantization: fraction of useful lanes in edge tiles. *)
+  let util d tile = float_of_int d /. float_of_int (tile * ceil_div d tile) in
+  let util_mn = util shape.m algo.tile_m *. util shape.n algo.tile_n in
+  (* Wave quantization: blocks vs. SMs; the final partial wave idles SMs. *)
+  let blocks =
+    ceil_div shape.m algo.tile_m * ceil_div shape.n algo.tile_n * shape.batch
+    * algo.split_k
+  in
+  let waves = float_of_int blocks /. float_of_int dev.sm_count in
+  let wave_util =
+    if waves >= 1.0 then waves /. Float.of_int (int_of_float (Float.ceil waves))
+    else waves
+  in
+  (* Main-loop depth: short K cannot hide tensor-core latency. *)
+  let k_per_split = max 1 (shape.k / algo.split_k) in
+  let k_depth =
+    float_of_int k_per_split /. float_of_int (k_per_split + (2 * algo.tile_k))
+  in
+  (* ILP: small tiles do less work per instruction issue. *)
+  let ilp =
+    Float.min 1.0 (sqrt (float_of_int (algo.tile_m * algo.tile_n)) /. 128.0)
+  in
+  let ilp = Float.max 0.35 ilp in
+  (* Split-K pays a partial-sum reduction. *)
+  let split_cost = 0.95 ** float_of_int (algo.split_k - 1) in
+  let transpose_factor =
+    match (ta, tb) with
+    | N, N -> 1.0
+    | N, T -> 0.98
+    | T, N -> 0.94
+    | T, T -> 0.90
+  in
+  let wasteful_factor = if algo.wasteful then 0.5 else 1.0 in
+  let eff =
+    base *. util_mn *. wave_util *. k_depth *. ilp *. split_cost
+    *. transpose_factor *. wasteful_factor
+    *. perturb ~use_tc shape ta tb algo
+  in
+  Float.max 1e-4 (Float.min 1.0 eff)
+
+let heuristic_algo ~use_tc:_ shape =
+  (* The static rule: a device-blind proxy balancing tile ILP against a
+     crude occupancy estimate (a nominal 80 SMs). It never considers
+     split-K, wave-quantization fractions, K-pipeline depth or operand
+     transposes — the blind spots that make it measurably suboptimal on
+     skinny shapes (paper §V-A: up to 14.24% at FP16). *)
+  let fits algo =
+    shape.m mod algo.tile_m = 0 && shape.n mod algo.tile_n = 0
+    && algo.split_k = 1 && not algo.wasteful
+  in
+  let proxy a =
+    let blocks = ceil_div shape.m a.tile_m * ceil_div shape.n a.tile_n * shape.batch in
+    let occupancy = Float.min 1.0 (float_of_int blocks /. 80.0) in
+    let ilp = Float.min 1.0 (sqrt (float_of_int (a.tile_m * a.tile_n)) /. 128.0) in
+    occupancy *. Float.max 0.35 ilp
+  in
+  let candidates = List.filter fits algorithms in
+  match candidates with
+  | [] -> List.nth algorithms 3 (* 64x64 fallback *)
+  | first :: rest ->
+      List.fold_left (fun best a -> if proxy a > proxy best then a else best)
+        first rest
+
+let best_algo dev ~use_tc shape ~ta ~tb =
+  match algorithms with
+  | [] -> assert false
+  | first :: rest ->
+      let score a =
+        (* Effective throughput: wasteful algorithms do 2x the flop, which
+           compute_efficiency already folds in via wasteful_factor. *)
+        compute_efficiency dev ~use_tc shape ~ta ~tb a
+      in
+      List.fold_left (fun best a -> if score a > score best then a else best)
+        first rest
+
+let heuristic_gap dev ~use_tc shape ~ta ~tb =
+  let eff_of a = compute_efficiency dev ~use_tc shape ~ta ~tb a in
+  let h = eff_of (heuristic_algo ~use_tc shape) in
+  let b = eff_of (best_algo dev ~use_tc shape ~ta ~tb) in
+  if h <= 0.0 then infinity else (b /. h) -. 1.0
+
+let kernel ~name shape ~ta ~tb ~use_tc ~algo ?(eff_a = 0.9) ?(eff_b = 0.9)
+    ?(eff_out = 0.9) ?(bytes_per_elem = 2) (dev : Device.t) =
+  let { m; n; k; batch } = shape in
+  let base_flop = flop shape in
+  (* Skinny batched GEMMs (a dimension of 64, as in QK^T and gamma) cannot
+     stream DRAM at full rate: per-matrix tiles are too small to amortize
+     TLB/row activation, the effect behind Table III's ~50% MUE ceiling on
+     the attention batched MMMs. *)
+  let small_dim_factor = if min m (min n k) < 128 then 0.72 else 1.0 in
+  let eff_a = eff_a *. small_dim_factor
+  and eff_b = eff_b *. small_dim_factor
+  and eff_out = eff_out *. small_dim_factor in
+  (* compute_efficiency already halves wasteful throughput, so timing the
+     *useful* flop against it charges exactly the 2x wasted work. *)
+  let eff = compute_efficiency dev ~use_tc shape ~ta ~tb algo in
+  let accesses =
+    [
+      Kernel.access ~bytes_per_elem ~efficiency:eff_a "A" Kernel.Read (m * k * batch);
+      Kernel.access ~bytes_per_elem ~efficiency:eff_b "B" Kernel.Read (k * n * batch);
+      Kernel.access ~bytes_per_elem ~efficiency:eff_out "C" Kernel.Write (m * n * batch);
+    ]
+  in
+  let split_traffic =
+    if algo.split_k > 1 then
+      [
+        Kernel.access ~bytes_per_elem:4 ~efficiency:eff_out "C_partials"
+          Kernel.Write ((algo.split_k - 1) * m * n * batch);
+        Kernel.access ~bytes_per_elem:4 ~efficiency:eff_out "C_partials_read"
+          Kernel.Read ((algo.split_k - 1) * m * n * batch);
+      ]
+    else []
+  in
+  let min_bytes = ((m * k) + (k * n) + (m * n)) * batch * bytes_per_elem in
+  Kernel.make ~name ~cls:Sdfg.Opclass.Contraction ~flop:base_flop
+    ~unit_:(if use_tc then Device.Tensor_core else Device.Fp16_simd)
+    ~compute_efficiency:eff ~min_bytes
+    (accesses @ split_traffic)
+
+let transpose_to_string = function N -> "N" | T -> "T"
+
+let shape_to_string { m; n; k; batch } =
+  Printf.sprintf "M: %d, N: %d, K: %d, B: %d" m n k batch

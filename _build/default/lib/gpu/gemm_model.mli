@@ -1,0 +1,80 @@
+(** Batched-GEMM performance model — the cuBLAS substitute (DESIGN.md §2).
+
+    cuBLAS exposes a family of algorithms per GEMM; the paper selects among
+    them manually via [cublasGemmEx] because the built-in heuristic is up to
+    14.24% off the best (§V-A). This model reproduces that structure: each
+    algorithm is a tiling strategy whose efficiency is shaped by
+
+    - tile quantization (partial tiles on the M/N edges),
+    - wave quantization (thread blocks vs. SM count),
+    - main-loop depth along K (short K starves the tensor-core pipeline —
+      the paper's observation that dimensions of 64 underutilize them),
+    - operand transposes (layouts),
+    - instruction-level parallelism (small tiles run at lower throughput),
+
+    plus a deterministic per-configuration perturbation standing in for
+    microarchitectural noise. A few algorithms are "wasteful": they perform
+    twice the necessary flop, like the defective cuBLAS algorithms the paper
+    found PyTorch calling (§VI-C). *)
+
+type transpose = N | T
+
+type shape = { m : int; n : int; k : int; batch : int }
+
+type algo = {
+  algo_id : int;
+  tile_m : int;
+  tile_n : int;
+  tile_k : int;
+  split_k : int;
+  wasteful : bool;
+}
+
+val algorithms : algo list
+val flop : shape -> int
+
+(** [compute_efficiency dev ~use_tc shape ~ta ~tb algo] is the achievable
+    fraction of the compute unit's peak, in (0, 1]. Includes the wasteful
+    factor (a wasteful algorithm's *effective* efficiency is halved). *)
+val compute_efficiency :
+  Device.t -> use_tc:bool -> shape -> ta:transpose -> tb:transpose -> algo
+  -> float
+
+(** [heuristic_algo ~use_tc shape] mimics the cuBLAS default: a static rule
+    (largest evenly-dividing tiles) that ignores wave quantization and
+    K-depth, hence is near-optimal for large square GEMMs and measurably
+    suboptimal for skinny ones. *)
+val heuristic_algo : use_tc:bool -> shape -> algo
+
+(** [best_algo dev ~use_tc shape ~ta ~tb] exhaustively searches
+    [algorithms], as the paper's recipe does through [cublasGemmEx]. *)
+val best_algo :
+  Device.t -> use_tc:bool -> shape -> ta:transpose -> tb:transpose -> algo
+
+(** [heuristic_gap dev ~use_tc shape ~ta ~tb] is
+    [(t_heuristic - t_best) / t_best]; the paper reports up to 14.24% at
+    half precision. *)
+val heuristic_gap :
+  Device.t -> use_tc:bool -> shape -> ta:transpose -> tb:transpose -> float
+
+(** [kernel ~name shape ...] assembles the full kernel descriptor. [eff_a],
+    [eff_b], [eff_out] are the operand access-stream efficiencies implied by
+    the chosen data layouts (computed by the layout logic upstream);
+    [bytes_per_elem] is 2 for FP16. Split-K algorithms pay extra partial-sum
+    traffic on the output. *)
+val kernel :
+  name:string ->
+  shape ->
+  ta:transpose ->
+  tb:transpose ->
+  use_tc:bool ->
+  algo:algo ->
+  ?eff_a:float ->
+  ?eff_b:float ->
+  ?eff_out:float ->
+  ?bytes_per_elem:int ->
+  Device.t ->
+  Kernel.t
+
+val transpose_to_string : transpose -> string
+val shape_to_string : shape -> string

@@ -1,0 +1,64 @@
+type direction = Read | Write
+
+type access = {
+  label : string;
+  elems : int;
+  bytes_per_elem : int;
+  dir : direction;
+  efficiency : float;
+}
+
+type t = {
+  name : string;
+  cls : Sdfg.Opclass.t;
+  flop : int;
+  unit_ : Device.compute_unit;
+  compute_efficiency : float;
+  accesses : access list;
+  launches : int;
+  min_bytes : int;
+}
+
+let access ?(bytes_per_elem = 2) ?(efficiency = 1.0) label dir elems =
+  if elems < 0 then invalid_arg "Kernel.access: negative element count";
+  if efficiency <= 0.0 || efficiency > 1.0 then
+    invalid_arg "Kernel.access: efficiency must be in (0, 1]";
+  { label; elems; bytes_per_elem; dir; efficiency }
+
+let access_bytes a = a.elems * a.bytes_per_elem
+
+let bytes_moved t =
+  List.fold_left (fun acc a -> acc + access_bytes a) 0 t.accesses
+
+let dir_bytes dir t =
+  List.fold_left
+    (fun acc a -> if a.dir = dir then acc + access_bytes a else acc)
+    0 t.accesses
+
+let read_bytes t = dir_bytes Read t
+let write_bytes t = dir_bytes Write t
+
+let make ~name ~cls ~flop ~unit_ ~compute_efficiency ?(launches = 1) ?min_bytes
+    accesses =
+  if compute_efficiency <= 0.0 || compute_efficiency > 1.0 then
+    invalid_arg "Kernel.make: compute efficiency must be in (0, 1]";
+  if launches < 1 then invalid_arg "Kernel.make: launches must be >= 1";
+  let t =
+    {
+      name;
+      cls;
+      flop;
+      unit_;
+      compute_efficiency;
+      accesses;
+      launches;
+      min_bytes = 0;
+    }
+  in
+  { t with min_bytes = (match min_bytes with Some b -> b | None -> bytes_moved t) }
+
+let pp ppf t =
+  Format.fprintf ppf "%s %s: %d flop on %s (eff %.2f), %d B moved, %d launch(es)"
+    (Sdfg.Opclass.symbol t.cls) t.name t.flop
+    (Device.compute_unit_to_string t.unit_)
+    t.compute_efficiency (bytes_moved t) t.launches

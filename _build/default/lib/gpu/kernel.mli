@@ -1,0 +1,54 @@
+(** Kernel descriptors consumed by the cost model.
+
+    A kernel is characterized by the work it does (flop on a compute unit at
+    some achievable efficiency) and the memory traffic it causes (a list of
+    tensor access streams, each with its own bandwidth efficiency derived
+    from the chosen data layout). The recipe's transformations — fusion,
+    layout change, algorithm selection — all act by producing different
+    kernel descriptors for the same logical operator. *)
+
+type direction = Read | Write
+
+type access = {
+  label : string;  (** tensor name, for reports *)
+  elems : int;
+  bytes_per_elem : int;  (** 2 for FP16 storage, 4 for FP32 *)
+  dir : direction;
+  efficiency : float;
+      (** achievable fraction of peak DRAM bandwidth for this stream,
+          in (0, 1]; encodes vectorization / coalescing quality *)
+}
+
+type t = {
+  name : string;
+  cls : Sdfg.Opclass.t;
+  flop : int;
+  unit_ : Device.compute_unit;
+  compute_efficiency : float;  (** fraction of the unit's peak, in (0, 1] *)
+  accesses : access list;
+  launches : int;  (** kernel launches; cuDNN-style storms have many *)
+  min_bytes : int;
+      (** theoretical I/O lower bound Q for MUE: bytes if only the unique
+          logical inputs/outputs were touched exactly once *)
+}
+
+val access : ?bytes_per_elem:int -> ?efficiency:float -> string -> direction
+  -> int -> access
+
+val bytes_moved : t -> int
+val read_bytes : t -> int
+val write_bytes : t -> int
+
+(** [make] builds a kernel; [min_bytes] defaults to [bytes_moved]. *)
+val make :
+  name:string ->
+  cls:Sdfg.Opclass.t ->
+  flop:int ->
+  unit_:Device.compute_unit ->
+  compute_efficiency:float ->
+  ?launches:int ->
+  ?min_bytes:int ->
+  access list ->
+  t
+
+val pp : Format.formatter -> t -> unit

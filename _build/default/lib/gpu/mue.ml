@@ -1,0 +1,11 @@
+let mue (dev : Device.t) (t : Cost_model.timing) =
+  let d = float_of_int (Kernel.bytes_moved t.kernel) in
+  if d <= 0.0 then 0.0
+  else begin
+    let q = float_of_int t.kernel.Kernel.min_bytes in
+    let io_optimality = Float.min 1.0 (q /. d) in
+    let bw_fraction = t.achieved_bandwidth /. dev.mem_bandwidth in
+    io_optimality *. bw_fraction *. 100.0
+  end
+
+let is_memory_bound dev t = mue dev t > t.Cost_model.pct_of_peak

@@ -1,0 +1,13 @@
+(** Memory Usage Efficiency (paper §III-C, after Fuhrer et al.).
+
+    MUE = Q/D * B/B^ * 100, where Q is the theoretical I/O lower bound of
+    the computation, D the bytes the implementation actually moves, B the
+    achieved bandwidth and B^ the peak. A kernel that moves only the
+    mandatory data at full bandwidth scores 100. The paper uses MUE > %peak
+    as the memory-bound test for each operator (Table III bolding rule). *)
+
+val mue : Device.t -> Cost_model.timing -> float
+
+(** [is_memory_bound dev timing] holds when the MUE exceeds the achieved
+    percent of compute peak — the paper's bolding rule in Table III. *)
+val is_memory_bound : Device.t -> Cost_model.timing -> bool

@@ -1,0 +1,49 @@
+type run = {
+  device : Device.t;
+  timings : Cost_model.timing list;
+  total_time : float;
+  total_flop : int;
+  total_bytes : int;
+}
+
+let run device kernels =
+  let timings = List.map (Cost_model.time device) kernels in
+  {
+    device;
+    timings;
+    total_time = List.fold_left (fun acc t -> acc +. t.Cost_model.time) 0.0 timings;
+    total_flop = List.fold_left (fun acc (k : Kernel.t) -> acc + k.flop) 0 kernels;
+    total_bytes =
+      List.fold_left (fun acc k -> acc + Kernel.bytes_moved k) 0 kernels;
+  }
+
+let class_runtime r =
+  List.map
+    (fun cls ->
+      let t =
+        List.fold_left
+          (fun acc (tm : Cost_model.timing) ->
+            if Sdfg.Opclass.equal tm.kernel.Kernel.cls cls then acc +. tm.time
+            else acc)
+          0.0 r.timings
+      in
+      (cls, t))
+    Sdfg.Opclass.all
+
+let class_runtime_share r =
+  let per_class = class_runtime r in
+  let total = List.fold_left (fun acc (_, t) -> acc +. t) 0.0 per_class in
+  List.map
+    (fun (cls, t) -> (cls, if total > 0.0 then t /. total else 0.0))
+    per_class
+
+let find r name =
+  List.find_opt (fun (t : Cost_model.timing) -> t.kernel.Kernel.name = name) r.timings
+
+let pp_run ppf r =
+  Format.fprintf ppf "@[<v>%d kernels, %.2f ms total, %.2f Gflop, %.1f MB moved@,"
+    (List.length r.timings) (r.total_time *. 1e3)
+    (float_of_int r.total_flop /. 1e9)
+    (float_of_int r.total_bytes /. 1e6);
+  List.iter (fun t -> Format.fprintf ppf "  %a@," Cost_model.pp_timing t) r.timings;
+  Format.fprintf ppf "@]"

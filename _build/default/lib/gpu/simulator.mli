@@ -1,0 +1,27 @@
+(** Sequential kernel-stream simulation.
+
+    Executes a list of kernel descriptors on a device model, producing per-
+    kernel timings, per-class runtime totals (Table I's runtime column) and
+    aggregate statistics. Kernels run back-to-back, as on a single CUDA
+    stream. *)
+
+type run = {
+  device : Device.t;
+  timings : Cost_model.timing list;
+  total_time : float;  (** s *)
+  total_flop : int;
+  total_bytes : int;
+}
+
+val run : Device.t -> Kernel.t list -> run
+
+(** [class_runtime run] sums time per operator class, in seconds. *)
+val class_runtime : run -> (Sdfg.Opclass.t * float) list
+
+(** [class_runtime_share run] is the same normalized to fractions. *)
+val class_runtime_share : run -> (Sdfg.Opclass.t * float) list
+
+(** [find run name] retrieves a kernel's timing by name. *)
+val find : run -> string -> Cost_model.timing option
+
+val pp_run : Format.formatter -> run -> unit

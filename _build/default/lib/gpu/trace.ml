@@ -1,0 +1,53 @@
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let event ~process ~start_us (timing : Cost_model.timing) =
+  let k = timing.Cost_model.kernel in
+  Printf.sprintf
+    {|{"name":"%s","cat":"%s","ph":"X","ts":%.3f,"dur":%.3f,"pid":1,"tid":1,"args":{"process":"%s","bound":"%s","pct_of_peak":%.2f,"achieved_GBps":%.1f,"bytes":%d,"flop":%d,"launches":%d}}|}
+    (escape k.Kernel.name)
+    (escape (Sdfg.Opclass.to_string k.Kernel.cls))
+    start_us
+    (timing.Cost_model.time *. 1e6)
+    (escape process)
+    (Cost_model.bound_to_string timing.Cost_model.bound)
+    timing.Cost_model.pct_of_peak
+    (timing.Cost_model.achieved_bandwidth /. 1e9)
+    (Kernel.bytes_moved k) k.Kernel.flop k.Kernel.launches
+
+let events_of_run ~process ~start_us (run : Simulator.run) =
+  let clock = ref start_us in
+  List.map
+    (fun (t : Cost_model.timing) ->
+      let e = event ~process ~start_us:!clock t in
+      clock := !clock +. (t.Cost_model.time *. 1e6);
+      e)
+    run.Simulator.timings
+
+let to_json ?(process = "simulated-gpu") run =
+  "[\n" ^ String.concat ",\n" (events_of_run ~process ~start_us:0.0 run) ^ "\n]\n"
+
+let combined ?(process = "simulated-gpu") ~forward ~backward () =
+  let fwd = events_of_run ~process:(process ^ ":forward") ~start_us:0.0 forward in
+  let start_bwd = forward.Simulator.total_time *. 1e6 in
+  let bwd =
+    events_of_run ~process:(process ^ ":backward") ~start_us:start_bwd backward
+  in
+  "[\n" ^ String.concat ",\n" (fwd @ bwd) ^ "\n]\n"
+
+let write_file ?process run path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_json ?process run))

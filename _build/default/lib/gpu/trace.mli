@@ -1,0 +1,19 @@
+(** Chrome-trace export of simulated kernel streams.
+
+    Serializes a {!Simulator.run} as a Chrome/Perfetto trace-event JSON
+    array (load in chrome://tracing or ui.perfetto.dev): one complete event
+    per kernel on a "GPU" track, with the operator class as the category and
+    the roofline diagnostics (bound kind, achieved bandwidth, % of peak,
+    MUE) as event arguments. Timestamps are microseconds from stream start,
+    kernels back-to-back, as the simulator schedules them. *)
+
+(** [to_json ?process run] renders the trace-event array. *)
+val to_json : ?process:string -> Simulator.run -> string
+
+(** [write_file ?process run path] writes the JSON to [path]. *)
+val write_file : ?process:string -> Simulator.run -> string -> unit
+
+(** [combined ~forward ~backward] renders both passes on one timeline,
+    backward following forward. *)
+val combined : ?process:string -> forward:Simulator.run
+  -> backward:Simulator.run -> unit -> string

@@ -1,0 +1,1 @@
+lib/ops/autodiff.ml: Dense Hashtbl List Op Program

@@ -1,0 +1,1 @@
+lib/ops/autodiff.mli: Dense Hashtbl Op Program

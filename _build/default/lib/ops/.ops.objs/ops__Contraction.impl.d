@@ -1,0 +1,1 @@
+lib/ops/contraction.ml: Axis Dense Einsum Iteration List Op Sdfg String

@@ -1,0 +1,1 @@
+lib/ops/contraction.mli: Axis Op

@@ -1,0 +1,1 @@
+lib/ops/elementwise.ml: Dense Float Iteration List Op Prng Sdfg

@@ -1,0 +1,1 @@
+lib/ops/elementwise.mli: Axis Dense Op

@@ -1,0 +1,1 @@
+lib/ops/iteration.ml: Axis Format List Stdlib

@@ -1,0 +1,1 @@
+lib/ops/iteration.mli: Axis Format

@@ -1,0 +1,1 @@
+lib/ops/memory.ml: Array Format Hashtbl List Op Program

@@ -1,0 +1,1 @@
+lib/ops/memory.mli: Format Program

@@ -1,0 +1,1 @@
+lib/ops/normalization.ml: Axis Dense Iteration List Op Sdfg Shape

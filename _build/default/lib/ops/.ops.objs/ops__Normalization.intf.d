@@ -1,0 +1,1 @@
+lib/ops/normalization.mli: Axis Dense Op

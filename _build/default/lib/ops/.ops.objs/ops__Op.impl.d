@@ -1,0 +1,1 @@
+lib/ops/op.ml: Axis Dense Format Hashtbl Iteration List Sdfg

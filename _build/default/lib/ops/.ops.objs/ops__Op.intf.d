@@ -1,0 +1,1 @@
+lib/ops/op.mli: Axis Dense Format Hashtbl Iteration Sdfg

@@ -1,0 +1,1 @@
+lib/ops/program.ml: Axis List Op Printf Sdfg Shape String

@@ -1,0 +1,1 @@
+lib/ops/program.mli: Axis Dense Op Sdfg

@@ -1,0 +1,40 @@
+let backward (program : Program.t) ~env ~seeds =
+  let cotangents : (string, Dense.t) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun (c, v) -> Hashtbl.replace cotangents c v) seeds;
+  let accumulate (c, contribution) =
+    match Hashtbl.find_opt cotangents c with
+    | None -> Hashtbl.replace cotangents c contribution
+    | Some existing -> Hashtbl.replace cotangents c (Dense.add existing contribution)
+  in
+  let forward_ops =
+    List.filter (fun (o : Op.t) -> not o.backward) program.Program.ops
+  in
+  List.iter
+    (fun (op : Op.t) ->
+      let cots =
+        List.filter_map
+          (fun w ->
+            match Hashtbl.find_opt cotangents w with
+            | Some c -> Some (w, c)
+            | None -> None)
+          op.writes
+      in
+      if cots <> [] then begin
+        match op.vjp with
+        | None ->
+            invalid_arg
+              ("Autodiff.backward: operator has no VJP rule: " ^ op.name)
+        | Some rule -> List.iter accumulate (rule ~cotangents:cots env)
+      end)
+    (List.rev forward_ops);
+  cotangents
+
+let grad_opt cotangents name = Hashtbl.find_opt cotangents name
+
+let grad cotangents name =
+  match grad_opt cotangents name with
+  | Some g -> g
+  | None ->
+      invalid_arg
+        ("Autodiff.grad: no gradient reached container " ^ name
+       ^ " (is it part of the forward dataflow?)")

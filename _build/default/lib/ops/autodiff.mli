@@ -1,0 +1,30 @@
+(** Reverse-mode automatic differentiation over operator programs.
+
+    The paper's DaCe workflow derives backpropagation from the forward
+    dataflow graph; this module does the same over {!Program} values: every
+    forward operator carries a vector-Jacobian-product rule ({!Op.vjp}), and
+    [backward] walks the forward schedule in reverse, accumulating
+    cotangents per container.
+
+    This gives the repository a second, independent implementation of
+    backpropagation: the hand-derived backward operator programs (used by
+    the performance pipeline, mirroring the paper's Table III rows) are
+    validated against it in the test suite. *)
+
+(** [backward program ~env ~seeds] differentiates the program's forward
+    operators. [env] must already contain all forward values (run the
+    forward pass first); [seeds] are the output cotangents (e.g.
+    [("y", d_y)]). Returns the cotangent of every container reached by the
+    reverse sweep.
+
+    Raises [Invalid_argument] if a needed operator lacks a VJP rule. *)
+val backward :
+  Program.t -> env:Op.env -> seeds:(string * Dense.t) list
+  -> (string, Dense.t) Hashtbl.t
+
+(** [grad cotangents name] looks a gradient up, raising with a clear message
+    when the container was not reached. *)
+val grad : (string, Dense.t) Hashtbl.t -> string -> Dense.t
+
+(** [grad_opt cotangents name] is the non-raising variant. *)
+val grad_opt : (string, Dense.t) Hashtbl.t -> string -> Dense.t option

@@ -1,0 +1,41 @@
+(** Tensor-contraction operator constructors (paper class △).
+
+    Every contraction is expressed as an einsum and mapped onto a (batched)
+    GEMM, as the paper restricts itself to what cuBLAS supports. GEMM roles
+    are inferred from the einsum: batch axes appear in both operands and the
+    output, contracted (K) axes in both operands only, M axes in operand A
+    and the output, N axes in operand B and the output.
+
+    [grouped] builds the algebraically-fused variants of §IV-D: several
+    structurally identical einsums executed as one GEMM on stacked operands
+    (e.g. [W_Q W_K W_V] X). [group_role] says which GEMM dimension the
+    stacking multiplies; [accumulate] sums the parts into a single output
+    (the dX case, X [dQ~ dK~ dV~]). *)
+
+type part = {
+  spec : string;  (** e.g. "phi,ibj->phbj" *)
+  inputs : string list;  (** container names, in spec operand order *)
+  output : string;
+  renames : (string * (Axis.t * Axis.t) list) list;
+      (** per-container axis renames applied before evaluation *)
+}
+
+val part :
+  ?renames:(string * (Axis.t * Axis.t) list) list -> spec:string
+  -> inputs:string list -> output:string -> unit -> part
+
+(** [einsum ~name ?scale ~dims p ()] builds a single-GEMM contraction; [dims]
+    must cover every axis in the (post-rename) spec. *)
+val einsum :
+  name:string -> ?scale:float -> dims:(Axis.t * int) list -> ?backward:bool
+  -> part -> unit -> Op.t
+
+type group_role = Group_m | Group_n | Group_k
+
+val grouped :
+  name:string -> ?scale:float -> dims:(Axis.t * int) list -> ?backward:bool
+  -> group_role:group_role -> ?accumulate:bool -> part list -> unit -> Op.t
+
+(** [gemm_shape_of op] extracts (m, n, k, batch) extents for an operator of
+    kind [Gemm]; raises [Invalid_argument] otherwise. *)
+val gemm_shape_of : Op.t -> dims:(Axis.t * int) list -> int * int * int * int

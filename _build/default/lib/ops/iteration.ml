@@ -1,0 +1,58 @@
+type t = {
+  independent : (Axis.t * int) list;
+  reduction : (Axis.t * int) list;
+}
+
+let make ~independent ~reduction =
+  let axes = List.map fst (independent @ reduction) in
+  if not (Axis.distinct axes) then
+    invalid_arg "Iteration.make: repeated axis between independent and reduction";
+  List.iter
+    (fun (_, d) ->
+      if d <= 0 then invalid_arg "Iteration.make: extents must be positive")
+    (independent @ reduction);
+  { independent; reduction }
+
+let pure_map dims = make ~independent:dims ~reduction:[]
+
+let points t =
+  List.fold_left (fun acc (_, d) -> acc * d) 1 (t.independent @ t.reduction)
+
+let independent_sizes t = List.map snd t.independent
+let reduction_sizes t = List.map snd t.reduction
+let has_reduction t = t.reduction <> []
+
+(* Legality is judged on extent multisets: the loop order is itself an
+   implementation knob chosen later by configuration selection, so two
+   spaces that agree up to reordering can always be scheduled conformantly. *)
+let multiset l = List.sort Stdlib.compare l
+
+let same_independent ~a ~b =
+  multiset (independent_sizes a) = multiset (independent_sizes b)
+
+let compatible ~a ~b =
+  let ia = multiset (independent_sizes a)
+  and ra = multiset (reduction_sizes a)
+  and ib = multiset (independent_sizes b)
+  and rb = multiset (reduction_sizes b) in
+  (ia = ib && (ra = rb || ra = [] || rb = []))
+  || (ra = [] && ia = multiset (independent_sizes b @ reduction_sizes b))
+  || (rb = [] && ib = multiset (independent_sizes a @ reduction_sizes a))
+
+let merge ~a ~b =
+  if not (compatible ~a ~b) then None
+  else if has_reduction a then Some a
+  else if has_reduction b then Some b
+  else Some a
+
+let pp ppf t =
+  let dims ppf l =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+      (fun ppf (a, d) -> Format.fprintf ppf "%s:%d" a d)
+      ppf l
+  in
+  Format.fprintf ppf "[%a]" dims t.independent;
+  if t.reduction <> [] then Format.fprintf ppf " red [%a]" dims t.reduction
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,45 @@
+(** Operator iteration spaces (paper §IV).
+
+    Every operator has independent dimensions; statistical normalizations
+    also have reduction dimensions; tensor contractions additionally have
+    special per-operand independent dimensions. Fusion legality is decided
+    on these spaces: two operators fuse when their spaces are the same, or
+    differ only in that one performs a reduction. Compatibility is judged on
+    dimension *sizes* in order, as in the paper ("the order and size of
+    dimensions ... must match"): the attention-input biases over [p,h,b,j]
+    and [w,h,b,k] fuse because P = W and J = K. *)
+
+type t = {
+  independent : (Axis.t * int) list;
+  reduction : (Axis.t * int) list;
+}
+
+val make :
+  independent:(Axis.t * int) list -> reduction:(Axis.t * int) list -> t
+
+val pure_map : (Axis.t * int) list -> t
+
+(** [points t] is the total number of iteration points (independent and
+    reduction extents multiplied). *)
+val points : t -> int
+
+val independent_sizes : t -> int list
+val reduction_sizes : t -> int list
+val has_reduction : t -> bool
+
+(** [same_independent a b] compares independent extents positionally. *)
+val same_independent : a:t -> b:t -> bool
+
+(** [compatible ~a ~b] is the paper's fusion test: identical spaces, or
+    equal independent extents with at most one side reducing, or [b]'s
+    independent extents equal to [a]'s independent-plus-reduction extents
+    (a map feeding a reduction over one of its dimensions, the BDRLN case). *)
+val compatible : a:t -> b:t -> bool
+
+(** [merge ~a ~b] is the space of the fused kernel: the shared independent
+    dimensions with the union of reductions. Returns [None] when
+    incompatible. *)
+val merge : a:t -> b:t -> t option
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

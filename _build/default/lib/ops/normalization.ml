@@ -1,0 +1,230 @@
+let default_eps = 1e-5
+
+let points dims = List.fold_left (fun acc (_, d) -> acc * d) 1 dims
+
+let split dims ~axis =
+  let independent = List.filter (fun (a, _) -> not (Axis.equal a axis)) dims in
+  let reduction = List.filter (fun (a, _) -> Axis.equal a axis) dims in
+  if reduction = [] then
+    invalid_arg "Normalization: reduction axis absent from dims";
+  Iteration.make ~independent ~reduction
+
+let make ~name ~reads ~writes ~space ~flop ~backward ?vjp run =
+  {
+    Op.name;
+    cls = Sdfg.Opclass.Normalization;
+    reads;
+    writes;
+    space;
+    flop;
+    kind = Op.Reduce;
+    run;
+    backward;
+    vjp;
+  }
+
+let causal_mask ~q ~k dims =
+  let mask_dims = List.filter (fun (a, _) -> Axis.equal a q || Axis.equal a k) dims in
+  Dense.init mask_dims (fun idx ->
+      if List.assoc k idx > List.assoc q idx then neg_infinity else 0.0)
+
+(* softmax(s*x) along [axis], stabilized by max subtraction. *)
+let softmax_value ?causal x ~axis ~prescale =
+  let xs = if prescale = 1.0 then x else Dense.scale prescale x in
+  let xs =
+    match causal with
+    | None -> xs
+    | Some (q, k) ->
+        let dims = Shape.to_list (Dense.shape xs) in
+        Dense.add_bcast xs (causal_mask ~q ~k dims)
+  in
+  let mx = Dense.max_over xs [ axis ] in
+  let e = Dense.map exp (Dense.add_bcast xs (Dense.scale (-1.0) mx)) in
+  let s = Dense.sum_over e [ axis ] in
+  Dense.mul_bcast e (Dense.map (fun v -> 1.0 /. v) s)
+
+let softmax_dx_value ~dy ~y ~axis ~prescale =
+  let inner = Dense.sum_over (Dense.mul dy y) [ axis ] in
+  let centered = Dense.add_bcast dy (Dense.scale (-1.0) inner) in
+  Dense.scale prescale (Dense.mul y centered)
+
+let softmax ~name ~x ~out dims ~axis ?(prescale = 1.0) ?causal
+    ?(backward = false) () =
+  let vjp ~cotangents env =
+    match List.assoc_opt out cotangents with
+    | None -> []
+    | Some cot ->
+        (* masked (causal) positions have y = 0, so the same formula holds *)
+        [ (x, softmax_dx_value ~dy:cot ~y:(Op.lookup env out) ~axis ~prescale) ]
+  in
+  make ~name ~reads:[ x ] ~writes:[ out ] ~space:(split dims ~axis)
+    ~flop:(6 * points dims) ~backward ~vjp (fun env ->
+      Op.store env out (softmax_value ?causal (Op.lookup env x) ~axis ~prescale))
+
+let softmax_dx ~name ~dy ~y ~out dims ~axis ?(prescale = 1.0) () =
+  make ~name ~reads:[ dy; y ] ~writes:[ out ] ~space:(split dims ~axis)
+    ~flop:(5 * points dims) ~backward:true (fun env ->
+      let dy = Op.lookup env dy and y = Op.lookup env y in
+      Op.store env out (softmax_dx_value ~dy ~y ~axis ~prescale))
+
+let normalized x ~mean ~istd =
+  Dense.mul_bcast (Dense.add_bcast x (Dense.scale (-1.0) mean)) istd
+
+let layernorm_stats x ~axis ~eps =
+  let mean = Dense.mean_over x [ axis ] in
+  let diff = Dense.add_bcast x (Dense.scale (-1.0) mean) in
+  let var = Dense.mean_over (Dense.mul diff diff) [ axis ] in
+  let istd = Dense.map (fun v -> 1.0 /. sqrt (v +. eps)) var in
+  (mean, istd)
+
+let layernorm_dx_value ~dy ~x ~gamma ~mean ~istd ~axis =
+  let xhat = normalized x ~mean ~istd in
+  let dyg = Dense.mul_bcast dy gamma in
+  let mean_dyg = Dense.mean_over dyg [ axis ] in
+  let mean_dyg_xhat = Dense.mean_over (Dense.mul dyg xhat) [ axis ] in
+  let centered =
+    Dense.sub (Dense.add_bcast dyg (Dense.scale (-1.0) mean_dyg))
+      (Dense.mul_bcast xhat mean_dyg_xhat)
+  in
+  Dense.mul_bcast centered istd
+
+let layernorm ~name ~x ~gamma ~beta ~out ~mean ~istd dims ~axis
+    ?(eps = default_eps) ?(backward = false) () =
+  let vjp ~cotangents env =
+    match List.assoc_opt out cotangents with
+    | None -> []
+    | Some cot ->
+        let xv = Op.lookup env x
+        and g = Op.lookup env gamma
+        and m = Op.lookup env mean
+        and s = Op.lookup env istd in
+        let xhat = normalized xv ~mean:m ~istd:s in
+        [
+          (x, layernorm_dx_value ~dy:cot ~x:xv ~gamma:g ~mean:m ~istd:s ~axis);
+          (gamma, Dense.reduce_bcast (Dense.mul cot xhat) [ axis ]);
+          (beta, Dense.reduce_bcast cot [ axis ]);
+        ]
+  in
+  make ~name
+    ~reads:[ x; gamma; beta ]
+    ~writes:[ out; mean; istd ]
+    ~space:(split dims ~axis) ~flop:(7 * points dims) ~backward ~vjp (fun env ->
+      let xv = Op.lookup env x in
+      let m, s = layernorm_stats xv ~axis ~eps in
+      let xhat = normalized xv ~mean:m ~istd:s in
+      Op.store env mean m;
+      Op.store env istd s;
+      Op.store env out
+        (Dense.add_bcast (Dense.mul_bcast xhat (Op.lookup env gamma))
+           (Op.lookup env beta)))
+
+let layernorm_dx ~name ~dy ~x ~gamma ~mean ~istd ~out dims ~axis =
+  make ~name
+    ~reads:[ dy; x; gamma; mean; istd ]
+    ~writes:[ out ] ~space:(split dims ~axis) ~flop:(9 * points dims)
+    ~backward:true (fun env ->
+      Op.store env out
+        (layernorm_dx_value ~dy:(Op.lookup env dy) ~x:(Op.lookup env x)
+           ~gamma:(Op.lookup env gamma) ~mean:(Op.lookup env mean)
+           ~istd:(Op.lookup env istd) ~axis))
+
+let layernorm_dw ~name ~dy ~x ~mean ~istd ~dgamma ~dbeta dims ~axis =
+  let keep = [ axis ] in
+  let space =
+    (* Reduces over the non-normalized axes: independent axis is the
+       parameter axis. *)
+    let independent = List.filter (fun (a, _) -> Axis.equal a axis) dims in
+    let reduction = List.filter (fun (a, _) -> not (Axis.equal a axis)) dims in
+    Iteration.make ~independent ~reduction
+  in
+  make ~name
+    ~reads:[ dy; x; mean; istd ]
+    ~writes:[ dgamma; dbeta ] ~space ~flop:(4 * points dims) ~backward:true
+    (fun env ->
+      let dy = Op.lookup env dy in
+      let xhat =
+        normalized (Op.lookup env x) ~mean:(Op.lookup env mean)
+          ~istd:(Op.lookup env istd)
+      in
+      Op.store env dgamma (Dense.reduce_bcast (Dense.mul dy xhat) keep);
+      Op.store env dbeta (Dense.reduce_bcast dy keep))
+
+(* ------------------------------------------------------------------ *)
+(* Batch normalization: reduce over every axis except the channel.      *)
+(* ------------------------------------------------------------------ *)
+
+let bn_axes dims ~channel =
+  List.map fst (List.filter (fun (a, _) -> not (Axis.equal a channel)) dims)
+
+let bn_space dims ~channel =
+  let independent = List.filter (fun (a, _) -> Axis.equal a channel) dims in
+  let reduction = List.filter (fun (a, _) -> not (Axis.equal a channel)) dims in
+  if reduction = [] then
+    invalid_arg "Normalization.batchnorm: nothing to normalize over";
+  Iteration.make ~independent ~reduction
+
+let bn_stats x ~red ~eps =
+  let mean = Dense.mean_over x red in
+  let diff = Dense.add_bcast x (Dense.scale (-1.0) mean) in
+  let var = Dense.mean_over (Dense.mul diff diff) red in
+  let istd = Dense.map (fun v -> 1.0 /. sqrt (v +. eps)) var in
+  (mean, istd)
+
+let bn_dx_value ~dy ~x ~gamma ~mean ~istd ~red =
+  let xhat = normalized x ~mean ~istd in
+  let dyg = Dense.mul_bcast dy gamma in
+  let mean_dyg = Dense.mean_over dyg red in
+  let mean_dyg_xhat = Dense.mean_over (Dense.mul dyg xhat) red in
+  let centered =
+    Dense.sub
+      (Dense.add_bcast dyg (Dense.scale (-1.0) mean_dyg))
+      (Dense.mul_bcast xhat mean_dyg_xhat)
+  in
+  Dense.mul_bcast centered istd
+
+let batchnorm ~name ~x ~gamma ~beta ~out ~mean ~istd dims ~channel
+    ?(eps = default_eps) ?(backward = false) () =
+  let red = bn_axes dims ~channel in
+  let vjp ~cotangents env =
+    match List.assoc_opt out cotangents with
+    | None -> []
+    | Some cot ->
+        let xv = Op.lookup env x
+        and g = Op.lookup env gamma
+        and m = Op.lookup env mean
+        and s = Op.lookup env istd in
+        let xhat = normalized xv ~mean:m ~istd:s in
+        [
+          (x, bn_dx_value ~dy:cot ~x:xv ~gamma:g ~mean:m ~istd:s ~red);
+          (gamma, Dense.reduce_bcast (Dense.mul cot xhat) [ channel ]);
+          (beta, Dense.reduce_bcast cot [ channel ]);
+        ]
+  in
+  make ~name
+    ~reads:[ x; gamma; beta ]
+    ~writes:[ out; mean; istd ]
+    ~space:(bn_space dims ~channel) ~flop:(7 * points dims) ~backward ~vjp
+    (fun env ->
+      let xv = Op.lookup env x in
+      let m, s = bn_stats xv ~red ~eps in
+      let xhat = normalized xv ~mean:m ~istd:s in
+      Op.store env mean m;
+      Op.store env istd s;
+      Op.store env out
+        (Dense.add_bcast
+           (Dense.mul_bcast xhat (Op.lookup env gamma))
+           (Op.lookup env beta)))
+
+let batchnorm_dx ~name ~dy ~x ~gamma ~mean ~istd ~out dims ~channel =
+  let red = bn_axes dims ~channel in
+  make ~name
+    ~reads:[ dy; x; gamma; mean; istd ]
+    ~writes:[ out ] ~space:(bn_space dims ~channel) ~flop:(9 * points dims)
+    ~backward:true (fun env ->
+      Op.store env out
+        (bn_dx_value ~dy:(Op.lookup env dy) ~x:(Op.lookup env x)
+           ~gamma:(Op.lookup env gamma) ~mean:(Op.lookup env mean)
+           ~istd:(Op.lookup env istd) ~red))
+
+let batchnorm_dw ~name ~dy ~x ~mean ~istd ~dgamma ~dbeta dims ~channel =
+  layernorm_dw ~name ~dy ~x ~mean ~istd ~dgamma ~dbeta dims ~axis:channel

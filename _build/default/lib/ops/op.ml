@@ -1,0 +1,61 @@
+type env = (string, Dense.t) Hashtbl.t
+
+type gemm_roles = {
+  a : string;
+  b : string;
+  c : string;
+  m_axes : Axis.t list;
+  n_axes : Axis.t list;
+  k_axes : Axis.t list;
+  batch_axes : Axis.t list;
+  scale : float;
+  groups : int;  (* algebraic-fusion stacking factor, 1 when unfused *)
+  grouped : [ `M | `N | `K ];  (* which GEMM dimension the stacking multiplies *)
+  a_list : string list;  (* all parts' A operands (layout-tied siblings) *)
+  b_list : string list;  (* all parts' B operands *)
+  c_list : string list;  (* all parts' outputs *)
+}
+
+type kind = Gemm of gemm_roles | Map | Reduce
+
+type vjp = cotangents:(string * Dense.t) list -> env -> (string * Dense.t) list
+
+type t = {
+  name : string;
+  cls : Sdfg.Opclass.t;
+  reads : string list;
+  writes : string list;
+  space : Iteration.t;
+  flop : int;
+  kind : kind;
+  run : env -> unit;
+  backward : bool;
+  vjp : vjp option;
+}
+
+let lookup env name =
+  match Hashtbl.find_opt env name with
+  | Some t -> t
+  | None -> invalid_arg ("Op.lookup: container not in environment: " ^ name)
+
+let store env name t = Hashtbl.replace env name t
+let run_all ops env = List.iter (fun op -> op.run env) ops
+
+let env_of_list bindings =
+  let env = Hashtbl.create 64 in
+  List.iter (fun (name, t) -> store env name t) bindings;
+  env
+
+let to_graph_op t =
+  {
+    Sdfg.Graph.op_name = t.name;
+    cls = t.cls;
+    flop = t.flop;
+    reads = t.reads;
+    writes = t.writes;
+    backward = t.backward;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "%s %s %a (%d flop)" (Sdfg.Opclass.symbol t.cls) t.name
+    Iteration.pp t.space t.flop

@@ -1,0 +1,68 @@
+(** The operator abstraction shared by the whole reproduction.
+
+    An operator couples (a) layout-independent functional semantics over an
+    environment of named tensors, with (b) the metadata the recipe needs:
+    operator class, iteration space, flop count, and — for tensor
+    contractions — the GEMM role decomposition that lets the cuBLAS-model
+    time it. An operator is "logically one operation" even when a framework
+    implements it as several kernels (paper §III-A). *)
+
+type env = (string, Dense.t) Hashtbl.t
+
+(** GEMM roles inferred from an einsum: [batch] axes appear in both inputs
+    and the output; [k] axes in both inputs only; [m] in input A and the
+    output; [n] in input B and the output. *)
+type gemm_roles = {
+  a : string;  (** container name of operand A *)
+  b : string;  (** container name of operand B *)
+  c : string;  (** container name of the output *)
+  m_axes : Axis.t list;
+  n_axes : Axis.t list;
+  k_axes : Axis.t list;
+  batch_axes : Axis.t list;
+  scale : float;
+  groups : int;  (* algebraic-fusion stacking factor, 1 when unfused *)
+  grouped : [ `M | `N | `K ];  (* which GEMM dimension the stacking multiplies *)
+  a_list : string list;  (* all parts' A operands (layout-tied siblings) *)
+  b_list : string list;  (* all parts' B operands *)
+  c_list : string list;  (* all parts' outputs *)
+}
+
+type kind =
+  | Gemm of gemm_roles
+  | Map  (** pure element-wise *)
+  | Reduce  (** reduction (+ applied map): statistical normalization *)
+
+(** A vector-Jacobian-product rule: given the cotangents of (some of) the
+    operator's outputs and the forward environment, return the gradient
+    contribution to each read container. Containers whose cotangent is not
+    needed (saved statistics, dropout masks) simply do not appear among the
+    [cotangents]. Populated by the constructors; consumed by {!Autodiff}. *)
+type vjp = cotangents:(string * Dense.t) list -> env -> (string * Dense.t) list
+
+type t = {
+  name : string;
+  cls : Sdfg.Opclass.t;
+  reads : string list;
+  writes : string list;
+  space : Iteration.t;
+  flop : int;
+  kind : kind;
+  run : env -> unit;
+  backward : bool;  (** belongs to the backward pass *)
+  vjp : vjp option;
+}
+
+val lookup : env -> string -> Dense.t
+val store : env -> string -> Dense.t -> unit
+
+(** [run_all ops env] executes operators in order, mutating [env]. *)
+val run_all : t list -> env -> unit
+
+(** [env_of_list bindings] builds an environment. *)
+val env_of_list : (string * Dense.t) list -> env
+
+(** [to_graph_op op] is the SDFG view of the operator. *)
+val to_graph_op : t -> Sdfg.Graph.op
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,34 @@
+(** A program is the operator-level view of a training step: container
+    declarations plus an ordered operator list. It is the object the recipe
+    transforms (fusion and algebraic fusion rewrite the operator list;
+    layout selection annotates it) and the object both the functional
+    interpreter and the performance simulator consume. *)
+
+type t = {
+  containers : (string * (Axis.t * int) list) list;
+  ops : Op.t list;
+}
+
+val make : containers:(string * (Axis.t * int) list) list -> Op.t list -> t
+
+(** [graph p] is the SDFG of the program. *)
+val graph : t -> Sdfg.Graph.t
+
+(** [run p inputs] interprets the program over an environment seeded with
+    [inputs], returning the final environment (all containers written). *)
+val run : t -> (string * Dense.t) list -> Op.env
+
+(** [container_dims p name] looks up a container's axes and extents. *)
+val container_dims : t -> string -> (Axis.t * int) list
+
+(** [forward_ops p] / [backward_ops p] split the operator list. *)
+val forward_ops : t -> Op.t list
+
+val backward_ops : t -> Op.t list
+
+(** [replace_ops p ops] keeps containers, swaps the operator list. *)
+val replace_ops : t -> Op.t list -> t
+
+(** [validate p] checks that every operator's reads and writes are declared
+    containers and the implied SDFG is well-formed. *)
+val validate : t -> (unit, string) result

@@ -1,0 +1,1 @@
+lib/report/ablations.ml: Context Frameworks Gpu List Ops Substation Table_fmt Transformer

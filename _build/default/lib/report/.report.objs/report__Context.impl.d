@@ -1,0 +1,1 @@
+lib/report/context.ml: Frameworks Gpu Ops Transformer

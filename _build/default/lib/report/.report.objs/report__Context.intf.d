@@ -1,0 +1,1 @@
+lib/report/context.mli: Frameworks Gpu Ops Transformer

@@ -1,0 +1,1 @@
+lib/report/cost.ml: Context Frameworks Printf

@@ -1,0 +1,1 @@
+lib/report/experiments.ml: Context Float Frameworks Gpu List Ops Printf Substation Table_fmt Transformer

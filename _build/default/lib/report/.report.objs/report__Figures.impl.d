@@ -1,0 +1,1 @@
+lib/report/figures.ml: Array Buffer Context Float Frameworks Hashtbl List Ops Printf Sdfg String Substation Table_fmt Transformer

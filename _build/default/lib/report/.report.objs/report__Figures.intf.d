@@ -1,0 +1,1 @@
+lib/report/figures.mli: Context Sdfg Substation

@@ -1,0 +1,1 @@
+lib/report/table_fmt.ml: Array Buffer Float List Printf String

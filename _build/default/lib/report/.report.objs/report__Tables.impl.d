@@ -1,0 +1,1 @@
+lib/report/tables.ml: Context Frameworks Gpu List Ops Printf Sdfg String Substation Table_fmt Transformer

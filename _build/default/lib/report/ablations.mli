@@ -1,0 +1,36 @@
+(** Ablation studies for the design choices DESIGN.md calls out.
+
+    - {b fusion x layout}: the paper's claim is that neither fusion alone
+      nor layout selection alone suffices; the four quadrants quantify it.
+    - {b selection}: global SSSP vs per-operator greedy best (paper §VI-A).
+    - {b device sensitivity}: V100 vs A100 — a faster compute unit makes the
+      network more memory-bound, so the recipe's advantage grows.
+    - {b GEMM algorithm}: cuBLAS-heuristic vs exhaustive choice per
+      contraction (paper §V-A). *)
+
+type quadrant = {
+  fusion : bool;
+  layout : bool;
+  time : float;  (** fwd+bwd seconds *)
+}
+
+(** [fusion_layout ctx] evaluates all four quadrants on the encoder. *)
+val fusion_layout : Context.t -> quadrant list
+
+(** [selection ctx] compares global selection, the greedy baseline, and the
+    per-operator lower bound: (label, total seconds). *)
+val selection : Context.t -> (string * float) list
+
+(** [device_sensitivity ?hp ()] optimizes the encoder on each device and
+    reports (device, optimized seconds, PyTorch-baseline seconds). *)
+val device_sensitivity :
+  ?hp:Transformer.Hparams.t -> unit -> (string * float * float) list
+
+(** [gemm_algorithm ctx] sums contraction times under the heuristic vs the
+    exhaustive algorithm choice: (kernel, heuristic seconds, best seconds). *)
+val gemm_algorithm : Context.t -> (string * float * float) list
+
+val render_fusion_layout : quadrant list -> string
+val render_selection : (string * float) list -> string
+val render_device : (string * float * float) list -> string
+val render_gemm_algorithm : (string * float * float) list -> string

@@ -1,0 +1,42 @@
+type t = {
+  hp : Transformer.Hparams.t;
+  device : Gpu.Device.t;
+  unfused : Ops.Program.t;
+  pt : Frameworks.Executor.report;
+  xla : Frameworks.Executor.report;
+  ds : Frameworks.Executor.report;
+  ours : Frameworks.Ours.result;
+  ours_report : Frameworks.Executor.report;
+  pt_mha : Frameworks.Executor.report;
+  xla_mha : Frameworks.Executor.report;
+  cudnn_mha : Frameworks.Executor.report;
+  ours_mha : Frameworks.Executor.report;
+}
+
+let create ?(hp = Transformer.Hparams.bert_large) ?(device = Gpu.Device.v100) ()
+    =
+  let enc = Frameworks.Executor.Encoder_layer in
+  let mha = Frameworks.Executor.Mha_block in
+  let ours = Frameworks.Ours.optimize ~device ~workload:enc hp in
+  let ours_mha_result = Frameworks.Ours.optimize ~device ~workload:mha hp in
+  {
+    hp;
+    device;
+    unfused = Transformer.Encoder.program hp;
+    pt = Frameworks.Pytorch_sim.report ~device ~workload:enc hp;
+    xla = Frameworks.Xla_sim.report ~device ~workload:enc hp;
+    ds = Frameworks.Deepspeed_sim.report ~device ~workload:enc hp;
+    ours;
+    ours_report = Frameworks.Executor.time_plan device ours.Frameworks.Ours.plan;
+    pt_mha = Frameworks.Pytorch_sim.report ~device ~workload:mha hp;
+    xla_mha = Frameworks.Xla_sim.report ~device ~workload:mha hp;
+    cudnn_mha = Frameworks.Cudnn_sim.report ~device hp;
+    ours_mha =
+      Frameworks.Executor.time_plan device ours_mha_result.Frameworks.Ours.plan;
+  }
+
+let per_op_timing (report : Frameworks.Executor.report) name =
+  let find (run : Gpu.Simulator.run) = Gpu.Simulator.find run name in
+  match find report.forward with
+  | Some t -> Some t
+  | None -> find report.backward

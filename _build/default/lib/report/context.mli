@@ -1,0 +1,25 @@
+(** Shared evaluation context: all expensive artifacts (framework reports,
+    the recipe run, the performance database) computed once and reused by
+    every table and figure. *)
+
+type t = {
+  hp : Transformer.Hparams.t;
+  device : Gpu.Device.t;
+  unfused : Ops.Program.t;
+  pt : Frameworks.Executor.report;
+  xla : Frameworks.Executor.report;
+  ds : Frameworks.Executor.report;
+  ours : Frameworks.Ours.result;
+  ours_report : Frameworks.Executor.report;
+  pt_mha : Frameworks.Executor.report;
+  xla_mha : Frameworks.Executor.report;
+  cudnn_mha : Frameworks.Executor.report;
+  ours_mha : Frameworks.Executor.report;
+}
+
+(** [create ?hp ?device ()] builds everything (seconds of compute). *)
+val create : ?hp:Transformer.Hparams.t -> ?device:Gpu.Device.t -> unit -> t
+
+(** [per_op_timing report name] finds the timing of a kernel by name. *)
+val per_op_timing :
+  Frameworks.Executor.report -> string -> Gpu.Cost_model.timing option

@@ -1,0 +1,50 @@
+(** Training-cost estimation (paper §I).
+
+    The paper translates its speedups into money: "for robustly training
+    BERT, this translates to a savings of over $85,000 on AWS using PyTorch"
+    and, for GPT-3's $12M training cost, "our optimizations could save $3.6M
+    and more than 120 MWh energy". This module reproduces that arithmetic
+    with explicit assumptions: a full-model training-step time extrapolated
+    from the per-layer measurement, a step count, a GPU fleet, and an AWS
+    price per GPU-hour.
+
+    These are order-of-magnitude estimates by construction — exactly as in
+    the paper — and every assumption is a visible field. *)
+
+type assumptions = {
+  label : string;
+  layers : int;  (** encoder layers in the model *)
+  steps : int;  (** total optimizer steps *)
+  gpus : int;  (** data-parallel fleet size *)
+  usd_per_gpu_hour : float;  (** AWS on-demand V100 price *)
+  kw_per_gpu : float;  (** board power for the energy estimate *)
+  non_layer_overhead : float;
+      (** multiplier for embeddings, head, optimizer, communication *)
+}
+
+(** RoBERTa-style robust BERT-large pretraining (the paper's $85k claim). *)
+val roberta : assumptions
+
+(** A GPT-3-class run, scaled to the paper's "$12M training cost" anchor. *)
+val gpt3_like : assumptions
+
+type estimate = {
+  assumptions : assumptions;
+  baseline_step : float;  (** s per step, per GPU, baseline *)
+  optimized_step : float;
+  baseline_usd : float;
+  optimized_usd : float;
+  savings_usd : float;
+  savings_mwh : float;
+}
+
+(** [estimate a ~baseline_layer ~optimized_layer] extrapolates from per-layer
+    forward+backward times (seconds). *)
+val estimate :
+  assumptions -> baseline_layer:float -> optimized_layer:float -> estimate
+
+(** [bert_savings ctx] applies {!roberta} to the measured PyTorch and
+    optimized layer times. *)
+val bert_savings : Context.t -> estimate
+
+val render : estimate -> string

@@ -1,0 +1,283 @@
+type flow_row = {
+  op_name : string;
+  cls : Sdfg.Opclass.t;
+  flop : int;
+  flop_per_element : float;
+  bound : Sdfg.Analysis.boundedness;
+  backward : bool;
+}
+
+let flow_rows program =
+  let graph = Ops.Program.graph program in
+  List.map
+    (fun (r : Sdfg.Analysis.op_report) ->
+      {
+        op_name = r.op.Sdfg.Graph.op_name;
+        cls = r.op.Sdfg.Graph.cls;
+        flop = r.flop;
+        flop_per_element = r.flop_per_element;
+        bound = r.bound;
+        backward = r.op.Sdfg.Graph.backward;
+      })
+    (Sdfg.Analysis.analyze graph)
+
+let fig1_data (ctx : Context.t) =
+  flow_rows (Transformer.Mha.forward_program ctx.hp)
+
+let fig2_data (ctx : Context.t) = flow_rows ctx.unfused
+
+let render_flow title rows =
+  let render r =
+    [
+      (if r.backward then "bwd" else "fwd");
+      Sdfg.Opclass.symbol r.cls ^ " " ^ r.op_name;
+      (if r.flop >= 1_000_000 then
+         Printf.sprintf "%.2gG" (float_of_int r.flop /. 1e9)
+       else string_of_int r.flop);
+      Printf.sprintf "%.3g" r.flop_per_element;
+      Sdfg.Analysis.boundedness_to_string r.bound;
+    ]
+  in
+  title ^ "\n"
+  ^ Table_fmt.render
+      ~header:[ ""; "Operator"; "flop"; "flop/elem"; "Bound" ]
+      (List.map render rows)
+
+let fig1 ctx =
+  render_flow "Fig. 1b: MHA forward dataflow (flop and flop/IO per operator)"
+    (fig1_data ctx)
+
+let fig2 ctx =
+  render_flow
+    "Fig. 2: BERT encoder layer training dataflow (flop and flop/IO)"
+    (fig2_data ctx)
+
+(* ---------------- Fig. 3 ---------------- *)
+
+let fig3_data (ctx : Context.t) =
+  List.filter_map
+    (fun (g : Substation.Fusion.group) ->
+      if g.steps = [] then None else Some (g.fused.Ops.Op.name, g.steps))
+    ctx.ours.Frameworks.Ours.recipe.Substation.Recipe.groups
+
+let fig3 ctx =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    "Fig. 3: operator-fusion patterns discovered in the encoder\n\n";
+  List.iter
+    (fun (kernel, steps) ->
+      Buffer.add_string buf (kernel ^ ":\n");
+      List.iter
+        (fun (member, pattern) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  + %-22s via %s\n" member
+               (Substation.Fusion.pattern_to_string pattern)))
+        steps)
+    (fig3_data ctx);
+  Buffer.contents buf
+
+(* ---------------- distributions ---------------- *)
+
+type distribution = {
+  best : float;
+  q25 : float;
+  median : float;
+  q75 : float;
+  worst : float;
+  count : int;
+}
+
+let distribution_of_times = function
+  | [] -> None
+  | times ->
+      let sorted = List.sort Float.compare times in
+      let arr = Array.of_list sorted in
+      let n = Array.length arr in
+      let q p = arr.(max 0 (min (n - 1) (int_of_float (p *. float_of_int (n - 1))))) in
+      Some
+        {
+          best = arr.(0);
+          q25 = q 0.25;
+          median = q 0.5;
+          q75 = q 0.75;
+          worst = arr.(n - 1);
+          count = n;
+        }
+
+let pct_of_peak ~flop ~peak dist =
+  let pct t = float_of_int flop /. t /. peak *. 100.0 in
+  (pct dist.best, pct dist.worst)
+
+(* ---------------- Fig. 4 ---------------- *)
+
+type gemm_tile = {
+  label : string;
+  shape : string;
+  tensor_cores : distribution option;
+  fp16 : distribution option;
+  flop : int;
+}
+
+let fig4_data (ctx : Context.t) =
+  let recipe = ctx.ours.Frameworks.Ours.recipe in
+  let fused = recipe.Substation.Recipe.fused in
+  let db = recipe.Substation.Recipe.db in
+  let contractions =
+    List.filter
+      (fun (op : Ops.Op.t) ->
+        Sdfg.Opclass.equal op.cls Sdfg.Opclass.Contraction)
+      fused.Ops.Program.ops
+  in
+  (* Merge operators sharing a GEMM shape (with M and N interchangeable, as
+     the paper merges transposable tiles and labels them M >= N). *)
+  let shape_key (op : Ops.Op.t) =
+    let roles =
+      match op.kind with Ops.Op.Gemm r -> r | _ -> assert false
+    in
+    let dims =
+      List.fold_left
+        (fun acc name ->
+          List.fold_left
+            (fun acc (a, d) -> if List.mem_assoc a acc then acc else (a, d) :: acc)
+            acc
+            (Ops.Program.container_dims fused name))
+        []
+        [ roles.a; roles.b; roles.c ]
+    in
+    let m, n, k, b = Ops.Contraction.gemm_shape_of op ~dims in
+    let hi = max m n and lo = min m n in
+    (hi, lo, k, b)
+  in
+  let tiles = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun op ->
+      let key = shape_key op in
+      match Hashtbl.find_opt tiles key with
+      | Some ops -> Hashtbl.replace tiles key (op :: ops)
+      | None ->
+          order := key :: !order;
+          Hashtbl.replace tiles key [ op ])
+    contractions;
+  List.rev_map
+    (fun ((m, n, k, b) as key) ->
+      let ops = List.rev (Hashtbl.find tiles key) in
+      let names = List.map (fun (o : Ops.Op.t) -> o.name) ops in
+      let entries = List.concat_map (fun n -> Substation.Perfdb.entries db n) names in
+      let times use_tc =
+        List.filter_map
+          (fun (e : Substation.Config_space.measured) ->
+            match e.config with
+            | Substation.Config_space.Gemm_cfg c when c.use_tc = use_tc ->
+                Some e.time
+            | _ -> None)
+          entries
+      in
+      {
+        label = String.concat ", " names;
+        shape = Printf.sprintf "M: %d, N: %d, K: %d, B: %d" m n k b;
+        tensor_cores = distribution_of_times (times true);
+        fp16 = distribution_of_times (times false);
+        flop = (match ops with o :: _ -> o.Ops.Op.flop | [] -> 0);
+      })
+    !order
+
+let fig4 ctx =
+  let tiles = fig4_data ctx in
+  let row t =
+    let series name peak = function
+      | None -> [ name; "-"; "-"; "-" ]
+      | Some d ->
+          let best_pct, worst_pct = pct_of_peak ~flop:t.flop ~peak d in
+          [
+            name;
+            Printf.sprintf "%.2f" (d.best *. 1e3);
+            Printf.sprintf "%.2f" (d.worst *. 1e3);
+            Printf.sprintf "%.0f%% / %.0f%%" best_pct worst_pct;
+          ]
+    in
+    [
+      [ t.label; t.shape ];
+      "  " :: series "tensor cores" 125e12 t.tensor_cores;
+      "  " :: series "16-bit FPUs" 31.4e12 t.fp16;
+    ]
+  in
+  "Fig. 4: Tensor contraction performance over all layouts/algorithms\n"
+  ^ Table_fmt.render
+      ~header:[ ""; "series"; "best ms"; "worst ms"; "best/worst %peak" ]
+      (List.concat_map row tiles)
+
+(* ---------------- Fig. 5 ---------------- *)
+
+type kernel_dist = { kernel : string; dist : distribution }
+
+let fig5_data (ctx : Context.t) =
+  let recipe = ctx.ours.Frameworks.Ours.recipe in
+  let fused = recipe.Substation.Recipe.fused in
+  let db = recipe.Substation.Recipe.db in
+  List.filter_map
+    (fun (op : Ops.Op.t) ->
+      if Sdfg.Opclass.equal op.cls Sdfg.Opclass.Contraction then None
+      else
+        let times =
+          List.map
+            (fun (e : Substation.Config_space.measured) -> e.time)
+            (Substation.Perfdb.entries db op.name)
+        in
+        match distribution_of_times times with
+        | Some dist -> Some { kernel = op.name; dist }
+        | None -> None)
+    fused.Ops.Program.ops
+
+let fig5 ctx =
+  let rows =
+    List.map
+      (fun { kernel; dist } ->
+        [
+          kernel;
+          Printf.sprintf "%.3f" (dist.best *. 1e3);
+          Printf.sprintf "%.3f" (dist.median *. 1e3);
+          Printf.sprintf "%.3f" (dist.worst *. 1e3);
+          Printf.sprintf "%.0fx" (dist.worst /. dist.best);
+          string_of_int dist.count;
+        ])
+      (fig5_data ctx)
+  in
+  "Fig. 5: Fused-kernel performance over all configurations (ms)\n"
+  ^ Table_fmt.render
+      ~header:[ "Kernel"; "best"; "median"; "worst"; "worst/best"; "configs" ]
+      rows
+
+let fig5_histograms ?(bins = 12) (ctx : Context.t) =
+  let recipe = ctx.ours.Frameworks.Ours.recipe in
+  let fused = recipe.Substation.Recipe.fused in
+  let db = recipe.Substation.Recipe.db in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "Fig. 5 (violins): configuration-time histograms per fused kernel\n";
+  List.iter
+    (fun (op : Ops.Op.t) ->
+      if not (Sdfg.Opclass.equal op.cls Sdfg.Opclass.Contraction) then begin
+        let times =
+          List.map
+            (fun (e : Substation.Config_space.measured) -> e.time)
+            (Substation.Perfdb.entries db op.name)
+        in
+        Buffer.add_string buf (Printf.sprintf "\n%s (%d configurations)\n" op.name (List.length times));
+        Buffer.add_string buf (Table_fmt.histogram times ~bins ~width:40)
+      end)
+    fused.Ops.Program.ops;
+  Buffer.contents buf
+
+(* ---------------- Fig. 6 and dataflow exports ---------------- *)
+
+let fig6_dot ?max_ops (ctx : Context.t) =
+  Substation.Selector.graph_dot ?max_ops
+    ctx.ours.Frameworks.Ours.recipe.Substation.Recipe.db
+
+let encoder_dataflow_dot (ctx : Context.t) =
+  Sdfg.Dot.to_dot ~title:"BERT encoder layer" (Ops.Program.graph ctx.unfused)
+
+let mha_dataflow_dot (ctx : Context.t) =
+  Sdfg.Dot.to_dot ~title:"Multi-head attention"
+    (Ops.Program.graph (Transformer.Mha.forward_program ctx.hp))

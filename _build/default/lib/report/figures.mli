@@ -1,0 +1,80 @@
+(** Regeneration of the paper's figures (as data series + text rendering;
+    Fig. 6 renders to Graphviz dot). *)
+
+(** {1 Figs. 1b and 2 — dataflow annotations} *)
+
+type flow_row = {
+  op_name : string;
+  cls : Sdfg.Opclass.t;
+  flop : int;
+  flop_per_element : float;
+  bound : Sdfg.Analysis.boundedness;
+  backward : bool;
+}
+
+(** [fig1_data ctx] annotates the MHA forward dataflow (Fig. 1b). *)
+val fig1_data : Context.t -> flow_row list
+
+val fig1 : Context.t -> string
+
+(** [fig2_data ctx] annotates the full encoder training dataflow (Fig. 2). *)
+val fig2_data : Context.t -> flow_row list
+
+val fig2 : Context.t -> string
+
+(** {1 Fig. 3 — fusion patterns}
+
+    Each fused-kernel member joined its group through one of the paper's
+    structural patterns; [fig3_data] lists every instance found in the
+    encoder. *)
+
+val fig3_data :
+  Context.t -> (string * (string * Substation.Fusion.pattern) list) list
+
+val fig3 : Context.t -> string
+
+(** {1 Fig. 4 — tensor-contraction layout distributions} *)
+
+type distribution = {
+  best : float;  (** s *)
+  q25 : float;
+  median : float;
+  q75 : float;
+  worst : float;
+  count : int;
+}
+
+type gemm_tile = {
+  label : string;  (** operators sharing the GEMM shape, comma-joined *)
+  shape : string;  (** "M: ..., N: ..., K: ..., B: ..." with M >= N, merged *)
+  tensor_cores : distribution option;  (** % of TC peak converted from time *)
+  fp16 : distribution option;
+  flop : int;
+}
+
+val fig4_data : Context.t -> gemm_tile list
+val fig4 : Context.t -> string
+
+(** [pct_of_peak ~flop ~peak dist] converts a time distribution into percent
+    of peak (best time -> highest percent). *)
+val pct_of_peak : flop:int -> peak:float -> distribution -> float * float
+
+(** {1 Fig. 5 — fused-kernel configuration distributions} *)
+
+type kernel_dist = { kernel : string; dist : distribution }
+
+val fig5_data : Context.t -> kernel_dist list
+val fig5 : Context.t -> string
+
+(** [fig5_histograms ctx] renders a log-scale ASCII histogram per fused
+    kernel — the closest textual analogue of the paper's violins. *)
+val fig5_histograms : ?bins:int -> Context.t -> string
+
+(** {1 Fig. 6 — configuration-selection graph} *)
+
+val fig6_dot : ?max_ops:int -> Context.t -> string
+
+(** {1 Graph exports} *)
+
+val encoder_dataflow_dot : Context.t -> string
+val mha_dataflow_dot : Context.t -> string

@@ -1,0 +1,84 @@
+let render ~header rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let width i =
+    List.fold_left
+      (fun m r -> match List.nth_opt r i with
+        | Some c -> max m (String.length c)
+        | None -> m)
+      0 all
+  in
+  let widths = List.init cols width in
+  let pad w s = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  let line r =
+    String.concat "  "
+      (List.mapi
+         (fun i w -> pad w (match List.nth_opt r i with Some c -> c | None -> ""))
+         widths)
+    |> fun s -> String.trim (s ^ " ") ^ "\n"
+  in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths) ^ "\n"
+  in
+  line header ^ sep ^ String.concat "" (List.map line rows)
+
+let csv_cell s =
+  let needs_quote =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n') s
+  in
+  if not needs_quote then s
+  else begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let render_csv ~header rows =
+  String.concat "\n"
+    (List.map (fun r -> String.concat "," (List.map csv_cell r)) (header :: rows))
+  ^ "\n"
+
+let histogram values ~bins ~width =
+  match List.filter (fun v -> v > 0.0) values with
+  | [] -> "(empty)\n"
+  | values ->
+      let lo = List.fold_left Float.min (List.hd values) values in
+      let hi = List.fold_left Float.max (List.hd values) values in
+      let llo = log lo and lhi = log (hi *. 1.0000001) in
+      let counts = Array.make bins 0 in
+      List.iter
+        (fun v ->
+          let b =
+            if lhi <= llo then 0
+            else
+              int_of_float
+                (float_of_int bins *. ((log v -. llo) /. (lhi -. llo)))
+          in
+          let b = max 0 (min (bins - 1) b) in
+          counts.(b) <- counts.(b) + 1)
+        values;
+      let peak = Array.fold_left max 1 counts in
+      let buf = Buffer.create 512 in
+      Array.iteri
+        (fun i c ->
+          let b_lo = exp (llo +. (float_of_int i *. (lhi -. llo) /. float_of_int bins)) in
+          let b_hi = exp (llo +. (float_of_int (i + 1) *. (lhi -. llo) /. float_of_int bins)) in
+          let bar = c * width / peak in
+          Buffer.add_string buf
+            (Printf.sprintf "%9.3f..%9.3f ms |%-*s| %d\n" (b_lo *. 1e3)
+               (b_hi *. 1e3) width (String.make bar '#') c))
+        counts;
+      Buffer.contents buf
+
+let f1 v = Printf.sprintf "%.1f" v
+let f2 v = Printf.sprintf "%.2f" v
+let us v = Printf.sprintf "%.0f" (v *. 1e6)
+let ms v = Printf.sprintf "%.2f" (v *. 1e3)
+let pct v = Printf.sprintf "%.1f" (v *. 100.0)
+let gflop_binary flop = Printf.sprintf "%.3f" (float_of_int flop /. 1073741824.0)
+let melems n = Printf.sprintf "%.1f" (float_of_int n /. 1e6)

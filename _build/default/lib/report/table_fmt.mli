@@ -1,0 +1,24 @@
+(** Plain-text table rendering with aligned columns. *)
+
+(** [render ~header rows] pads every column to its widest cell and joins
+    with two spaces; a separator line follows the header. *)
+val render : header:string list -> string list list -> string
+
+(** [render_csv ~header rows] emits RFC-4180-style CSV (quotes doubled,
+    cells containing commas/quotes/newlines quoted). *)
+val render_csv : header:string list -> string list list -> string
+
+(** [histogram values ~bins ~width] draws a log-scale ASCII histogram of a
+    positive-valued distribution — a textual "violin" for Figs. 4-5. Each
+    line is [lo..hi bar count]. *)
+val histogram : float list -> bins:int -> width:int -> string
+
+(** Number formatting helpers shared by the tables. *)
+
+val f1 : float -> string (* one decimal *)
+val f2 : float -> string (* two decimals *)
+val us : float -> string (* seconds -> microseconds, no decimals *)
+val ms : float -> string (* seconds -> milliseconds, two decimals *)
+val pct : float -> string (* fraction -> percent, one decimal *)
+val gflop_binary : int -> string (* flop -> binary Gflop (2^30), as the paper *)
+val melems : int -> string (* elements -> 1e6 units *)

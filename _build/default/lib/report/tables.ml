@@ -1,0 +1,345 @@
+(* ---------------- Table I ---------------- *)
+
+type class_row = {
+  cls : Sdfg.Opclass.t;
+  flop_pct : float;
+  runtime_pct : float;
+}
+
+let table1_data (ctx : Context.t) =
+  let shares = Sdfg.Analysis.class_shares (Ops.Program.graph ctx.unfused) in
+  let runtime cls =
+    let of_run run =
+      match List.assoc_opt cls (Gpu.Simulator.class_runtime run) with
+      | Some t -> t
+      | None -> 0.0
+    in
+    of_run ctx.pt.Frameworks.Executor.forward
+    +. of_run ctx.pt.Frameworks.Executor.backward
+  in
+  let total_runtime =
+    List.fold_left (fun acc cls -> acc +. runtime cls) 0.0 Sdfg.Opclass.all
+  in
+  List.map
+    (fun (s : Sdfg.Analysis.class_share) ->
+      {
+        cls = s.cls;
+        flop_pct = 100.0 *. s.flop_share;
+        runtime_pct = 100.0 *. runtime s.cls /. total_runtime;
+      })
+    shares
+
+let table1 ctx =
+  let rows =
+    List.map
+      (fun r ->
+        [
+          Sdfg.Opclass.symbol r.cls ^ " " ^ Sdfg.Opclass.to_string r.cls;
+          Table_fmt.f2 r.flop_pct;
+          Table_fmt.f1 r.runtime_pct;
+        ])
+      (table1_data ctx)
+  in
+  "Table I: Proportions for operator classes (PyTorch baseline)\n"
+  ^ Table_fmt.render ~header:[ "Operator class"; "% flop"; "% Runtime" ] rows
+
+(* ---------------- Table II ---------------- *)
+
+type algebraic_row = {
+  variant : Transformer.Encoder.qkv_variant;
+  forward_s : float;
+  backward_s : float;
+}
+
+let is_qkv_op (op : Ops.Op.t) =
+  String.length op.name >= 3 && String.sub op.name 0 3 = "qkv"
+
+let is_dx (op : Ops.Op.t) =
+  (* Table II's backward row covers the dX computation (including the
+     gradient accumulation the unfused variant needs). *)
+  is_qkv_op op && op.backward
+  && not
+       (String.length op.name >= 6
+       && String.sub op.name 0 6 = "qkv_dw")
+
+let table2_data ?(device = Gpu.Device.v100) hp =
+  List.map
+    (fun variant ->
+      let program = Transformer.Encoder.program_with ~variant hp in
+      let time ops =
+        List.fold_left
+          (fun acc (op : Ops.Op.t) ->
+            let config =
+              Substation.Config_space.tuned_default_config ~device program op
+            in
+            acc
+            +. (Substation.Config_space.measure ~device program op config)
+                 .Substation.Config_space.time)
+          0.0 ops
+      in
+      let fwd =
+        List.filter
+          (fun (op : Ops.Op.t) -> is_qkv_op op && not op.backward)
+          program.Ops.Program.ops
+      in
+      let bwd = List.filter is_dx program.Ops.Program.ops in
+      { variant; forward_s = time fwd; backward_s = time bwd })
+    [
+      Transformer.Encoder.Qkv_separate;
+      Transformer.Encoder.Qk_fused;
+      Transformer.Encoder.Qkv_fused;
+    ]
+
+let table2 (ctx : Context.t) =
+  let rows = table2_data ~device:ctx.device ctx.hp in
+  let line label get =
+    label :: List.map (fun r -> Table_fmt.us (get r)) rows
+  in
+  "Table II: Algebraic fusion for MHA Q/K/V (us)\n"
+  ^ Table_fmt.render
+      ~header:
+        (""
+        :: List.map
+             (fun r -> Transformer.Encoder.variant_to_string r.variant)
+             rows)
+      [ line "Forward" (fun r -> r.forward_s); line "Backward" (fun r -> r.backward_s) ]
+
+(* ---------------- Table III ---------------- *)
+
+type op_row = {
+  kernel : string;
+  members : string list;
+  row_cls : Sdfg.Opclass.t;
+  gflop : float;
+  input_melems : float;
+  output_melems : float;
+  pt_time : float;
+  pt_pct_peak : float;
+  ours_time : float;
+  ours_pct_peak : float;
+  mue : float;
+  speedup : float;
+  backward : bool;
+}
+
+let table3_data (ctx : Context.t) =
+  let recipe = ctx.ours.Frameworks.Ours.recipe in
+  let fused = recipe.Substation.Recipe.fused in
+  let unfused = recipe.Substation.Recipe.program in
+  let selection = recipe.Substation.Recipe.selection in
+  let choices =
+    selection.Substation.Selector.forward @ selection.Substation.Selector.backward
+  in
+  let volume c =
+    List.fold_left (fun a (_, d) -> a * d) 1 (Ops.Program.container_dims fused c)
+  in
+  List.filter_map
+    (fun (g : Substation.Fusion.group) ->
+      let fused_op = g.fused in
+      let choice =
+        List.find_opt
+          (fun (c : Substation.Selector.choice) ->
+            c.op.Ops.Op.name = fused_op.Ops.Op.name)
+          choices
+      in
+      match choice with
+      | None -> None
+      | Some choice ->
+          let member_names =
+            List.map (fun (o : Ops.Op.t) -> o.name) g.members
+          in
+          let pt_time =
+            List.fold_left
+              (fun acc name ->
+                match Context.per_op_timing ctx.pt name with
+                | Some t -> acc +. t.Gpu.Cost_model.time
+                | None -> acc)
+              0.0 member_names
+          in
+          let flop = fused_op.Ops.Op.flop in
+          let peak = Gpu.Device.peak_for ctx.device choice.measured.Substation.Config_space.kernel.Gpu.Kernel.unit_ in
+          let timing =
+            Gpu.Cost_model.time ctx.device
+              choice.measured.Substation.Config_space.kernel
+          in
+          let ours_time = choice.measured.Substation.Config_space.time in
+          let reads = Substation.Fusion.external_reads unfused g.members in
+          let writes = Substation.Fusion.external_writes unfused g.members in
+          Some
+            {
+              kernel = fused_op.Ops.Op.name;
+              members = member_names;
+              row_cls = fused_op.Ops.Op.cls;
+              gflop = float_of_int flop /. 1073741824.0;
+              input_melems =
+                float_of_int (List.fold_left (fun a c -> a + volume c) 0 reads)
+                /. 1e6;
+              output_melems =
+                float_of_int (List.fold_left (fun a c -> a + volume c) 0 writes)
+                /. 1e6;
+              pt_time;
+              pt_pct_peak =
+                (if pt_time > 0.0 then
+                   float_of_int flop /. pt_time /. peak *. 100.0
+                 else 0.0);
+              ours_time;
+              ours_pct_peak = timing.Gpu.Cost_model.pct_of_peak;
+              mue = Gpu.Mue.mue ctx.device timing;
+              speedup = (if ours_time > 0.0 then pt_time /. ours_time else 0.0);
+              backward = fused_op.Ops.Op.backward;
+            })
+    recipe.Substation.Recipe.groups
+
+let table3 ctx =
+  let rows = table3_data ctx in
+  let render_row r =
+    [
+      (if r.backward then "bwd" else "fwd");
+      Sdfg.Opclass.symbol r.row_cls ^ " " ^ r.kernel;
+      Table_fmt.f2 r.gflop;
+      Table_fmt.f1 r.input_melems;
+      Table_fmt.f1 r.output_melems;
+      Table_fmt.us r.pt_time;
+      Table_fmt.f1 r.pt_pct_peak;
+      Table_fmt.us r.ours_time;
+      Table_fmt.f1 r.ours_pct_peak;
+      Table_fmt.f1 r.mue;
+      Table_fmt.f2 r.speedup;
+      String.concat "+" r.members;
+    ]
+  in
+  "Table III: Flop analysis for the BERT encoder layer\n"
+  ^ Table_fmt.render
+      ~header:
+        [
+          "";
+          "Kernel";
+          "Gflop";
+          "In 1e6";
+          "Out 1e6";
+          "PT us";
+          "PT %pk";
+          "Ours us";
+          "%pk";
+          "MUE";
+          "Speedup";
+          "Fused operators";
+        ]
+      (List.map render_row rows)
+
+let table3_class_totals ctx =
+  let rows = table3_data ctx in
+  List.map
+    (fun cls ->
+      let of_cls = List.filter (fun r -> Sdfg.Opclass.equal r.row_cls cls) rows in
+      ( cls,
+        List.fold_left (fun a r -> a +. r.gflop) 0.0 of_cls,
+        List.fold_left (fun a r -> a +. r.pt_time) 0.0 of_cls,
+        List.fold_left (fun a r -> a +. r.ours_time) 0.0 of_cls ))
+    Sdfg.Opclass.all
+
+(* ---------------- Tables IV and V ---------------- *)
+
+type framework_row = {
+  framework : string;
+  forward_time : float;
+  backward_time : float;
+}
+
+let row name (r : Frameworks.Executor.report) =
+  {
+    framework = name;
+    forward_time = r.Frameworks.Executor.forward_time;
+    backward_time = r.Frameworks.Executor.backward_time;
+  }
+
+let table4_data (ctx : Context.t) =
+  [
+    row "TF+XLA" ctx.xla_mha;
+    row "PyTorch" ctx.pt_mha;
+    row "cuDNN" ctx.cudnn_mha;
+    row "Ours" ctx.ours_mha;
+  ]
+
+let table5_data (ctx : Context.t) =
+  [
+    row "PyTorch" ctx.pt;
+    row "TF+XLA" ctx.xla;
+    row "DeepSpeed" ctx.ds;
+    row "Ours" ctx.ours_report;
+  ]
+
+let render_framework_table title rows =
+  title ^ "\n"
+  ^ Table_fmt.render
+      ~header:("" :: List.map (fun r -> r.framework) rows)
+      [
+        "Forward (ms)" :: List.map (fun r -> Table_fmt.ms r.forward_time) rows;
+        "Backward (ms)" :: List.map (fun r -> Table_fmt.ms r.backward_time) rows;
+      ]
+
+let table4 ctx =
+  render_framework_table "Table IV: Multi-head attention performance for BERT"
+    (table4_data ctx)
+
+let table5 ctx =
+  render_framework_table "Table V: Full BERT encoder layer performance"
+    (table5_data ctx)
+
+let framework_csv rows =
+  Table_fmt.render_csv ~header:[ "framework"; "forward_ms"; "backward_ms" ]
+    (List.map
+       (fun r ->
+         [ r.framework; Table_fmt.ms r.forward_time; Table_fmt.ms r.backward_time ])
+       rows)
+
+let csv ctx = function
+  | 1 ->
+      Table_fmt.render_csv ~header:[ "class"; "flop_pct"; "runtime_pct" ]
+        (List.map
+           (fun r ->
+             [
+               Sdfg.Opclass.to_string r.cls;
+               Table_fmt.f2 r.flop_pct;
+               Table_fmt.f2 r.runtime_pct;
+             ])
+           (table1_data ctx))
+  | 2 ->
+      Table_fmt.render_csv ~header:[ "variant"; "forward_us"; "backward_us" ]
+        (List.map
+           (fun r ->
+             [
+               Transformer.Encoder.variant_to_string r.variant;
+               Table_fmt.us r.forward_s;
+               Table_fmt.us r.backward_s;
+             ])
+           (table2_data ~device:ctx.Context.device ctx.Context.hp))
+  | 3 ->
+      Table_fmt.render_csv
+        ~header:
+          [
+            "pass"; "kernel"; "class"; "gflop"; "input_melems"; "output_melems";
+            "pt_us"; "pt_pct_peak"; "ours_us"; "ours_pct_peak"; "mue"; "speedup";
+            "members";
+          ]
+        (List.map
+           (fun r ->
+             [
+               (if r.backward then "backward" else "forward");
+               r.kernel;
+               Sdfg.Opclass.to_string r.row_cls;
+               Table_fmt.f2 r.gflop;
+               Table_fmt.f2 r.input_melems;
+               Table_fmt.f2 r.output_melems;
+               Table_fmt.us r.pt_time;
+               Table_fmt.f1 r.pt_pct_peak;
+               Table_fmt.us r.ours_time;
+               Table_fmt.f1 r.ours_pct_peak;
+               Table_fmt.f1 r.mue;
+               Table_fmt.f2 r.speedup;
+               String.concat "+" r.members;
+             ])
+           (table3_data ctx))
+  | 4 -> framework_csv (table4_data ctx)
+  | 5 -> framework_csv (table5_data ctx)
+  | n -> invalid_arg (Printf.sprintf "Tables.csv: no table %d (1-5)" n)

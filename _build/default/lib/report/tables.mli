@@ -1,0 +1,71 @@
+(** Regeneration of the paper's tables. Each table has a [_data] accessor
+    returning structured rows (used by the tests) and a renderer producing
+    the text table. *)
+
+(** {1 Table I — operator class proportions} *)
+
+type class_row = {
+  cls : Sdfg.Opclass.t;
+  flop_pct : float;  (** share of flop, percent *)
+  runtime_pct : float;  (** share of PyTorch runtime, percent *)
+}
+
+val table1_data : Context.t -> class_row list
+val table1 : Context.t -> string
+
+(** {1 Table II — algebraic fusion for MHA Q/K/V} *)
+
+type algebraic_row = {
+  variant : Transformer.Encoder.qkv_variant;
+  forward_s : float;
+  backward_s : float;
+}
+
+val table2_data :
+  ?device:Gpu.Device.t -> Transformer.Hparams.t -> algebraic_row list
+
+val table2 : Context.t -> string
+
+(** {1 Table III — per-operator flop analysis of the encoder layer} *)
+
+type op_row = {
+  kernel : string;  (** fused kernel (or contraction) name *)
+  members : string list;  (** unfused operators it covers *)
+  row_cls : Sdfg.Opclass.t;
+  gflop : float;  (** binary Gflop, as the paper counts *)
+  input_melems : float;
+  output_melems : float;
+  pt_time : float;  (** summed PyTorch member kernel times, s *)
+  pt_pct_peak : float;
+  ours_time : float;  (** selected configuration time, s *)
+  ours_pct_peak : float;
+  mue : float;
+  speedup : float;
+  backward : bool;
+}
+
+val table3_data : Context.t -> op_row list
+val table3 : Context.t -> string
+
+(** [table3_class_totals ctx] is the bottom block of Table III: per-class
+    total flop, PyTorch time and our time. *)
+val table3_class_totals :
+  Context.t -> (Sdfg.Opclass.t * float * float * float) list
+
+(** {1 Tables IV and V — MHA and encoder-layer comparisons} *)
+
+type framework_row = {
+  framework : string;
+  forward_time : float;  (** s *)
+  backward_time : float;
+}
+
+val table4_data : Context.t -> framework_row list
+val table4 : Context.t -> string
+val table5_data : Context.t -> framework_row list
+val table5 : Context.t -> string
+
+(** {1 Machine-readable export}
+
+    [csv ctx n] renders table [n] (1–5) as CSV, for downstream plotting. *)
+val csv : Context.t -> int -> string

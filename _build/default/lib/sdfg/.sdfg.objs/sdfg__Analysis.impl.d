@@ -1,0 +1,1 @@
+lib/sdfg/analysis.ml: Format Graph Hashtbl List Opclass

@@ -1,0 +1,1 @@
+lib/sdfg/analysis.mli: Format Graph Opclass

@@ -1,0 +1,1 @@
+lib/sdfg/dot.ml: Analysis Buffer Fun Graph List Opclass Printf Shape String

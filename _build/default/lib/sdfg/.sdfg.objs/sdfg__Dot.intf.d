@@ -1,0 +1,1 @@
+lib/sdfg/dot.mli: Graph

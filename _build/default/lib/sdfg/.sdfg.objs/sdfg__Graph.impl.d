@@ -1,0 +1,1 @@
+lib/sdfg/graph.ml: Array Hashtbl List Opclass Printf Queue Shape Stdlib String

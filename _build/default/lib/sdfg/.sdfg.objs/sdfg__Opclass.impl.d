@@ -1,0 +1,1 @@
+lib/sdfg/opclass.ml: Format Stdlib

@@ -1,0 +1,1 @@
+lib/sdfg/opclass.mli: Format

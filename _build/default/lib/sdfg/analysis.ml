@@ -1,0 +1,92 @@
+type boundedness = Io_dominated | Balanced | Flop_dominated
+
+type op_report = {
+  op : Graph.op;
+  flop : int;
+  read_elems : int;
+  write_elems : int;
+  flop_per_element : float;
+  bound : boundedness;
+}
+
+type class_share = {
+  cls : Opclass.t;
+  class_flop : int;
+  flop_share : float;
+  op_count : int;
+}
+
+let classify_ratio ratio =
+  if ratio < 1.0 then Io_dominated
+  else if ratio <= 4.0 then Balanced
+  else Flop_dominated
+
+let analyze_op g (op : Graph.op) =
+  let read_elems = Graph.read_elements g op in
+  let write_elems = Graph.write_elements g op in
+  let moved = read_elems + write_elems in
+  let flop_per_element =
+    if moved = 0 then 0.0 else float_of_int op.flop /. float_of_int moved
+  in
+  {
+    op;
+    flop = op.flop;
+    read_elems;
+    write_elems;
+    flop_per_element;
+    bound = classify_ratio flop_per_element;
+  }
+
+let analyze g = List.map (analyze_op g) (Graph.topological_ops g)
+
+let total_flop g =
+  List.fold_left (fun acc (op : Graph.op) -> acc + op.flop) 0 (Graph.ops g)
+
+let total_moved_elements g =
+  List.fold_left (fun acc op -> acc + Graph.io_elements g op) 0 (Graph.ops g)
+
+let class_shares g =
+  let total = total_flop g in
+  List.map
+    (fun cls ->
+      let ops = List.filter (fun (o : Graph.op) -> Opclass.equal o.cls cls) (Graph.ops g) in
+      let class_flop = List.fold_left (fun acc (o : Graph.op) -> acc + o.flop) 0 ops in
+      let flop_share =
+        if total = 0 then 0.0 else float_of_int class_flop /. float_of_int total
+      in
+      { cls; class_flop; flop_share; op_count = List.length ops })
+    Opclass.all
+
+let unique_io_elements g ops =
+  let seen = Hashtbl.create 16 in
+  let interior = Hashtbl.create 16 in
+  (* A container both written and read strictly inside the op set is interim
+     storage a fused kernel never materializes: written by one of [ops] and
+     read only by ops in [ops]. *)
+  let in_set name =
+    let mem op = List.memq op ops in
+    let producers = Graph.producers g name and consumers = Graph.consumers g name in
+    producers <> [] && consumers <> []
+    && List.for_all mem producers && List.for_all mem consumers
+  in
+  List.iter
+    (fun (op : Graph.op) ->
+      List.iter
+        (fun name ->
+          if in_set name then Hashtbl.replace interior name ()
+          else Hashtbl.replace seen name ())
+        (op.reads @ op.writes))
+    ops;
+  Hashtbl.fold (fun name () acc -> acc + Graph.volume_of g name) seen 0
+
+let boundedness_to_string = function
+  | Io_dominated -> "IO > flop"
+  | Balanced -> "IO ~ flop"
+  | Flop_dominated -> "IO < flop"
+
+let pp_report ppf r =
+  Format.fprintf ppf "%s %-24s flop=%-12d io=%-10d flop/elem=%-8.2f %s"
+    (Opclass.symbol r.op.cls) r.op.op_name r.flop
+    (r.read_elems + r.write_elems)
+    r.flop_per_element
+    (boundedness_to_string r.bound)

@@ -1,0 +1,47 @@
+(** Dataflow analysis over SDFGs (paper §III-A).
+
+    Annotates each operator with flop, moved elements and their ratio,
+    classifies boundedness, and aggregates per-class proportions — the data
+    behind Fig. 1b, Fig. 2 and Table I's flop column. *)
+
+type boundedness =
+  | Io_dominated  (** IO > flop: runtime is data movement *)
+  | Balanced  (** IO ~ flop (within a factor of 4) *)
+  | Flop_dominated  (** IO < flop: compute has a chance to dominate *)
+
+type op_report = {
+  op : Graph.op;
+  flop : int;
+  read_elems : int;
+  write_elems : int;
+  flop_per_element : float;  (** flop / (elements moved) *)
+  bound : boundedness;
+}
+
+type class_share = {
+  cls : Opclass.t;
+  class_flop : int;
+  flop_share : float;  (** fraction of total flop, in [0,1] *)
+  op_count : int;
+}
+
+val analyze_op : Graph.t -> Graph.op -> op_report
+
+(** [analyze g] reports every operator in topological order. *)
+val analyze : Graph.t -> op_report list
+
+(** [class_shares g] aggregates flop by operator class (Table I, column 1). *)
+val class_shares : Graph.t -> class_share list
+
+(** [total_flop g] and [total_moved_elements g] sum over all operators. *)
+val total_flop : Graph.t -> int
+
+val total_moved_elements : Graph.t -> int
+
+(** [unique_io_elements g ops] counts each container once even if several of
+    [ops] touch it — the data movement a kernel fusing those ops would pay
+    (paper §VI-C's 22.91% saving computation). *)
+val unique_io_elements : Graph.t -> Graph.op list -> int
+
+val boundedness_to_string : boundedness -> string
+val pp_report : Format.formatter -> op_report -> unit

@@ -1,0 +1,54 @@
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let shape_of = function
+  | Opclass.Contraction -> "triangle"
+  | Opclass.Normalization -> "box"
+  | Opclass.Elementwise -> "ellipse"
+
+let to_dot ?(title = "sdfg") g =
+  let buf = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "digraph \"%s\" {\n" (escape title);
+  pf "  rankdir=TB;\n  node [fontname=\"Helvetica\"];\n";
+  List.iter
+    (fun name ->
+      pf "  \"data_%s\" [label=\"%s\\n%s\", shape=plaintext];\n" (escape name)
+        (escape name)
+        (escape (Shape.to_string (Graph.data_shape g name))))
+    (Graph.data_names g);
+  List.iteri
+    (fun i (op : Graph.op) ->
+      let report = Analysis.analyze_op g op in
+      pf
+        "  \"op_%d\" [label=\"%s\\n%d flop, %.2g flop/elem\", shape=%s, \
+         style=filled, fillcolor=\"%s\"];\n"
+        i (escape op.op_name) op.flop report.flop_per_element
+        (shape_of op.cls)
+        (match report.bound with
+        | Analysis.Io_dominated -> "#f4cccc"
+        | Analysis.Balanced -> "#fff2cc"
+        | Analysis.Flop_dominated -> "#d9ead3");
+      List.iter
+        (fun r ->
+          pf "  \"data_%s\" -> \"op_%d\" [label=\"%d\"];\n" (escape r) i
+            (Graph.volume_of g r))
+        op.reads;
+      List.iter
+        (fun w ->
+          pf "  \"op_%d\" -> \"data_%s\" [label=\"%d\"];\n" i (escape w)
+            (Graph.volume_of g w))
+        op.writes)
+    (Graph.ops g);
+  pf "}\n";
+  Buffer.contents buf
+
+let write_file ?title g path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_dot ?title g))

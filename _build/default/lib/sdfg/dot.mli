@@ -1,0 +1,8 @@
+(** Graphviz export of SDFGs, styled like the paper's Fig. 1b / Fig. 2:
+    operator nodes are shaped by class (triangle / box / ellipse), data
+    nodes are plain, and edges carry element volumes. *)
+
+val to_dot : ?title:string -> Graph.t -> string
+
+(** [write_file g path] renders and writes the dot source. *)
+val write_file : ?title:string -> Graph.t -> string -> unit

@@ -1,0 +1,115 @@
+type op = {
+  op_name : string;
+  cls : Opclass.t;
+  flop : int;
+  reads : string list;
+  writes : string list;
+  backward : bool;
+}
+
+type t = {
+  data : (string, Shape.t) Hashtbl.t;
+  mutable op_list : op list; (* reverse insertion order *)
+}
+
+let create () = { data = Hashtbl.create 64; op_list = [] }
+
+let add_data g name shape =
+  match Hashtbl.find_opt g.data name with
+  | None -> Hashtbl.add g.data name shape
+  | Some existing ->
+      if not (Shape.same_semantics existing shape) then
+        invalid_arg
+          (Printf.sprintf "Graph.add_data: %s redeclared with shape %s (was %s)"
+             name (Shape.to_string shape) (Shape.to_string existing))
+
+let has_data g name = Hashtbl.mem g.data name
+
+let data_shape g name =
+  match Hashtbl.find_opt g.data name with
+  | Some s -> s
+  | None -> invalid_arg ("Graph.data_shape: unknown container " ^ name)
+
+let add_op g op =
+  List.iter
+    (fun name ->
+      if not (has_data g name) then
+        invalid_arg
+          (Printf.sprintf "Graph.add_op: op %s references unknown container %s"
+             op.op_name name))
+    (op.reads @ op.writes);
+  g.op_list <- op :: g.op_list
+
+let ops g = List.rev g.op_list
+
+let data_names g =
+  Hashtbl.fold (fun name _ acc -> name :: acc) g.data []
+  |> List.sort String.compare
+
+let volume_of g name = Shape.volume (data_shape g name)
+
+let read_elements g op =
+  List.fold_left (fun acc name -> acc + volume_of g name) 0 op.reads
+
+let write_elements g op =
+  List.fold_left (fun acc name -> acc + volume_of g name) 0 op.writes
+
+let io_elements g op = read_elements g op + write_elements g op
+
+let producers g name = List.filter (fun op -> List.mem name op.writes) (ops g)
+let consumers g name = List.filter (fun op -> List.mem name op.reads) (ops g)
+
+(* Kahn's algorithm over op nodes; an op depends on all producers of its
+   reads that were inserted before it (write-after-read hazards are resolved
+   by insertion order, which models program order). *)
+let topological_ops g =
+  let all = Array.of_list (ops g) in
+  let n = Array.length all in
+  (* last_writer.(j) for op i: op j < i wrote one of i's reads. *)
+  let deps = Array.make n [] in
+  let indeg = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let seen = Hashtbl.create 4 in
+    for j = 0 to n - 1 do
+      if j <> i then begin
+        let writes_read =
+          List.exists (fun w -> List.mem w all.(i).reads) all.(j).writes
+        in
+        (* program order resolves duplicate writers *)
+        if writes_read && j < i && not (Hashtbl.mem seen j) then begin
+          Hashtbl.add seen j ();
+          deps.(j) <- i :: deps.(j);
+          indeg.(i) <- indeg.(i) + 1
+        end
+      end
+    done
+  done;
+  let queue = Queue.create () in
+  for i = 0 to n - 1 do
+    if indeg.(i) = 0 then Queue.add i queue
+  done;
+  let order = ref [] in
+  let count = ref 0 in
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    order := all.(i) :: !order;
+    incr count;
+    List.iter
+      (fun j ->
+        indeg.(j) <- indeg.(j) - 1;
+        if indeg.(j) = 0 then Queue.add j queue)
+      (List.sort Stdlib.compare deps.(i))
+  done;
+  if !count <> n then invalid_arg "Graph.topological_ops: cyclic graph";
+  List.rev !order
+
+let validate g =
+  match topological_ops g with
+  | exception Invalid_argument msg -> Error msg
+  | _ ->
+      let written = Hashtbl.create 64 in
+      List.iter
+        (fun op -> List.iter (fun w -> Hashtbl.replace written w ()) op.writes)
+        (ops g);
+      (* Containers that are read before any write are inputs: fine. *)
+      Ok ()

@@ -1,0 +1,64 @@
+(** Stateful dataflow multigraph (SDFG) — the graph IR of the reproduction.
+
+    A graph holds data containers (named tensors with shapes) and operator
+    nodes; every read and write edge carries its exact data volume in
+    elements, so data-movement analysis (paper §III-A) is a graph traversal.
+    The "multigraph" aspect matters: an operator may read the same container
+    several times (e.g. a residual connection), and each edge is accounted
+    separately. *)
+
+type t
+
+type op = {
+  op_name : string;
+  cls : Opclass.t;
+  flop : int;  (** floating-point operations performed *)
+  reads : string list;  (** names of data containers read *)
+  writes : string list;  (** names of data containers written *)
+  backward : bool;  (** belongs to backpropagation *)
+}
+
+val create : unit -> t
+
+(** [add_data g name shape] declares a data container. Re-declaring an
+    existing name with the same semantic shape is a no-op; with a different
+    shape it raises [Invalid_argument]. *)
+val add_data : t -> string -> Shape.t -> unit
+
+(** [add_op g op] appends an operator; all read containers must already be
+    declared, written containers are declared implicitly only if
+    [add_data] was called for them before. Raises on unknown containers. *)
+val add_op : t -> op -> unit
+
+val data_shape : t -> string -> Shape.t
+val has_data : t -> string -> bool
+val ops : t -> op list
+val data_names : t -> string list
+
+(** [volume_of g name] is the element count of a container. *)
+val volume_of : t -> string -> int
+
+(** [read_elements g op] / [write_elements g op] are the total elements moved
+    by the operator's read / write edges (multireads counted once per edge,
+    as the hardware must fetch each logical operand). *)
+val read_elements : t -> op -> int
+
+val write_elements : t -> op -> int
+
+(** [io_elements g op] is reads + writes. *)
+val io_elements : t -> op -> int
+
+(** [producers g name] lists ops writing a container, [consumers g name]
+    ops reading it, in insertion order. *)
+val producers : t -> string -> op list
+
+val consumers : t -> string -> op list
+
+(** [topological_ops g] orders operators so every producer precedes its
+    consumers. Raises [Invalid_argument] on a cyclic graph. Insertion order
+    is used as the tie-break, so a well-built graph round-trips. *)
+val topological_ops : t -> op list
+
+(** [validate g] checks the graph is acyclic and every read container is
+    either written by some op or is a graph input. *)
+val validate : t -> (unit, string) result

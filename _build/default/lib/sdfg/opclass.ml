@@ -1,0 +1,17 @@
+type t = Contraction | Normalization | Elementwise
+
+let equal = ( = )
+let compare = Stdlib.compare
+
+let to_string = function
+  | Contraction -> "tensor contraction"
+  | Normalization -> "stat. normalization"
+  | Elementwise -> "element-wise"
+
+let symbol = function
+  | Contraction -> "^"
+  | Normalization -> "#"
+  | Elementwise -> "o"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+let all = [ Contraction; Normalization; Elementwise ]

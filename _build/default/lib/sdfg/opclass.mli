@@ -1,0 +1,20 @@
+(** The paper's three-way operator classification (§III-B).
+
+    - Tensor contractions: MMMs and batched MMMs — compute-intensive,
+      layout- and algorithm-sensitive.
+    - Statistical normalizations: softmax, layer normalization — one or more
+      reductions whose result is applied via a map.
+    - Element-wise: biases, dropout, activations, residuals — the least
+      compute-intensive. *)
+
+type t = Contraction | Normalization | Elementwise
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val to_string : t -> string
+
+(** [symbol] is the paper's marker: triangle, square, circle. *)
+val symbol : t -> string
+
+val pp : Format.formatter -> t -> unit
+val all : t list

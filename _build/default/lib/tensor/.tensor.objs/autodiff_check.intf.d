@@ -1,0 +1,1 @@
+lib/tensor/autodiff_check.mli: Axis Dense Prng

@@ -1,0 +1,1 @@
+lib/tensor/axis.ml: Format List Printf String

@@ -1,0 +1,1 @@
+lib/tensor/axis.mli: Format

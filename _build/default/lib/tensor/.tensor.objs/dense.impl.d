@@ -1,0 +1,1 @@
+lib/tensor/dense.ml: Array Axis Float Format Half Layout List Prng Shape Stdlib

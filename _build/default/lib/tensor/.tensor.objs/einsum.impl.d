@@ -1,0 +1,1 @@
+lib/tensor/einsum.ml: Array Axis Dense Hashtbl List Printf Shape String

@@ -1,0 +1,1 @@
+lib/tensor/einsum.mli: Axis Dense

@@ -1,0 +1,1 @@
+lib/tensor/half.ml: Float Int32

@@ -1,0 +1,1 @@
+lib/tensor/layout.ml: Array Axis Format List Stdlib String

@@ -1,0 +1,1 @@
+lib/tensor/prng.ml: Char Float Int64 String

@@ -1,0 +1,1 @@
+lib/tensor/shape.ml: Array Axis Format List

@@ -1,0 +1,22 @@
+(** Numerical gradient checking.
+
+    The paper splits backpropagation into dX (input gradients) and dW
+    (weight gradients) computed by hand-derived kernels; this module
+    validates those derivations against central finite differences. *)
+
+(** [numerical_gradient ~f x] approximates d f / d x element-wise with
+    central differences of step [eps] (default [1e-5]). *)
+val numerical_gradient : ?eps:float -> f:(Dense.t -> float) -> Dense.t -> Dense.t
+
+(** [check ~f ~grad x] compares the analytic gradient [grad] at [x] against
+    finite differences of [f]. Returns [(ok, max_abs_err)]; [ok] holds when
+    every component differs by at most [tol] (default [1e-4]). *)
+val check :
+  ?eps:float -> ?tol:float -> f:(Dense.t -> float) -> grad:Dense.t -> Dense.t
+  -> bool * float
+
+(** [scalarize prng t] builds a random linear functional [fun y -> sum (w * y)]
+    with fixed weights drawn from [prng], plus the corresponding cotangent
+    [w]; pairing it with a forward function gives a scalar loss whose exact
+    output gradient is [w], ideal for checking dX/dW kernels. *)
+val scalarize : Prng.t -> (Axis.t * int) list -> (Dense.t -> float) * Dense.t

@@ -1,0 +1,26 @@
+type t = string
+
+let equal = String.equal
+let compare = String.compare
+let pp = Format.pp_print_string
+
+let valid_char c = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '_'
+
+let validate a =
+  if String.length a = 0 then invalid_arg "Axis.validate: empty axis name";
+  String.iter
+    (fun c ->
+      if not (valid_char c) then
+        invalid_arg (Printf.sprintf "Axis.validate: bad character %C in %S" c a))
+    a
+
+let distinct axes =
+  let sorted = List.sort_uniq compare axes in
+  List.length sorted = List.length axes
+
+let mem a l = List.exists (equal a) l
+let union l1 l2 = l1 @ List.filter (fun a -> not (mem a l1)) l2
+let inter l1 l2 = List.filter (fun a -> mem a l2) l1
+let diff l1 l2 = List.filter (fun a -> not (mem a l2)) l1
+let subset l1 l2 = List.for_all (fun a -> mem a l2) l1
+let equal_sets l1 l2 = subset l1 l2 && subset l2 l1

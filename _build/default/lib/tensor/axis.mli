@@ -1,0 +1,29 @@
+(** Named tensor axes.
+
+    Every tensor dimension in this project carries a short symbolic name, as
+    in the paper's einsum notation ("p", "h", "i", "b", "j", "k", "w", "u").
+    Naming axes makes tensor semantics independent of their storage layout:
+    a data-layout change is a pure permutation of named axes and can never
+    change what an operator computes. *)
+
+type t = string
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+(** [validate a] raises [Invalid_argument] when [a] is empty or contains a
+    character outside [a-z0-9_]. Axis names appear in einsum strings and in
+    configuration keys, so we keep them to a predictable alphabet. *)
+val validate : t -> unit
+
+(** [distinct axes] checks that no axis name repeats. *)
+val distinct : t list -> bool
+
+(** Set-like helpers over small axis lists (kept as lists: ranks are <= 5). *)
+
+val union : t list -> t list -> t list
+val inter : t list -> t list -> t list
+val diff : t list -> t list -> t list
+val subset : t list -> t list -> bool
+val equal_sets : t list -> t list -> bool

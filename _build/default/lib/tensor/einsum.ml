@@ -1,0 +1,120 @@
+type spec = { operands : Axis.t list list; result : Axis.t list }
+
+let letters s = List.init (String.length s) (fun i -> String.make 1 s.[i])
+
+let parse str =
+  match String.index_opt str '-' with
+  | Some i when i + 1 < String.length str && str.[i + 1] = '>' ->
+      let lhs = String.sub str 0 i in
+      let rhs = String.sub str (i + 2) (String.length str - i - 2) in
+      let operands = List.map letters (String.split_on_char ',' lhs) in
+      let result = letters rhs in
+      List.iter
+        (fun op ->
+          if not (Axis.distinct op) then
+            invalid_arg ("Einsum.parse: repeated axis in operand of " ^ str))
+        (result :: operands);
+      { operands; result }
+  | _ -> invalid_arg ("Einsum.parse: missing '->' in " ^ str)
+
+let spec_to_string { operands; result } =
+  String.concat "," (List.map (String.concat "") operands)
+  ^ "->"
+  ^ String.concat "" result
+
+let axis_sizes inputs =
+  (* Collect sizes of all named axes across inputs, checking consistency. *)
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun t ->
+      List.iter
+        (fun (a, d) ->
+          match Hashtbl.find_opt table a with
+          | None -> Hashtbl.add table a d
+          | Some d' ->
+              if d <> d' then
+                invalid_arg
+                  (Printf.sprintf "Einsum: axis %s has sizes %d and %d" a d' d))
+        (Shape.to_list (Dense.shape t)))
+    inputs;
+  table
+
+let contract ?(scale = 1.0) inputs ~out =
+  if inputs = [] then invalid_arg "Einsum.contract: no inputs";
+  let sizes = axis_sizes inputs in
+  let size a =
+    match Hashtbl.find_opt sizes a with
+    | Some d -> d
+    | None -> invalid_arg ("Einsum.contract: output axis absent from inputs: " ^ a)
+  in
+  let all_in_axes =
+    List.fold_left (fun acc t -> Axis.union acc (Dense.axes t)) [] inputs
+  in
+  let reduced = Axis.diff all_in_axes out in
+  let loop_axes = out @ reduced in
+  let out_t = Dense.zeros (List.map (fun a -> (a, size a)) out) in
+  let dims = Array.of_list (List.map size loop_axes) in
+  let n = Array.length dims in
+  let strides =
+    Array.of_list (List.map (fun t -> Dense.strides_for t loop_axes) inputs)
+  in
+  let out_strides = Dense.strides_for out_t loop_axes in
+  let datas = Array.of_list (List.map Dense.unsafe_data inputs) in
+  let out_data = Dense.unsafe_data out_t in
+  let k = Array.length datas in
+  let offs = Array.make k 0 in
+  let out_off = ref 0 in
+  let idx = Array.make n 0 in
+  let total = Array.fold_left ( * ) 1 dims in
+  for _ = 1 to total do
+    let p = ref scale in
+    for i = 0 to k - 1 do
+      p := !p *. datas.(i).(offs.(i))
+    done;
+    out_data.(!out_off) <- out_data.(!out_off) +. !p;
+    let rec bump d =
+      if d >= 0 then begin
+        idx.(d) <- idx.(d) + 1;
+        for i = 0 to k - 1 do
+          offs.(i) <- offs.(i) + strides.(i).(d)
+        done;
+        out_off := !out_off + out_strides.(d);
+        if idx.(d) = dims.(d) then begin
+          idx.(d) <- 0;
+          for i = 0 to k - 1 do
+            offs.(i) <- offs.(i) - (strides.(i).(d) * dims.(d))
+          done;
+          out_off := !out_off - (out_strides.(d) * dims.(d));
+          bump (d - 1)
+        end
+      end
+    in
+    bump (n - 1)
+  done;
+  out_t
+
+let eval ?scale str inputs =
+  let spec = parse str in
+  if List.length spec.operands <> List.length inputs then
+    invalid_arg ("Einsum.eval: operand count mismatch for " ^ str);
+  List.iter2
+    (fun op t ->
+      if not (Axis.equal_sets op (Dense.axes t)) then
+        invalid_arg
+          (Printf.sprintf "Einsum.eval: tensor axes {%s} do not match operand %s"
+             (String.concat "," (Dense.axes t))
+             (String.concat "" op)))
+    spec.operands inputs;
+  contract ?scale inputs ~out:spec.result
+
+let loop_axes_of spec =
+  let all_in = List.fold_left Axis.union [] spec.operands in
+  Axis.union spec.result all_in
+
+let flops spec ~size =
+  let loop = loop_axes_of spec in
+  2 * List.fold_left (fun acc a -> acc * size a) 1 loop
+
+let io_elements spec ~size =
+  let volume axes = List.fold_left (fun acc a -> acc * size a) 1 axes in
+  List.fold_left (fun acc op -> acc + volume op) (volume spec.result) spec.operands

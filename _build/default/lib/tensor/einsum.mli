@@ -1,0 +1,33 @@
+(** Einstein-summation tensor contraction over named axes.
+
+    Mirrors the paper's use of [np.einsum] in the SDFG input code, e.g.
+    [eval "phi,ibj->phbj" [wq; q]] computes the query projection of
+    multi-head attention. Axes shared between inputs but absent from the
+    output are summed over. *)
+
+type spec = { operands : Axis.t list list; result : Axis.t list }
+
+(** [parse "phi,ibj->phbj"] splits a single-character-axis spec. *)
+val parse : string -> spec
+
+val spec_to_string : spec -> string
+
+(** [contract ?scale inputs ~out] contracts any number of tensors. Every
+    output axis must occur in at least one input; axes occurring in inputs
+    but not in [out] are reduced. Sizes of equally-named axes must agree.
+    [scale] multiplies the result (the paper folds the softmax scaling into
+    a contraction this way). The result's storage order is [out]. *)
+val contract : ?scale:float -> Dense.t list -> out:Axis.t list -> Dense.t
+
+(** [eval ?scale spec_string inputs] checks each input's axis set against the
+    spec operand (order-insensitive: layouts are free) and contracts. *)
+val eval : ?scale:float -> string -> Dense.t list -> Dense.t
+
+(** [flops spec ~size] is the number of floating-point operations (2 x the
+    loop volume: one multiply and one accumulate) for the contraction when
+    axis extents are given by [size]. *)
+val flops : spec -> size:(Axis.t -> int) -> int
+
+(** [io_elements spec ~size] is the number of input plus output elements
+    touched, the minimum data movement of the contraction. *)
+val io_elements : spec -> size:(Axis.t -> int) -> int

@@ -1,0 +1,74 @@
+let bytes_per_element = 2
+let max_value = 65504.0
+let min_positive_normal = 0x1p-14
+let min_positive_subnormal = 0x1p-24
+let epsilon = 0x1p-10
+
+let is_nan bits =
+  let bits = bits land 0xFFFF in
+  bits land 0x7C00 = 0x7C00 && bits land 0x03FF <> 0
+
+let is_infinite bits =
+  let bits = bits land 0xFFFF in
+  bits land 0x7FFF = 0x7C00
+
+(* Conversion goes through the binary32 pattern: float -> float32 bits is
+   exact for the purposes of half rounding because every half is exactly
+   representable in binary32 and double->single rounding composed with
+   single->half rounding equals direct double->half rounding for all doubles
+   that are not in a narrow double-rounding band; we avoid that band by
+   rounding directly from the binary32 pattern with round-to-nearest-even on
+   the 13 truncated bits. *)
+let of_float f =
+  let bits32 = Int32.bits_of_float f in
+  let sign = Int32.to_int (Int32.shift_right_logical bits32 16) land 0x8000 in
+  let abs32 = Int32.logand bits32 0x7FFFFFFFl in
+  if Int32.unsigned_compare abs32 0x7F800000l > 0 then
+    (* NaN: keep it a NaN, set a payload bit. *)
+    sign lor 0x7E00
+  else if Int32.unsigned_compare abs32 0x7F800000l >= 0 then sign lor 0x7C00
+  else begin
+    let e32 = Int32.to_int (Int32.shift_right_logical abs32 23) in
+    let m32 = Int32.to_int (Int32.logand abs32 0x007FFFFFl) in
+    if e32 >= 143 then sign lor 0x7C00 (* exponent overflow: infinity *)
+    else if e32 >= 113 then begin
+      (* Normal half: exponent in [-14, 15]. *)
+      let e16 = e32 - 112 in
+      let m16 = m32 lsr 13 in
+      let rem = m32 land 0x1FFF in
+      let half = 0x1000 in
+      let rounded =
+        if rem > half || (rem = half && m16 land 1 = 1) then m16 + 1 else m16
+      in
+      (* Mantissa carry propagates into the exponent naturally. *)
+      sign lor ((e16 lsl 10) + rounded)
+    end
+    else begin
+      (* Subnormal half: the value is (1.m32) * 2^(e32-127) = full *
+         2^(e32-150); in units of the subnormal quantum 2^-24 that is
+         full >> (126 - e32), rounded to nearest even. *)
+      let shift = 126 - e32 in
+      if shift > 24 then sign (* underflow to signed zero *)
+      else begin
+        let full = m32 lor 0x800000 in
+        let m16 = full lsr shift in
+        let rem = full land ((1 lsl shift) - 1) in
+        let half = 1 lsl (shift - 1) in
+        let rounded =
+          if rem > half || (rem = half && m16 land 1 = 1) then m16 + 1 else m16
+        in
+        sign lor rounded
+      end
+    end
+  end
+
+let to_float bits =
+  let bits = bits land 0xFFFF in
+  let sign = if bits land 0x8000 <> 0 then -1.0 else 1.0 in
+  let e = (bits lsr 10) land 0x1F in
+  let m = bits land 0x3FF in
+  if e = 0x1F then if m = 0 then sign *. infinity else Float.nan
+  else if e = 0 then sign *. float_of_int m *. 0x1p-24
+  else sign *. float_of_int (m lor 0x400) *. Float.ldexp 1.0 (e - 25)
+
+let round f = to_float (of_float f)

@@ -1,0 +1,30 @@
+(** IEEE 754 binary16 ("half precision", FP16) codec.
+
+    The paper trains in mixed precision: FP16 storage with FP32 accumulation.
+    In this reproduction, arithmetic runs in OCaml's 64-bit floats while FP16
+    enters in two places: the cost model counts 2 bytes per stored element,
+    and this codec allows (optionally) rounding activations through binary16
+    to reproduce mixed-precision storage semantics and to test against the
+    IEEE format. *)
+
+(** [of_float f] rounds [f] to the nearest binary16 value (ties to even) and
+    returns its 16-bit pattern. Overflow yields infinity; NaN is preserved. *)
+val of_float : float -> int
+
+(** [to_float bits] decodes a 16-bit pattern (only low 16 bits are used). *)
+val to_float : int -> float
+
+(** [round f] is [to_float (of_float f)]: the nearest representable half. *)
+val round : float -> float
+
+val bytes_per_element : int
+
+(** Landmark values of the format, used by the tests. *)
+
+val max_value : float (* 65504.0 *)
+val min_positive_normal : float (* 2^-14 *)
+val min_positive_subnormal : float (* 2^-24 *)
+val epsilon : float (* 2^-10, spacing at 1.0 *)
+
+val is_nan : int -> bool
+val is_infinite : int -> bool

@@ -1,0 +1,63 @@
+type t = Axis.t list
+
+let of_axes axes =
+  List.iter Axis.validate axes;
+  if not (Axis.distinct axes) then invalid_arg "Layout.of_axes: duplicate axes";
+  axes
+
+let to_string t = String.concat "," t
+let of_string s = of_axes (String.split_on_char ',' s)
+
+let of_letters s =
+  of_axes (List.init (String.length s) (fun i -> String.make 1 s.[i]))
+
+let equal t1 t2 = List.length t1 = List.length t2 && List.for_all2 Axis.equal t1 t2
+
+let compare t1 t2 = Stdlib.compare (t1 : string list) t2
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let rec insertions x = function
+  | [] -> [ [ x ] ]
+  | y :: ys -> (x :: y :: ys) :: List.map (fun l -> y :: l) (insertions x ys)
+
+let all axes =
+  let rec perms = function
+    | [] -> [ [] ]
+    | x :: xs -> List.concat_map (insertions x) (perms xs)
+  in
+  let ps = perms (of_axes axes) in
+  (* Deterministic order with the identity permutation first. *)
+  let identity = axes in
+  identity :: List.filter (fun p -> not (equal p identity)) (List.sort compare ps)
+
+let is_permutation_of t axes =
+  List.length t = List.length axes && Axis.equal_sets t axes
+
+let innermost t =
+  match List.rev t with
+  | [] -> invalid_arg "Layout.innermost: empty layout"
+  | a :: _ -> a
+
+let position t a =
+  let rec find i = function
+    | [] -> raise Not_found
+    | x :: xs -> if Axis.equal x a then i else find (i + 1) xs
+  in
+  find 0 t
+
+let contiguous_for t a = Axis.equal (innermost t) a
+
+let transpositions t1 t2 =
+  if not (Axis.equal_sets t1 t2) then
+    invalid_arg "Layout.transpositions: layouts over different axes";
+  (* Kendall tau distance: count pairs ordered differently. *)
+  let arr = Array.of_list t1 in
+  let n = Array.length arr in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if position t2 arr.(i) > position t2 arr.(j) then incr count
+    done
+  done;
+  !count

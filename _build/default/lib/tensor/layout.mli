@@ -1,0 +1,43 @@
+(** Data layouts as axis permutations.
+
+    A layout of a tensor with axes {b, j, i} is one of the 3! orderings of
+    those axes; the last axis in the ordering is the fastest-varying
+    ("sequential") dimension in memory. Layout selection (paper §V) explores
+    these permutations per operator; the configuration-selection step
+    (paper §VI-A) then reconciles choices globally. *)
+
+type t = Axis.t list
+
+val of_axes : Axis.t list -> t
+val to_string : t -> string
+val of_string : string -> t
+
+(** [of_letters "phbj"] expands single-character axis names, matching the
+    paper's compact notation. *)
+val of_letters : string -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+(** [all axes] enumerates every permutation of [axes] (rank! layouts),
+    in a deterministic order with the identity first. *)
+val all : Axis.t list -> t list
+
+(** [is_permutation_of l axes] checks [l] uses exactly the axes in [axes]. *)
+val is_permutation_of : t -> Axis.t list -> bool
+
+(** [innermost l] is the fastest-varying (last) axis. *)
+val innermost : t -> Axis.t
+
+(** [position l a] is the index of [a] in the ordering. *)
+val position : t -> Axis.t -> int
+
+(** [contiguous_for l a] holds when axis [a] is the innermost axis, i.e.
+    unit-stride vectorized access along [a] is possible. *)
+val contiguous_for : t -> Axis.t -> bool
+
+(** [transpositions l1 l2] counts the minimum adjacent transposition distance
+    (Kendall tau) between two layouts over the same axes — a proxy for the
+    cost of a physical layout change. *)
+val transpositions : t -> t -> int

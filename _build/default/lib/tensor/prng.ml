@@ -1,0 +1,50 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* splitmix64 finalizer: avalanches the counter into 64 well-mixed bits. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = seed }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let hash64 key =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    key;
+  mix !h
+
+let of_key seed key = create (Int64.logxor seed (hash64 key))
+
+let float t =
+  (* Top 53 bits -> [0, 1). *)
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let uniform t ~lo ~hi = lo +. ((hi -. lo) *. float t)
+
+let gaussian t =
+  let rec nonzero () =
+    let u = float t in
+    if u > 1e-300 then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = float t in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let bernoulli t ~p = float t < p
+
+let int t ~bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let mask = Int64.shift_right_logical (next_int64 t) 1 in
+  Int64.to_int (Int64.rem mask (Int64.of_int bound))
+
+let split t = create (next_int64 t)

@@ -1,0 +1,41 @@
+(** Deterministic pseudo-random number generation (splitmix64).
+
+    The simulator and the dropout operators need reproducible randomness that
+    is independent of evaluation order: fused and unfused executions of the
+    same dropout must draw the identical mask. Each consumer therefore derives
+    its own generator from a seed and a string key. *)
+
+type t
+
+(** [create seed] makes a fresh generator. Equal seeds yield equal streams. *)
+val create : int64 -> t
+
+(** [of_key seed key] derives a generator from [seed] and a string [key]
+    (e.g. an operator name), so distinct operators get decorrelated streams
+    while remaining reproducible. *)
+val of_key : int64 -> string -> t
+
+(** [next_int64 t] advances the state and returns 64 uniformly random bits. *)
+val next_int64 : t -> int64
+
+(** [float t] draws uniformly from [0, 1). *)
+val float : t -> float
+
+(** [uniform t ~lo ~hi] draws uniformly from [lo, hi). *)
+val uniform : t -> lo:float -> hi:float -> float
+
+(** [gaussian t] draws from the standard normal distribution (Box–Muller). *)
+val gaussian : t -> float
+
+(** [bernoulli t ~p] is [true] with probability [p]. *)
+val bernoulli : t -> p:float -> bool
+
+(** [int t ~bound] draws uniformly from [0, bound). [bound] must be > 0. *)
+val int : t -> bound:int -> int
+
+(** [split t] derives an independent generator, advancing [t]. *)
+val split : t -> t
+
+(** [hash64 key] hashes a string to 64 bits (FNV-1a), used for deterministic
+    per-configuration perturbations in the cost model. *)
+val hash64 : string -> int64

@@ -1,0 +1,67 @@
+type t = { axes : Axis.t array; dims : int array }
+
+let create dims_list =
+  let axes = Array.of_list (List.map fst dims_list) in
+  let dims = Array.of_list (List.map snd dims_list) in
+  Array.iter Axis.validate axes;
+  if not (Axis.distinct (Array.to_list axes)) then
+    invalid_arg "Shape.create: duplicate axis names";
+  Array.iter
+    (fun d -> if d <= 0 then invalid_arg "Shape.create: sizes must be positive")
+    dims;
+  { axes; dims }
+
+let rank t = Array.length t.axes
+let volume t = Array.fold_left ( * ) 1 t.dims
+let axes t = Array.to_list t.axes
+let sizes t = Array.to_list t.dims
+let to_list t = List.combine (axes t) (sizes t)
+
+let index t a =
+  let n = rank t in
+  let rec find i =
+    if i >= n then raise Not_found
+    else if Axis.equal t.axes.(i) a then i
+    else find (i + 1)
+  in
+  find 0
+
+let size t a = t.dims.(index t a)
+let mem t a = try ignore (index t a : int); true with Not_found -> false
+
+let strides t =
+  let n = rank t in
+  let st = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    st.(i) <- st.(i + 1) * t.dims.(i + 1)
+  done;
+  st
+
+let reorder t order =
+  if not (Axis.equal_sets order (axes t)) || List.length order <> rank t then
+    invalid_arg "Shape.reorder: order is not a permutation of the axes";
+  create (List.map (fun a -> (a, size t a)) order)
+
+let drop t a =
+  let i = index t a in
+  let keep j = j <> i in
+  let filtered l = List.filteri (fun j _ -> keep j) l in
+  create (List.combine (filtered (axes t)) (filtered (sizes t)))
+
+let equal t1 t2 =
+  rank t1 = rank t2
+  && Array.for_all2 Axis.equal t1.axes t2.axes
+  && Array.for_all2 ( = ) t1.dims t2.dims
+
+let same_semantics t1 t2 =
+  rank t1 = rank t2
+  && List.for_all (fun (a, d) -> mem t2 a && size t2 a = d) (to_list t1)
+
+let pp ppf t =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       (fun ppf (a, d) -> Format.fprintf ppf "%s:%d" a d))
+    (to_list t)
+
+let to_string t = Format.asprintf "%a" pp t

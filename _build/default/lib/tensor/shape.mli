@@ -1,0 +1,49 @@
+(** Ordered, named tensor shapes.
+
+    A shape is an ordered sequence of (axis, size) pairs. The order is the
+    storage order (row-major, last axis fastest-varying) and therefore *is*
+    the data layout; the set of named axes is the layout-independent
+    semantics. *)
+
+type t
+
+(** [create dims] builds a shape; axis names must be valid and distinct and
+    sizes positive. *)
+val create : (Axis.t * int) list -> t
+
+val rank : t -> int
+
+(** [volume s] is the number of elements (product of sizes). *)
+val volume : t -> int
+
+val axes : t -> Axis.t list
+val sizes : t -> int list
+val to_list : t -> (Axis.t * int) list
+
+(** [size s a] is the extent of axis [a]. Raises [Not_found] if absent. *)
+val size : t -> Axis.t -> int
+
+val mem : t -> Axis.t -> bool
+
+(** [index s a] is the position of axis [a] in storage order. *)
+val index : t -> Axis.t -> int
+
+(** [strides s] gives the row-major stride of each axis, in storage order. *)
+val strides : t -> int array
+
+(** [reorder s order] permutes storage order to [order], which must be a
+    permutation of [axes s]. Semantics (named sizes) are unchanged. *)
+val reorder : t -> Axis.t list -> t
+
+(** [drop s a] removes axis [a] (used by reductions). *)
+val drop : t -> Axis.t -> t
+
+(** [equal s1 s2] holds when storage orders and sizes coincide exactly. *)
+val equal : t -> t -> bool
+
+(** [same_semantics s1 s2] holds when the shapes agree as sets of
+    (axis, size) pairs, irrespective of storage order. *)
+val same_semantics : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

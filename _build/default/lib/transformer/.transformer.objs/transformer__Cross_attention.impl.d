@@ -1,0 +1,1 @@
+lib/transformer/cross_attention.ml: Axis Gpu Hparams List Ops Option String Substation

@@ -1,0 +1,1 @@
+lib/transformer/cross_attention.mli: Dense Gpu Hparams Ops

@@ -1,0 +1,1 @@
+lib/transformer/decoder.ml: Encoder Ops

@@ -1,0 +1,1 @@
+lib/transformer/decoder.mli: Dense Encoder Hparams Ops

@@ -1,0 +1,1 @@
+lib/transformer/encoder.ml: Hparams List Ops

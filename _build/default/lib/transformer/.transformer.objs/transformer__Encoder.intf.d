@@ -1,0 +1,1 @@
+lib/transformer/encoder.mli: Axis Dense Hparams Ops

@@ -1,0 +1,1 @@
+lib/transformer/hparams.ml: Format List

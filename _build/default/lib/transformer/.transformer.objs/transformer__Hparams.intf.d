@@ -1,0 +1,1 @@
+lib/transformer/hparams.mli: Axis Format

@@ -1,0 +1,1 @@
+lib/transformer/mha.ml: Encoder List Ops

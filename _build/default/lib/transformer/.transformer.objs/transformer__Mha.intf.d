@@ -1,0 +1,1 @@
+lib/transformer/mha.mli: Dense Encoder Hparams Ops

@@ -1,0 +1,1 @@
+lib/transformer/model.ml: Array Dense Einsum Encoder Float Hparams Int64 List Ops Params Prng Shape

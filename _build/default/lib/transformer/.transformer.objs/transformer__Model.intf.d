@@ -1,0 +1,1 @@
+lib/transformer/model.mli: Dense Hparams Ops

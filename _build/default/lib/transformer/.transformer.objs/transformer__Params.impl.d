@@ -1,0 +1,1 @@
+lib/transformer/params.ml: Dense Encoder Hparams List Prng String

@@ -1,0 +1,1 @@
+lib/transformer/params.mli: Dense Hparams Prng

@@ -1,0 +1,1 @@
+lib/transformer/reference.ml: Dense Einsum Float Hparams List Ops Shape

@@ -1,0 +1,1 @@
+lib/transformer/reference.mli: Dense Hparams

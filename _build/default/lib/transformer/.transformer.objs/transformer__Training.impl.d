@@ -1,0 +1,1 @@
+lib/transformer/training.ml: Array Hparams Lazy Model Prng

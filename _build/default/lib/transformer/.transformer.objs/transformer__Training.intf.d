@@ -1,0 +1,1 @@
+lib/transformer/training.mli: Model Prng

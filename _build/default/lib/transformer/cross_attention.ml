@@ -1,0 +1,259 @@
+type kv_variant = Kv_separate | Kv_fused
+
+let kv_variant_to_string = function
+  | Kv_separate -> "unfused"
+  | Kv_fused -> "KV fused"
+
+let containers (hp : Hparams.t) ~src_seq =
+  let d axes =
+    List.map
+      (fun a -> (a, if Axis.equal a "k" then src_seq else List.assoc a (Hparams.dims hp)))
+      axes
+  in
+  [
+    ("x", d [ "i"; "b"; "j" ]);
+    ("mem", d [ "i"; "b"; "k" ]);
+    ("wq", d [ "p"; "h"; "i" ]);
+    ("wk", d [ "p"; "h"; "i" ]);
+    ("wv", d [ "w"; "h"; "i" ]);
+    ("bq", d [ "p"; "h" ]);
+    ("bk", d [ "p"; "h" ]);
+    ("bv", d [ "w"; "h" ]);
+    ("wo", d [ "w"; "h"; "i" ]);
+    ("bo", d [ "i" ]);
+    ("qq", d [ "p"; "h"; "b"; "j" ]);
+    ("kk", d [ "p"; "h"; "b"; "k" ]);
+    ("vv", d [ "w"; "h"; "b"; "k" ]);
+    ("qqb", d [ "p"; "h"; "b"; "j" ]);
+    ("kkb", d [ "p"; "h"; "b"; "k" ]);
+    ("vvb", d [ "w"; "h"; "b"; "k" ]);
+    ("beta", d [ "h"; "b"; "j"; "k" ]);
+    ("alpha_sm", d [ "h"; "b"; "j"; "k" ]);
+    ("alpha", d [ "h"; "b"; "j"; "k" ]);
+    ("attn_mask", d [ "h"; "b"; "j"; "k" ]);
+    ("gam", d [ "w"; "h"; "b"; "j" ]);
+    ("attn_out", d [ "i"; "b"; "j" ]);
+    ("attn_b", d [ "i"; "b"; "j" ]);
+    ("d_attn_b", d [ "i"; "b"; "j" ]);
+    ("d_gam", d [ "w"; "h"; "b"; "j" ]);
+    ("d_alpha", d [ "h"; "b"; "j"; "k" ]);
+    ("d_alpha_sm", d [ "h"; "b"; "j"; "k" ]);
+    ("d_beta", d [ "h"; "b"; "j"; "k" ]);
+    ("d_qqb", d [ "p"; "h"; "b"; "j" ]);
+    ("d_kkb", d [ "p"; "h"; "b"; "k" ]);
+    ("d_vvb", d [ "w"; "h"; "b"; "k" ]);
+    ("d_x", d [ "i"; "b"; "j" ]);
+    ("d_mem", d [ "i"; "b"; "k" ]);
+    ("d_mem_k", d [ "i"; "b"; "k" ]);
+    ("d_mem_v", d [ "i"; "b"; "k" ]);
+    ("d_wq", d [ "p"; "h"; "i" ]);
+    ("d_wk", d [ "p"; "h"; "i" ]);
+    ("d_wv", d [ "w"; "h"; "i" ]);
+    ("d_bq", d [ "p"; "h" ]);
+    ("d_bk", d [ "p"; "h" ]);
+    ("d_bv", d [ "w"; "h" ]);
+    ("d_wo", d [ "w"; "h"; "i" ]);
+    ("d_bo", d [ "i" ]);
+  ]
+
+let dims_with (hp : Hparams.t) ~src_seq =
+  List.map
+    (fun (a, d) -> (a, if Axis.equal a "k" then src_seq else d))
+    (Hparams.dims hp)
+
+let forward_ops (hp : Hparams.t) variant ~src_seq =
+  let dims = dims_with hp ~src_seq in
+  let d axes = List.map (fun a -> (a, List.assoc a dims)) axes in
+  let part = Ops.Contraction.part in
+  let prescale = Hparams.scaler hp in
+  let k_part = part ~spec:"phi,ibk->phbk" ~inputs:[ "wk"; "mem" ] ~output:"kk" () in
+  let v_part = part ~spec:"whi,ibk->whbk" ~inputs:[ "wv"; "mem" ] ~output:"vv" () in
+  let kv_ops =
+    match variant with
+    | Kv_fused ->
+        [
+          Ops.Contraction.grouped ~name:"kv" ~dims
+            ~group_role:Ops.Contraction.Group_m [ k_part; v_part ] ();
+        ]
+    | Kv_separate ->
+        [
+          Ops.Contraction.einsum ~name:"kv_k" ~dims k_part ();
+          Ops.Contraction.einsum ~name:"kv_v" ~dims v_part ();
+        ]
+  in
+  [
+    Ops.Contraction.einsum ~name:"q" ~dims
+      (part ~spec:"phi,ibj->phbj" ~inputs:[ "wq"; "x" ] ~output:"qq" ())
+      ();
+  ]
+  @ kv_ops
+  @ [
+      Ops.Elementwise.bias ~name:"bias_q" ~x:"qq" ~bias:"bq" ~out:"qqb"
+        (d [ "p"; "h"; "b"; "j" ])
+        ~bias_axes:[ "p"; "h" ] ();
+      Ops.Elementwise.bias ~name:"bias_k" ~x:"kk" ~bias:"bk" ~out:"kkb"
+        (d [ "p"; "h"; "b"; "k" ])
+        ~bias_axes:[ "p"; "h" ] ();
+      Ops.Elementwise.bias ~name:"bias_v" ~x:"vv" ~bias:"bv" ~out:"vvb"
+        (d [ "w"; "h"; "b"; "k" ])
+        ~bias_axes:[ "w"; "h" ] ();
+      Ops.Contraction.einsum ~name:"qkt" ~dims
+        (part ~spec:"phbk,phbj->hbjk" ~inputs:[ "kkb"; "qqb" ] ~output:"beta" ())
+        ();
+      Ops.Normalization.softmax ~name:"softmax" ~x:"beta" ~out:"alpha_sm"
+        (d [ "h"; "b"; "j"; "k" ])
+        ~axis:"k" ~prescale ();
+      Ops.Elementwise.dropout ~name:"attn_dropout" ~x:"alpha_sm" ~out:"alpha"
+        ~mask:"attn_mask"
+        (d [ "h"; "b"; "j"; "k" ])
+        ~p:hp.dropout_p ~seed:hp.seed ();
+      Ops.Contraction.einsum ~name:"gamma" ~dims
+        (part ~spec:"whbk,hbjk->whbj" ~inputs:[ "vvb"; "alpha" ] ~output:"gam" ())
+        ();
+      Ops.Contraction.einsum ~name:"out" ~dims
+        (part ~spec:"whi,whbj->ibj" ~inputs:[ "wo"; "gam" ] ~output:"attn_out" ())
+        ();
+      Ops.Elementwise.bias ~name:"output_bias" ~x:"attn_out" ~bias:"bo"
+        ~out:"attn_b"
+        (d [ "i"; "b"; "j" ])
+        ~bias_axes:[ "i" ] ();
+    ]
+
+let backward_ops (hp : Hparams.t) variant ~src_seq =
+  let dims = dims_with hp ~src_seq in
+  let d axes = List.map (fun a -> (a, List.assoc a dims)) axes in
+  let part = Ops.Contraction.part in
+  let prescale = Hparams.scaler hp in
+  let bwd op = { op with Ops.Op.backward = true } in
+  let dx_k = part ~spec:"phi,phbk->ibk" ~inputs:[ "wk"; "d_kkb" ] in
+  let dx_v = part ~spec:"whi,whbk->ibk" ~inputs:[ "wv"; "d_vvb" ] in
+  let dw_k = part ~spec:"ibk,phbk->phi" ~inputs:[ "mem"; "d_kkb" ] ~output:"d_wk" () in
+  let dw_v = part ~spec:"ibk,whbk->whi" ~inputs:[ "mem"; "d_vvb" ] ~output:"d_wv" () in
+  let kv_bwd =
+    match variant with
+    | Kv_fused ->
+        [
+          Ops.Contraction.grouped ~name:"kv_dx" ~dims ~backward:true
+            ~group_role:Ops.Contraction.Group_k ~accumulate:true
+            [ dx_k ~output:"d_mem" (); dx_v ~output:"d_mem" () ]
+            ();
+          Ops.Contraction.grouped ~name:"kv_dw" ~dims ~backward:true
+            ~group_role:Ops.Contraction.Group_n [ dw_k; dw_v ] ();
+        ]
+    | Kv_separate ->
+        [
+          Ops.Contraction.einsum ~name:"kv_dx_k" ~dims ~backward:true
+            (dx_k ~output:"d_mem_k" ())
+            ();
+          Ops.Contraction.einsum ~name:"kv_dx_v" ~dims ~backward:true
+            (dx_v ~output:"d_mem_v" ())
+            ();
+          Ops.Elementwise.add ~name:"kv_dx_acc" ~x:"d_mem_k" ~y:"d_mem_v"
+            ~out:"d_mem"
+            (d [ "i"; "b"; "k" ])
+            ~backward:true ();
+          Ops.Contraction.einsum ~name:"kv_dw_k" ~dims ~backward:true dw_k ();
+          Ops.Contraction.einsum ~name:"kv_dw_v" ~dims ~backward:true dw_v ();
+        ]
+  in
+  List.map bwd
+    ([
+       Ops.Elementwise.bias_dw ~name:"output_bias_dw" ~dy:"d_attn_b" ~out:"d_bo"
+         (d [ "i"; "b"; "j" ])
+         ~bias_axes:[ "i" ];
+       Ops.Contraction.einsum ~name:"out_dx" ~dims ~backward:true
+         (part ~spec:"whi,ibj->whbj" ~inputs:[ "wo"; "d_attn_b" ]
+            ~output:"d_gam" ())
+         ();
+       Ops.Contraction.einsum ~name:"out_dw" ~dims ~backward:true
+         (part ~spec:"whbj,ibj->whi" ~inputs:[ "gam"; "d_attn_b" ]
+            ~output:"d_wo" ())
+         ();
+       Ops.Contraction.einsum ~name:"gamma_dx1" ~dims ~backward:true
+         (part ~spec:"whbk,whbj->hbjk" ~inputs:[ "vvb"; "d_gam" ]
+            ~output:"d_alpha" ())
+         ();
+       Ops.Contraction.einsum ~name:"gamma_dx2" ~dims ~backward:true
+         (part ~spec:"hbjk,whbj->whbk" ~inputs:[ "alpha"; "d_gam" ]
+            ~output:"d_vvb" ())
+         ();
+       Ops.Elementwise.dropout_dx ~name:"attn_dropout_dx" ~dy:"d_alpha"
+         ~mask:"attn_mask" ~out:"d_alpha_sm"
+         (d [ "h"; "b"; "j"; "k" ])
+         ~p:hp.dropout_p;
+       Ops.Normalization.softmax_dx ~name:"softmax_dx" ~dy:"d_alpha_sm"
+         ~y:"alpha_sm" ~out:"d_beta"
+         (d [ "h"; "b"; "j"; "k" ])
+         ~axis:"k" ~prescale ();
+       Ops.Contraction.einsum ~name:"qkt_dx1" ~dims ~backward:true
+         (part ~spec:"phbk,hbjk->phbj" ~inputs:[ "kkb"; "d_beta" ]
+            ~output:"d_qqb" ())
+         ();
+       Ops.Contraction.einsum ~name:"qkt_dx2" ~dims ~backward:true
+         (part ~spec:"phbj,hbjk->phbk" ~inputs:[ "qqb"; "d_beta" ]
+            ~output:"d_kkb" ())
+         ();
+       Ops.Elementwise.bias_dw ~name:"bias_q_dw" ~dy:"d_qqb" ~out:"d_bq"
+         (d [ "p"; "h"; "b"; "j" ])
+         ~bias_axes:[ "p"; "h" ];
+       Ops.Elementwise.bias_dw ~name:"bias_k_dw" ~dy:"d_kkb" ~out:"d_bk"
+         (d [ "p"; "h"; "b"; "k" ])
+         ~bias_axes:[ "p"; "h" ];
+       Ops.Elementwise.bias_dw ~name:"bias_v_dw" ~dy:"d_vvb" ~out:"d_bv"
+         (d [ "w"; "h"; "b"; "k" ])
+         ~bias_axes:[ "w"; "h" ];
+       Ops.Contraction.einsum ~name:"q_dx" ~dims ~backward:true
+         (part ~spec:"phi,phbj->ibj" ~inputs:[ "wq"; "d_qqb" ] ~output:"d_x" ())
+         ();
+       Ops.Contraction.einsum ~name:"q_dw" ~dims ~backward:true
+         (part ~spec:"ibj,phbj->phi" ~inputs:[ "x"; "d_qqb" ] ~output:"d_wq" ())
+         ();
+     ]
+    @ kv_bwd)
+
+let program ?(variant = Kv_fused) ?src_seq (hp : Hparams.t) =
+  let src_seq = Option.value src_seq ~default:hp.seq in
+  Ops.Program.make
+    ~containers:(containers hp ~src_seq)
+    (forward_ops hp variant ~src_seq @ backward_ops hp variant ~src_seq)
+
+let run ?variant ?src_seq hp ~x ~mem ~d_out ~params =
+  Ops.Program.run
+    (program ?variant ?src_seq hp)
+    (("x", x) :: ("mem", mem) :: ("d_attn_b", d_out) :: params)
+
+let is_kv_op (op : Ops.Op.t) =
+  String.length op.name >= 2 && String.sub op.name 0 2 = "kv"
+
+let kv_fusion_times ?(device = Gpu.Device.v100) ?src_seq hp =
+  List.map
+    (fun variant ->
+      let p = program ~variant ?src_seq hp in
+      let time filter =
+        List.fold_left
+          (fun acc (op : Ops.Op.t) ->
+            if filter op then
+              acc
+              +. (Substation.Config_space.measure ~device p op
+                    (Substation.Config_space.tuned_default_config ~device p op))
+                   .Substation.Config_space.time
+            else acc)
+          0.0 p.Ops.Program.ops
+      in
+      let fwd (op : Ops.Op.t) = is_kv_op op && not op.backward in
+      let bwd_dx (op : Ops.Op.t) =
+        is_kv_op op && op.backward
+        && not (String.length op.name >= 5 && String.sub op.name 0 5 = "kv_dw")
+      in
+      (variant, time fwd, time bwd_dx))
+    [ Kv_separate; Kv_fused ]
+
+let kernel_names =
+  [
+    ([ "bias_q"; "bias_k"; "bias_v" ], "AIB");
+    ([ "softmax"; "attn_dropout" ], "SM");
+    ([ "attn_dropout_dx"; "softmax_dx" ], "BS");
+    ([ "bias_q_dw"; "bias_k_dw"; "bias_v_dw" ], "BAIB");
+    ([ "output_bias_dw" ], "BAOB");
+    ([ "output_bias" ], "AOB");
+  ]

@@ -1,0 +1,34 @@
+(** Encoder/decoder (cross-) attention.
+
+    The paper distinguishes three classes of MHA by inputs (§II-B1):
+    general, encoder/decoder (keys and values from the same encoder memory),
+    and self-attention. §IV-D notes that the Q/K/V algebraic fusion "can
+    also be adapted to fuse keys and values in encoder/decoder attention" —
+    this module implements exactly that: queries project from the decoder
+    stream [x] (length J) while keys and values project from the encoder
+    memory [mem] (length K, possibly different), with the K/V projections
+    optionally stacked into one GEMM. *)
+
+type kv_variant = Kv_separate | Kv_fused
+
+val kv_variant_to_string : kv_variant -> string
+
+(** [program ?variant ?src_seq hp] builds the forward+backward cross-
+    attention program. [src_seq] is the encoder-memory length K (defaults
+    to [hp.seq]). Inputs: [x], [mem], the cotangent [d_attn_b], and the
+    parameters of {!Mha.param_names}. Outputs include [attn_b], [d_x],
+    [d_mem] and all weight gradients. *)
+val program : ?variant:kv_variant -> ?src_seq:int -> Hparams.t -> Ops.Program.t
+
+val run :
+  ?variant:kv_variant -> ?src_seq:int -> Hparams.t -> x:Dense.t -> mem:Dense.t
+  -> d_out:Dense.t -> params:(string * Dense.t) list -> Ops.Op.env
+
+(** [kv_fusion_times ?device ?src_seq hp] is the Table II analogue for K/V
+    stacking: (variant, forward seconds, backward-dX seconds) for the
+    projection GEMMs alone. *)
+val kv_fusion_times :
+  ?device:Gpu.Device.t -> ?src_seq:int -> Hparams.t
+  -> (kv_variant * float * float) list
+
+val kernel_names : (string list * string) list

@@ -1,0 +1,60 @@
+(** The BERT-large encoder layer as an unfused operator program (Fig. 2).
+
+    The operator granularity matches Table III's rows: one operator per
+    line (the Q/K/V projection is emitted algebraically fused, as PyTorch's
+    implementation does; the unfused and QK-fused variants used by Table II
+    are available through {!Mha}). The program contains forward and backward
+    passes; running it requires the input [x], the output cotangent [d_y],
+    and the parameters (see {!Params}). *)
+
+(** Algebraic-fusion strategies for the Q/K/V input projections (§IV-D):
+    three separate batched MMMs, queries+keys stacked, or all three stacked
+    — the subject of Table II. *)
+type qkv_variant = Qkv_separate | Qk_fused | Qkv_fused
+
+val variant_to_string : qkv_variant -> string
+
+(** Parameter container names, in a canonical order. *)
+val param_names : string list
+
+(** [grad name] is the gradient container of a parameter or input, e.g.
+    [grad "wq" = "d_wq"]. *)
+val grad : string -> string
+
+(** All container declarations for the program. *)
+val containers : Hparams.t -> (string * (Axis.t * int) list) list
+
+(** The full training-step program (forward followed by backward). *)
+val program : Hparams.t -> Ops.Program.t
+
+(** [program_with ~variant ~activation ~causal hp] selects the algebraic-
+    fusion strategy, the feed-forward activation (ReLU for BERT, GELU for
+    GPT-style blocks) and causal masking of the attention (decoder blocks);
+    [program] uses BERT's choices. *)
+val program_with :
+  ?variant:qkv_variant -> ?activation:[ `Relu | `Gelu ] -> ?causal:bool
+  -> Hparams.t -> Ops.Program.t
+
+(** Forward / backward operator lists, exposed for subsetting (MHA). *)
+val forward_ops :
+  ?variant:qkv_variant -> ?activation:[ `Relu | `Gelu ] -> ?causal:bool
+  -> Hparams.t -> Ops.Op.t list
+
+val backward_ops :
+  ?variant:qkv_variant -> ?activation:[ `Relu | `Gelu ] -> Hparams.t
+  -> Ops.Op.t list
+
+(** Forward-only program (used by layout selection, which runs SSSP on the
+    forward graph and infers backward layouts — paper §VI-A). *)
+val forward_program : Hparams.t -> Ops.Program.t
+
+(** [run hp ~x ~d_y ~params] interprets the full program and returns the
+    environment, containing the output [y] and every gradient. *)
+val run :
+  Hparams.t -> x:Dense.t -> d_y:Dense.t -> params:(string * Dense.t) list
+  -> Ops.Op.env
+
+(** The fused-kernel naming table for this program: maps sets of member
+    operator names to the paper's kernel names (AIB, SM, BRD, BDRLN, DRLN,
+    BSB, BLNRD, BDRB, EBSB, BS, BEI, BAOB, BAIB). *)
+val kernel_names : (string list * string) list

@@ -1,0 +1,99 @@
+type t = {
+  batch : int;
+  seq : int;
+  embed : int;
+  heads : int;
+  proj : int;
+  ff : int;
+  dropout_p : float;
+  seed : int64;
+  eps : float;
+}
+
+let bert_large =
+  {
+    batch = 8;
+    seq = 512;
+    embed = 1024;
+    heads = 16;
+    proj = 64;
+    ff = 4096;
+    dropout_p = 0.1;
+    seed = 0xBE47L;
+    eps = 1e-5;
+  }
+
+let bert_large_b96 = { bert_large with batch = 96; seq = 128 }
+
+let tiny =
+  {
+    batch = 2;
+    seq = 3;
+    embed = 8;
+    heads = 2;
+    proj = 4;
+    ff = 16;
+    dropout_p = 0.25;
+    seed = 0x7E57L;
+    eps = 1e-5;
+  }
+
+let preset ~batch ~seq ~embed ~heads =
+  {
+    bert_large with
+    batch;
+    seq;
+    embed;
+    heads;
+    proj = embed / heads;
+    ff = 4 * embed;
+  }
+
+let presets =
+  [
+    ("bert-base", preset ~batch:8 ~seq:512 ~embed:768 ~heads:12);
+    ("bert-large", bert_large);
+    ("gpt2-small", preset ~batch:8 ~seq:1024 ~embed:768 ~heads:12);
+    ("gpt2-xl", preset ~batch:4 ~seq:1024 ~embed:1600 ~heads:25);
+    ("megatron-8.3b", preset ~batch:2 ~seq:1024 ~embed:3072 ~heads:32);
+    ("gpt3-13b", preset ~batch:1 ~seq:2048 ~embed:5120 ~heads:40);
+  ]
+
+let with_batch_seq t ~batch ~seq = { t with batch; seq }
+let with_dropout t p = { t with dropout_p = p }
+let scaler t = 1.0 /. sqrt (float_of_int t.proj)
+
+let dims t =
+  [
+    ("i", t.embed);
+    ("b", t.batch);
+    ("j", t.seq);
+    ("k", t.seq);
+    ("p", t.proj);
+    ("h", t.heads);
+    ("w", t.proj);
+    ("u", t.ff);
+  ]
+
+let pick t axes = List.map (fun a -> (a, List.assoc a (dims t))) axes
+let pick_dims = pick
+let dims_x t = pick t [ "i"; "b"; "j" ]
+let dims_qq t = pick t [ "p"; "h"; "b"; "j" ]
+let dims_kk t = pick t [ "p"; "h"; "b"; "k" ]
+let dims_vv t = pick t [ "w"; "h"; "b"; "k" ]
+let dims_beta t = pick t [ "h"; "b"; "j"; "k" ]
+let dims_gamma t = pick t [ "w"; "h"; "b"; "j" ]
+let dims_ff t = pick t [ "u"; "b"; "j" ]
+
+let validate t =
+  if t.proj * t.heads <> t.embed then
+    Error "proj * heads must equal embed (I = P * H)"
+  else if t.dropout_p < 0.0 || t.dropout_p >= 1.0 then
+    Error "dropout_p must be in [0, 1)"
+  else if List.exists (fun (_, d) -> d <= 0) (dims t) then
+    Error "all extents must be positive"
+  else Ok ()
+
+let pp ppf t =
+  Format.fprintf ppf "B=%d L=%d N=%d H=%d P=%d U=%d p_drop=%.2f" t.batch t.seq
+    t.embed t.heads t.proj t.ff t.dropout_p

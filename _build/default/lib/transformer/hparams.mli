@@ -1,0 +1,57 @@
+(** Transformer hyperparameters and the axis-name conventions of the paper:
+
+    [i] embedding, [b] batch, [j] query sequence, [k] key sequence,
+    [h] heads, [p] query/key projection, [w] value projection, [u]
+    feed-forward width. For BERT-style self-attention J = K and P = W. *)
+
+type t = {
+  batch : int;  (** B *)
+  seq : int;  (** J = K (L in the paper's text) *)
+  embed : int;  (** I = N *)
+  heads : int;  (** H *)
+  proj : int;  (** P = W = I / H *)
+  ff : int;  (** U = 4 I *)
+  dropout_p : float;
+  seed : int64;  (** master seed for dropout masks and initialization *)
+  eps : float;  (** layer-norm epsilon *)
+}
+
+(** The paper's running configuration: B=8, L=512, N=1024, H=16, P=64. *)
+val bert_large : t
+
+(** The paper's §VI-C alternative configuration: B=96, L=128. *)
+val bert_large_b96 : t
+
+(** A toy configuration for numerically exercising every code path. *)
+val tiny : t
+
+(** Named presets (paper §VIII: other transformers "only differ by
+    dimensions and minor aspects"): BERT-base/large, GPT-2 small/XL,
+    Megatron-8.3B- and GPT-3-13B-class layers. Sequence lengths follow each
+    model's training setup; batch sizes are chosen so a layer fits a 16 GB
+    V100. *)
+val presets : (string * t) list
+
+val with_batch_seq : t -> batch:int -> seq:int -> t
+val with_dropout : t -> float -> t
+
+(** [scaler t] is the attention scaling 1/sqrt(P). *)
+val scaler : t -> float
+
+(** [dims t] is the master (axis, extent) table covering every axis. *)
+val dims : t -> (Axis.t * int) list
+
+(** [pick_dims t axes] selects (axis, extent) pairs in the given order. *)
+val pick_dims : t -> Axis.t list -> (Axis.t * int) list
+
+(** Container dimension helpers. *)
+
+val dims_x : t -> (Axis.t * int) list (* [i,b,j] *)
+val dims_qq : t -> (Axis.t * int) list (* [p,h,b,j] *)
+val dims_kk : t -> (Axis.t * int) list (* [p,h,b,k] *)
+val dims_vv : t -> (Axis.t * int) list (* [w,h,b,k] *)
+val dims_beta : t -> (Axis.t * int) list (* [h,b,j,k] *)
+val dims_gamma : t -> (Axis.t * int) list (* [w,h,b,j] *)
+val dims_ff : t -> (Axis.t * int) list (* [u,b,j] *)
+val validate : t -> (unit, string) result
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,40 @@
+let param_names = [ "wq"; "wk"; "wv"; "bq"; "bk"; "bv"; "wo"; "bo" ]
+
+let forward_names =
+  [
+    "qkv"; "qkv_qk"; "qkv_q"; "qkv_k"; "qkv_v"; "bias_q"; "bias_k"; "bias_v";
+    "qkt"; "softmax"; "attn_dropout"; "gamma"; "out"; "output_bias";
+  ]
+
+let backward_names =
+  [
+    "output_bias_dw"; "out_dx"; "out_dw"; "gamma_dx1"; "gamma_dx2";
+    "attn_dropout_dx"; "softmax_dx"; "qkt_dx1"; "qkt_dx2"; "bias_q_dw";
+    "bias_k_dw"; "bias_v_dw"; "qkv_dx"; "qkv_dx_qk"; "qkv_dx_q"; "qkv_dx_k";
+    "qkv_dx_v"; "qkv_dx_acc"; "qkv_dx_acc1"; "qkv_dx_acc2"; "qkv_dw";
+    "qkv_dw_qk"; "qkv_dw_q"; "qkv_dw_k"; "qkv_dw_v";
+  ]
+
+let keep names (op : Ops.Op.t) = List.mem op.name names
+
+let forward_program ?variant hp =
+  Ops.Program.make ~containers:(Encoder.containers hp)
+    (List.filter (keep forward_names) (Encoder.forward_ops ?variant hp))
+
+let program ?variant hp =
+  let fwd = List.filter (keep forward_names) (Encoder.forward_ops ?variant hp) in
+  let bwd =
+    List.filter (keep backward_names) (Encoder.backward_ops ?variant hp)
+  in
+  (* In the standalone block the cotangent arrives directly as d_attn_b. *)
+  Ops.Program.make ~containers:(Encoder.containers hp) (fwd @ bwd)
+
+let run hp ~x ~d_out ~params =
+  let p = program hp in
+  Ops.Program.run p (("x", x) :: ("d_attn_b", d_out) :: params)
+
+let kernel_names =
+  List.filter
+    (fun (members, _) ->
+      List.for_all (fun m -> List.mem m (forward_names @ backward_names)) members)
+    Encoder.kernel_names

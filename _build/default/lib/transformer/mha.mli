@@ -1,0 +1,21 @@
+(** Standalone multi-head self-attention (paper Fig. 1, Table IV).
+
+    The program is the attention slice of the encoder: the Q/K/V input
+    projections (with a choice of algebraic fusion), input biases, QK^T,
+    scaled softmax with dropout, gamma, the output projection and its bias
+    — plus the corresponding backward operators. Input containers are [x]
+    and the output cotangent [d_attn_b]. *)
+
+val program : ?variant:Encoder.qkv_variant -> Hparams.t -> Ops.Program.t
+val forward_program : ?variant:Encoder.qkv_variant -> Hparams.t -> Ops.Program.t
+
+(** [run hp ~x ~d_out ~params] interprets the program; the output is in
+    container ["attn_b"], the input gradient in ["d_x_attn"]. *)
+val run :
+  Hparams.t -> x:Dense.t -> d_out:Dense.t -> params:(string * Dense.t) list
+  -> Ops.Op.env
+
+(** Parameters used by MHA (subset of {!Encoder.param_names}). *)
+val param_names : string list
+
+val kernel_names : (string list * string) list

@@ -1,0 +1,199 @@
+type t = {
+  hp : Hparams.t;
+  vocab : int;
+  n_layers : int;
+  embedding : Dense.t;
+  layer_params : (string * Dense.t) list array;
+}
+
+let create ?(n_layers = 2) ?(vocab = 16) (hp : Hparams.t) =
+  let prng = Prng.of_key hp.seed "model" in
+  {
+    hp;
+    vocab;
+    n_layers;
+    embedding =
+      Dense.randn prng [ ("v", vocab); ("i", hp.embed) ] ~stddev:0.05;
+    layer_params =
+      Array.init n_layers (fun layer ->
+          let hp_l =
+            { hp with seed = Int64.add hp.seed (Int64.of_int (layer + 1)) }
+          in
+          Params.init hp_l);
+  }
+
+type cache = {
+  tokens : int array array;
+  x0 : Dense.t;
+  layer_envs : Ops.Op.env array;
+  y : Dense.t;
+  logits : Dense.t;
+}
+
+let embed m tokens =
+  let hp = m.hp in
+  Dense.init (Hparams.dims_x hp) (fun idx ->
+      let b = List.assoc "b" idx
+      and j = List.assoc "j" idx
+      and i = List.assoc "i" idx in
+      Dense.get m.embedding [ ("v", tokens.(b).(j)); ("i", i) ])
+
+let forward m ~tokens =
+  let hp = m.hp in
+  let x0 = embed m tokens in
+  let x = ref x0 in
+  let layer_envs =
+    Array.init m.n_layers (fun layer ->
+        let fwd = Ops.Program.make ~containers:(Encoder.containers hp)
+            (Encoder.forward_ops hp)
+        in
+        let env =
+          Ops.Program.run fwd (("x", !x) :: m.layer_params.(layer))
+        in
+        x := Ops.Op.lookup env "y";
+        env)
+  in
+  let y = !x in
+  let logits = Einsum.eval "vi,ibj->vbj" [ m.embedding; y ] in
+  { tokens; x0; layer_envs; y; logits }
+
+type grads = {
+  d_embedding : Dense.t;
+  d_layers : (string * Dense.t) list array;
+}
+
+let backward m cache ~d_logits =
+  let hp = m.hp in
+  (* head: logits = W_e y, with W_e the tied embedding *)
+  let d_y = Einsum.eval "vi,vbj->ibj" [ m.embedding; d_logits ] in
+  let d_emb_head = Einsum.eval "ibj,vbj->vi" [ cache.y; d_logits ] in
+  let d_layers = Array.make m.n_layers [] in
+  let d = ref d_y in
+  for layer = m.n_layers - 1 downto 0 do
+    let env = cache.layer_envs.(layer) in
+    Ops.Op.store env "d_y" !d;
+    Ops.Op.run_all (Encoder.backward_ops hp) env;
+    d_layers.(layer) <-
+      List.map
+        (fun p -> (p, Ops.Op.lookup env (Encoder.grad p)))
+        Encoder.param_names;
+    d := Ops.Op.lookup env "d_x"
+  done;
+  (* scatter the input gradient into the embedding rows *)
+  let scatter = Dense.zeros [ ("v", m.vocab); ("i", hp.embed) ] in
+  Dense.iter !d (fun idx v ->
+      let b = List.assoc "b" idx
+      and j = List.assoc "j" idx
+      and i = List.assoc "i" idx in
+      let coord = [ ("v", cache.tokens.(b).(j)); ("i", i) ] in
+      Dense.set scatter coord (Dense.get scatter coord +. v));
+  { d_embedding = Dense.add d_emb_head scatter; d_layers }
+
+let cross_entropy ~logits ~targets =
+  let shape = Dense.shape logits in
+  let v = Shape.size shape "v"
+  and b = Shape.size shape "b"
+  and j = Shape.size shape "j" in
+  let count = float_of_int (b * j) in
+  let d = Dense.zeros (Shape.to_list shape) in
+  let loss = ref 0.0 in
+  for bi = 0 to b - 1 do
+    for ji = 0 to j - 1 do
+      let col vi = Dense.get logits [ ("v", vi); ("b", bi); ("j", ji) ] in
+      let mx = ref neg_infinity in
+      for vi = 0 to v - 1 do
+        mx := Float.max !mx (col vi)
+      done;
+      let z = ref 0.0 in
+      for vi = 0 to v - 1 do
+        z := !z +. exp (col vi -. !mx)
+      done;
+      let target = targets.(bi).(ji) in
+      loss := !loss -. ((col target -. !mx -. log !z) /. count);
+      for vi = 0 to v - 1 do
+        let p = exp (col vi -. !mx) /. !z in
+        let onehot = if vi = target then 1.0 else 0.0 in
+        Dense.set d
+          [ ("v", vi); ("b", bi); ("j", ji) ]
+          ((p -. onehot) /. count)
+      done
+    done
+  done;
+  (!loss, d)
+
+let update_in_place p g ~lr =
+  let pd = Dense.unsafe_data p and gd = Dense.unsafe_data (Dense.align g p) in
+  Array.iteri (fun i v -> pd.(i) <- v -. (lr *. gd.(i))) (Array.copy pd)
+
+let sgd_step m grads ~lr =
+  update_in_place m.embedding grads.d_embedding ~lr;
+  Array.iteri
+    (fun layer params ->
+      List.iter
+        (fun (name, p) ->
+          match List.assoc_opt name grads.d_layers.(layer) with
+          | Some g -> update_in_place p g ~lr
+          | None -> ())
+        params)
+    m.layer_params
+
+type adam_state = {
+  mutable step : int;
+  m_embedding : Dense.t;
+  v_embedding : Dense.t;
+  m_layers : (string * Dense.t) list array;
+  v_layers : (string * Dense.t) list array;
+}
+
+let adam_init m =
+  let zeros_like params =
+    List.map (fun (n, p) -> (n, Dense.zeros (Shape.to_list (Dense.shape p)))) params
+  in
+  {
+    step = 0;
+    m_embedding = Dense.zeros (Shape.to_list (Dense.shape m.embedding));
+    v_embedding = Dense.zeros (Shape.to_list (Dense.shape m.embedding));
+    m_layers = Array.map zeros_like m.layer_params;
+    v_layers = Array.map zeros_like m.layer_params;
+  }
+
+let adam_update ~beta1 ~beta2 ~eps ~lr ~step p g m1 v =
+  let pd = Dense.unsafe_data p in
+  let gd = Dense.unsafe_data (Dense.align g p) in
+  (* moment buffers are created with exactly p's storage order, so their raw
+     data can be mutated in place *)
+  let md = Dense.unsafe_data m1 in
+  let vd = Dense.unsafe_data v in
+  let c1 = 1.0 -. (beta1 ** float_of_int step) in
+  let c2 = 1.0 -. (beta2 ** float_of_int step) in
+  for i = 0 to Array.length pd - 1 do
+    md.(i) <- (beta1 *. md.(i)) +. ((1.0 -. beta1) *. gd.(i));
+    vd.(i) <- (beta2 *. vd.(i)) +. ((1.0 -. beta2) *. gd.(i) *. gd.(i));
+    let mhat = md.(i) /. c1 and vhat = vd.(i) /. c2 in
+    pd.(i) <- pd.(i) -. (lr *. mhat /. (sqrt vhat +. eps))
+  done
+
+let adam_step ?(beta1 = 0.9) ?(beta2 = 0.999) ?(eps = 1e-8) m state grads ~lr =
+  state.step <- state.step + 1;
+  let step = state.step in
+  adam_update ~beta1 ~beta2 ~eps ~lr ~step m.embedding grads.d_embedding
+    state.m_embedding state.v_embedding;
+  Array.iteri
+    (fun layer params ->
+      List.iter
+        (fun (name, p) ->
+          match List.assoc_opt name grads.d_layers.(layer) with
+          | Some g ->
+              adam_update ~beta1 ~beta2 ~eps ~lr ~step p g
+                (List.assoc name state.m_layers.(layer))
+                (List.assoc name state.v_layers.(layer))
+          | None -> ())
+        params)
+    m.layer_params
+
+let parameter_count m =
+  Dense.volume m.embedding
+  + Array.fold_left
+      (fun acc params ->
+        List.fold_left (fun acc (_, p) -> acc + Dense.volume p) acc params)
+      0 m.layer_params

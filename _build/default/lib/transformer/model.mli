@@ -1,0 +1,59 @@
+(** A small but complete BERT-style model: token embedding, a stack of
+    encoder layers, and a (weight-tied) output projection to the
+    vocabulary. This is the substrate of the end-to-end training example —
+    the paper's optimized layers "can be extended to support a full
+    training pipeline by stacking" (§VI-C). *)
+
+type t = {
+  hp : Hparams.t;
+  vocab : int;
+  n_layers : int;
+  embedding : Dense.t;  (** [v; i] — also the tied output head *)
+  layer_params : (string * Dense.t) list array;
+}
+
+val create : ?n_layers:int -> ?vocab:int -> Hparams.t -> t
+
+type cache = {
+  tokens : int array array;  (** [batch][seq] *)
+  x0 : Dense.t;  (** embedded input [i, b, j] *)
+  layer_envs : Ops.Op.env array;  (** forward environment of each layer *)
+  y : Dense.t;  (** final hidden states *)
+  logits : Dense.t;  (** [v, b, j] *)
+}
+
+(** [forward m ~tokens] embeds, runs every layer forward, and projects. *)
+val forward : t -> tokens:int array array -> cache
+
+type grads = {
+  d_embedding : Dense.t;
+  d_layers : (string * Dense.t) list array;
+}
+
+(** [backward m cache ~d_logits] backpropagates through the head and every
+    layer, returning parameter gradients and the input-embedding gradient
+    (already scattered into [d_embedding]). *)
+val backward : t -> cache -> d_logits:Dense.t -> grads
+
+(** [cross_entropy ~logits ~targets] is the mean token-level cross-entropy
+    and its gradient with respect to the logits. *)
+val cross_entropy :
+  logits:Dense.t -> targets:int array array -> float * Dense.t
+
+(** [sgd_step m grads ~lr] updates all parameters in place. *)
+val sgd_step : t -> grads -> lr:float -> unit
+
+(** Adam optimizer state (first/second moment per parameter). *)
+type adam_state
+
+val adam_init : t -> adam_state
+
+(** [adam_step m state grads ~lr] performs one bias-corrected Adam update
+    in place (defaults: beta1 0.9, beta2 0.999, eps 1e-8 — the BERT
+    pretraining settings). *)
+val adam_step :
+  ?beta1:float -> ?beta2:float -> ?eps:float -> t -> adam_state -> grads
+  -> lr:float -> unit
+
+(** [parameter_count m] counts learnable scalars. *)
+val parameter_count : t -> int

@@ -1,0 +1,26 @@
+(** Independent, direct implementation of the encoder forward pass.
+
+    Written straight from the paper's equations with plain {!Dense} and
+    {!Einsum} calls — no operator machinery, no fusion, no programs — so it
+    can serve as an oracle: any recipe transformation must reproduce these
+    numbers exactly (up to float associativity). Dropout uses the same
+    deterministic masks as the operator implementations. *)
+
+type activations = {
+  alpha_sm : Dense.t;  (** softmax output (pre-dropout) *)
+  gamma : Dense.t;
+  attn : Dense.t;  (** attention block output before bias *)
+  ln1_out : Dense.t;
+  y : Dense.t;  (** encoder layer output *)
+}
+
+(** [forward hp ~x ~params] computes the layer output. *)
+val forward :
+  Hparams.t -> x:Dense.t -> params:(string * Dense.t) list -> activations
+
+(** [mha_forward hp ~q ~k ~v ~params] is standalone multi-head attention
+    with distinct query/key/value inputs (general attention), mirroring
+    Fig. 1a's [mha_forward]. Returns the projected output [ibj]. *)
+val mha_forward :
+  Hparams.t -> q:Dense.t -> k:Dense.t -> v:Dense.t
+  -> params:(string * Dense.t) list -> Dense.t

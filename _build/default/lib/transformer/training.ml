@@ -1,0 +1,42 @@
+type history = {
+  losses : float array;
+  initial_loss : float;
+  final_loss : float;
+}
+
+type optimizer = Sgd | Adam
+
+let random_batch prng ~vocab ~batch ~seq =
+  Array.init batch (fun _ -> Array.init seq (fun _ -> Prng.int prng ~bound:vocab))
+
+let loss_and_grads m ~tokens ~targets =
+  let cache = Model.forward m ~tokens in
+  let loss, d_logits = Model.cross_entropy ~logits:cache.Model.logits ~targets in
+  (loss, Model.backward m cache ~d_logits)
+
+let step m ~tokens ~targets ~lr =
+  let loss, grads = loss_and_grads m ~tokens ~targets in
+  Model.sgd_step m grads ~lr;
+  loss
+
+let train ?(optimizer = Sgd) (m : Model.t) ~steps ~lr prng =
+  let hp = m.Model.hp in
+  let adam = lazy (Model.adam_init m) in
+  let losses =
+    Array.init steps (fun _ ->
+        let tokens =
+          random_batch prng ~vocab:m.Model.vocab ~batch:hp.Hparams.batch
+            ~seq:hp.Hparams.seq
+        in
+        match optimizer with
+        | Sgd -> step m ~tokens ~targets:tokens ~lr
+        | Adam ->
+            let loss, grads = loss_and_grads m ~tokens ~targets:tokens in
+            Model.adam_step m (Lazy.force adam) grads ~lr;
+            loss)
+  in
+  {
+    losses;
+    initial_loss = losses.(0);
+    final_loss = losses.(steps - 1);
+  }

@@ -1,0 +1,27 @@
+(** A tiny end-to-end training loop over the stacked encoder model: a
+    synthetic token-reconstruction task trained with SGD. Exists to
+    demonstrate (and test) that the operator programs are a working
+    training substrate, not just a benchmark subject. *)
+
+type history = {
+  losses : float array;  (** loss after each step *)
+  initial_loss : float;
+  final_loss : float;
+}
+
+type optimizer = Sgd | Adam
+
+(** [random_batch prng ~vocab ~batch ~seq] draws token sequences. *)
+val random_batch :
+  Prng.t -> vocab:int -> batch:int -> seq:int -> int array array
+
+(** [step m ~tokens ~targets ~lr] runs forward, loss, backward, SGD update;
+    returns the loss before the update. *)
+val step :
+  Model.t -> tokens:int array array -> targets:int array array -> lr:float
+  -> float
+
+(** [train ?optimizer m ~steps ~lr prng] trains on the reconstruction task
+    (targets = inputs) with fresh batches each step; [Sgd] by default. *)
+val train :
+  ?optimizer:optimizer -> Model.t -> steps:int -> lr:float -> Prng.t -> history

@@ -1,0 +1,1 @@
+lib/workloads/lstm.ml: Dense Gpu List Ops Prng String Substation

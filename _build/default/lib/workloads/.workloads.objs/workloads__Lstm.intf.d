@@ -1,0 +1,1 @@
+lib/workloads/lstm.mli: Axis Dense Gpu Ops

@@ -1,0 +1,1 @@
+lib/workloads/mlp.ml: Array Dense List Ops Printf Prng

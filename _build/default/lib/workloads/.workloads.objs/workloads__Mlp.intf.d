@@ -1,0 +1,1 @@
+lib/workloads/mlp.mli: Axis Dense Ops

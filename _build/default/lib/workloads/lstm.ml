@@ -1,0 +1,316 @@
+type config = { input : int; hidden : int; batch : int; seed : int64 }
+
+let default = { input = 1024; hidden = 1024; batch = 64; seed = 0x757CL }
+let tiny = { input = 5; hidden = 4; batch = 3; seed = 0x757CL }
+
+type variant = Gates_separate | Gates_fused
+
+let variant_to_string = function
+  | Gates_separate -> "unfused"
+  | Gates_fused -> "gates fused"
+
+let gates = [ "i"; "f"; "g"; "o" ]
+
+let dims cfg =
+  [ ("i", cfg.input); ("h", cfg.hidden); ("p", cfg.hidden); ("b", cfg.batch) ]
+
+let hb cfg = [ ("h", cfg.hidden); ("b", cfg.batch) ]
+
+let containers cfg =
+  let base =
+    [
+      ("x", [ ("i", cfg.input); ("b", cfg.batch) ]);
+      ("h_prev", [ ("p", cfg.hidden); ("b", cfg.batch) ]);
+      ("c_prev", hb cfg);
+      ("fc", hb cfg);
+      ("ig", hb cfg);
+      ("c", hb cfg);
+      ("tc", hb cfg);
+      ("h_out", hb cfg);
+      ("d_h", hb cfg);
+      ("d_c_ext", hb cfg);
+      ("d_tc", hb cfg);
+      ("d_c_tanh", hb cfg);
+      ("d_c", hb cfg);
+      ("d_c_prev", hb cfg);
+      ("d_x", [ ("i", cfg.input); ("b", cfg.batch) ]);
+      ("d_h_prev", [ ("p", cfg.hidden); ("b", cfg.batch) ]);
+      ("d_x_acc1", [ ("i", cfg.input); ("b", cfg.batch) ]);
+      ("d_x_acc2", [ ("i", cfg.input); ("b", cfg.batch) ]);
+      ("d_h_acc1", [ ("p", cfg.hidden); ("b", cfg.batch) ]);
+      ("d_h_acc2", [ ("p", cfg.hidden); ("b", cfg.batch) ]);
+    ]
+  in
+  let per_gate g =
+    [
+      ("wx_" ^ g, [ ("h", cfg.hidden); ("i", cfg.input) ]);
+      ("wh_" ^ g, [ ("h", cfg.hidden); ("p", cfg.hidden) ]);
+      ("bias_" ^ g, [ ("h", cfg.hidden) ]);
+      ("zx_" ^ g, hb cfg);
+      ("zh_" ^ g, hb cfg);
+      ("zsum_" ^ g, hb cfg);
+      ("pre_" ^ g, hb cfg);
+      ("gate_" ^ g, hb cfg);
+      ("d_gate_" ^ g, hb cfg);
+      ("d_pre_" ^ g, hb cfg);
+      ("d_wx_" ^ g, [ ("h", cfg.hidden); ("i", cfg.input) ]);
+      ("d_wh_" ^ g, [ ("h", cfg.hidden); ("p", cfg.hidden) ]);
+      ("d_bias_" ^ g, [ ("h", cfg.hidden) ]);
+      ("d_x_" ^ g, [ ("i", cfg.input); ("b", cfg.batch) ]);
+      ("d_h_" ^ g, [ ("p", cfg.hidden); ("b", cfg.batch) ]);
+    ]
+  in
+  base @ List.concat_map per_gate gates
+
+let part = Ops.Contraction.part
+
+let forward_ops variant cfg =
+  let dims = dims cfg in
+  let zx_part g = part ~spec:"hi,ib->hb" ~inputs:[ "wx_" ^ g; "x" ] ~output:("zx_" ^ g) () in
+  let zh_part g =
+    part ~spec:"hp,pb->hb" ~inputs:[ "wh_" ^ g; "h_prev" ] ~output:("zh_" ^ g) ()
+  in
+  let gemms =
+    match variant with
+    | Gates_fused ->
+        [
+          Ops.Contraction.grouped ~name:"wx_gates" ~dims
+            ~group_role:Ops.Contraction.Group_m (List.map zx_part gates) ();
+          Ops.Contraction.grouped ~name:"wh_gates" ~dims
+            ~group_role:Ops.Contraction.Group_m (List.map zh_part gates) ();
+        ]
+    | Gates_separate ->
+        List.map
+          (fun g -> Ops.Contraction.einsum ~name:("wx_" ^ g ^ "_mm") ~dims (zx_part g) ())
+          gates
+        @ List.map
+            (fun g ->
+              Ops.Contraction.einsum ~name:("wh_" ^ g ^ "_mm") ~dims (zh_part g) ())
+            gates
+  in
+  let combine g =
+    [
+      Ops.Elementwise.add ~name:("sum_" ^ g) ~x:("zx_" ^ g) ~y:("zh_" ^ g)
+        ~out:("zsum_" ^ g) (hb cfg) ();
+      Ops.Elementwise.bias ~name:("bias_add_" ^ g) ~x:("zsum_" ^ g)
+        ~bias:("bias_" ^ g) ~out:("pre_" ^ g) (hb cfg) ~bias_axes:[ "h" ] ();
+      (if g = "g" then
+         Ops.Elementwise.tanh_ ~name:("act_" ^ g) ~x:("pre_" ^ g)
+           ~out:("gate_" ^ g) (hb cfg) ()
+       else
+         Ops.Elementwise.sigmoid ~name:("act_" ^ g) ~x:("pre_" ^ g)
+           ~out:("gate_" ^ g) (hb cfg) ());
+    ]
+  in
+  gemms
+  @ List.concat_map combine gates
+  @ [
+      Ops.Elementwise.hadamard ~name:"forget_cell" ~x:"gate_f" ~y:"c_prev"
+        ~out:"fc" (hb cfg) ();
+      Ops.Elementwise.hadamard ~name:"input_cell" ~x:"gate_i" ~y:"gate_g"
+        ~out:"ig" (hb cfg) ();
+      Ops.Elementwise.add ~name:"cell" ~x:"fc" ~y:"ig" ~out:"c" (hb cfg) ();
+      Ops.Elementwise.tanh_ ~name:"cell_tanh" ~x:"c" ~out:"tc" (hb cfg) ();
+      Ops.Elementwise.hadamard ~name:"hidden" ~x:"gate_o" ~y:"tc" ~out:"h_out"
+        (hb cfg) ();
+    ]
+
+let backward_ops variant cfg =
+  let dims = dims cfg in
+  let bwd op = { op with Ops.Op.backward = true } in
+  let gate_grads =
+    [
+      Ops.Elementwise.hadamard_dx ~name:"hidden_dx_o" ~dy:"d_h" ~other:"tc"
+        ~out:"d_gate_o" (hb cfg);
+      Ops.Elementwise.hadamard_dx ~name:"hidden_dx_tc" ~dy:"d_h" ~other:"gate_o"
+        ~out:"d_tc" (hb cfg);
+      Ops.Elementwise.tanh_dx ~name:"cell_tanh_dx" ~dy:"d_tc" ~y:"tc"
+        ~out:"d_c_tanh" (hb cfg);
+      Ops.Elementwise.add ~name:"cell_grad" ~x:"d_c_tanh" ~y:"d_c_ext"
+        ~out:"d_c" (hb cfg) ();
+      Ops.Elementwise.hadamard_dx ~name:"cell_dx_f" ~dy:"d_c" ~other:"c_prev"
+        ~out:"d_gate_f" (hb cfg);
+      Ops.Elementwise.hadamard_dx ~name:"cell_dx_cprev" ~dy:"d_c"
+        ~other:"gate_f" ~out:"d_c_prev" (hb cfg);
+      Ops.Elementwise.hadamard_dx ~name:"cell_dx_i" ~dy:"d_c" ~other:"gate_g"
+        ~out:"d_gate_i" (hb cfg);
+      Ops.Elementwise.hadamard_dx ~name:"cell_dx_g" ~dy:"d_c" ~other:"gate_i"
+        ~out:"d_gate_g" (hb cfg);
+    ]
+  in
+  let pre_grads =
+    List.map
+      (fun g ->
+        if g = "g" then
+          Ops.Elementwise.tanh_dx ~name:("act_" ^ g ^ "_dx")
+            ~dy:("d_gate_" ^ g) ~y:("gate_" ^ g) ~out:("d_pre_" ^ g) (hb cfg)
+        else
+          Ops.Elementwise.sigmoid_dx ~name:("act_" ^ g ^ "_dx")
+            ~dy:("d_gate_" ^ g) ~y:("gate_" ^ g) ~out:("d_pre_" ^ g) (hb cfg))
+      gates
+  in
+  let bias_grads =
+    List.map
+      (fun g ->
+        Ops.Elementwise.bias_dw ~name:("bias_" ^ g ^ "_dw") ~dy:("d_pre_" ^ g)
+          ~out:("d_bias_" ^ g) (hb cfg) ~bias_axes:[ "h" ])
+      gates
+  in
+  let dx_part g out =
+    part ~spec:"hi,hb->ib" ~inputs:[ "wx_" ^ g; "d_pre_" ^ g ] ~output:out ()
+  in
+  let dh_part g out =
+    part ~spec:"hp,hb->pb" ~inputs:[ "wh_" ^ g; "d_pre_" ^ g ] ~output:out ()
+  in
+  let dwx_part g =
+    part ~spec:"ib,hb->hi" ~inputs:[ "x"; "d_pre_" ^ g ] ~output:("d_wx_" ^ g) ()
+  in
+  let dwh_part g =
+    part ~spec:"pb,hb->hp"
+      ~inputs:[ "h_prev"; "d_pre_" ^ g ]
+      ~output:("d_wh_" ^ g) ()
+  in
+  let weight_grads =
+    match variant with
+    | Gates_fused ->
+        [
+          Ops.Contraction.grouped ~name:"wx_gates_dx" ~dims ~backward:true
+            ~group_role:Ops.Contraction.Group_k ~accumulate:true
+            (List.map (fun g -> dx_part g "d_x") gates)
+            ();
+          Ops.Contraction.grouped ~name:"wh_gates_dx" ~dims ~backward:true
+            ~group_role:Ops.Contraction.Group_k ~accumulate:true
+            (List.map (fun g -> dh_part g "d_h_prev") gates)
+            ();
+          Ops.Contraction.grouped ~name:"wx_gates_dw" ~dims ~backward:true
+            ~group_role:Ops.Contraction.Group_n (List.map dwx_part gates) ();
+          Ops.Contraction.grouped ~name:"wh_gates_dw" ~dims ~backward:true
+            ~group_role:Ops.Contraction.Group_n (List.map dwh_part gates) ();
+        ]
+    | Gates_separate ->
+        List.map
+          (fun g ->
+            Ops.Contraction.einsum ~name:("wx_" ^ g ^ "_dx") ~dims ~backward:true
+              (dx_part g ("d_x_" ^ g))
+              ())
+          gates
+        @ [
+            Ops.Elementwise.add ~name:"dx_acc1" ~x:"d_x_i" ~y:"d_x_f"
+              ~out:"d_x_acc1"
+              [ ("i", cfg.input); ("b", cfg.batch) ]
+              ~backward:true ();
+            Ops.Elementwise.add ~name:"dx_acc2" ~x:"d_x_acc1" ~y:"d_x_g"
+              ~out:"d_x_acc2"
+              [ ("i", cfg.input); ("b", cfg.batch) ]
+              ~backward:true ();
+            Ops.Elementwise.add ~name:"dx_acc3" ~x:"d_x_acc2" ~y:"d_x_o"
+              ~out:"d_x"
+              [ ("i", cfg.input); ("b", cfg.batch) ]
+              ~backward:true ();
+          ]
+        @ List.map
+            (fun g ->
+              Ops.Contraction.einsum ~name:("wh_" ^ g ^ "_dx") ~dims
+                ~backward:true
+                (dh_part g ("d_h_" ^ g))
+                ())
+            gates
+        @ [
+            Ops.Elementwise.add ~name:"dh_acc1" ~x:"d_h_i" ~y:"d_h_f"
+              ~out:"d_h_acc1"
+              [ ("p", cfg.hidden); ("b", cfg.batch) ]
+              ~backward:true ();
+            Ops.Elementwise.add ~name:"dh_acc2" ~x:"d_h_acc1" ~y:"d_h_g"
+              ~out:"d_h_acc2"
+              [ ("p", cfg.hidden); ("b", cfg.batch) ]
+              ~backward:true ();
+            Ops.Elementwise.add ~name:"dh_acc3" ~x:"d_h_acc2" ~y:"d_h_o"
+              ~out:"d_h_prev"
+              [ ("p", cfg.hidden); ("b", cfg.batch) ]
+              ~backward:true ();
+          ]
+        @ List.map
+            (fun g ->
+              Ops.Contraction.einsum ~name:("wx_" ^ g ^ "_dw") ~dims
+                ~backward:true (dwx_part g) ())
+            gates
+        @ List.map
+            (fun g ->
+              Ops.Contraction.einsum ~name:("wh_" ^ g ^ "_dw") ~dims
+                ~backward:true (dwh_part g) ())
+            gates
+  in
+  List.map bwd (gate_grads @ pre_grads @ bias_grads) @ weight_grads
+
+let program ?(variant = Gates_fused) cfg =
+  Ops.Program.make ~containers:(containers cfg)
+    (forward_ops variant cfg @ backward_ops variant cfg)
+
+let forward_program ?(variant = Gates_fused) cfg =
+  Ops.Program.make ~containers:(containers cfg) (forward_ops variant cfg)
+
+let init cfg =
+  let prng = Prng.of_key cfg.seed "lstm-params" in
+  List.concat_map
+    (fun g ->
+      [
+        ( "wx_" ^ g,
+          Dense.randn prng
+            [ ("h", cfg.hidden); ("i", cfg.input) ]
+            ~stddev:(1.0 /. sqrt (float_of_int cfg.input)) );
+        ( "wh_" ^ g,
+          Dense.randn prng
+            [ ("h", cfg.hidden); ("p", cfg.hidden) ]
+            ~stddev:(1.0 /. sqrt (float_of_int cfg.hidden)) );
+        ("bias_" ^ g, Dense.zeros [ ("h", cfg.hidden) ]);
+      ])
+    gates
+
+let run ?variant cfg ~x ~h_prev ~c_prev ~d_h ~d_c_ext ~params =
+  Ops.Program.run (program ?variant cfg)
+    (("x", x) :: ("h_prev", h_prev) :: ("c_prev", c_prev) :: ("d_h", d_h)
+    :: ("d_c_ext", d_c_ext) :: params)
+
+let is_gate_gemm (op : Ops.Op.t) =
+  match op.kind with Ops.Op.Gemm _ -> true | _ -> false
+
+let gate_fusion_times ?(device = Gpu.Device.v100) cfg =
+  List.map
+    (fun variant ->
+      let p = program ~variant cfg in
+      let time filter =
+        List.fold_left
+          (fun acc (op : Ops.Op.t) ->
+            if filter op then
+              acc
+              +. (Substation.Config_space.measure ~device p op
+                    (Substation.Config_space.tuned_default_config ~device p op))
+                   .Substation.Config_space.time
+            else acc)
+          0.0 p.Ops.Program.ops
+      in
+      let is_dw (op : Ops.Op.t) =
+        let n = op.name in
+        String.length n >= 3 && String.sub n (String.length n - 3) 3 = "_dw"
+      in
+      ( variant,
+        time (fun op -> is_gate_gemm op && not op.backward),
+        time (fun op -> op.backward && not (is_dw op) && (is_gate_gemm op || String.length op.name >= 6 && String.sub op.name 0 6 = "dx_acc" || String.length op.name >= 6 && String.sub op.name 0 6 = "dh_acc")) ))
+    [ Gates_separate; Gates_fused ]
+
+let kernel_names =
+  [
+    ( [
+        "sum_i"; "bias_add_i"; "act_i"; "sum_f"; "bias_add_f"; "act_f";
+        "sum_g"; "bias_add_g"; "act_g"; "sum_o"; "bias_add_o"; "act_o";
+        "forget_cell"; "input_cell"; "cell"; "cell_tanh"; "hidden";
+      ],
+      "LSTM_POINTWISE" );
+    ( [
+        "hidden_dx_o"; "hidden_dx_tc"; "cell_tanh_dx"; "cell_grad";
+        "cell_dx_f"; "cell_dx_cprev"; "cell_dx_i"; "cell_dx_g"; "act_i_dx";
+        "act_f_dx"; "act_g_dx"; "act_o_dx"; "bias_i_dw"; "bias_f_dw";
+        "bias_g_dw"; "bias_o_dw";
+      ],
+      "LSTM_POINTWISE_DX" );
+  ]

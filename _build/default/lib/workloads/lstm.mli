@@ -1,0 +1,49 @@
+(** LSTM cell workload (paper §VIII: "For ... recurrent neural networks
+    (RNNs), there is little change, as the core operator types are
+    essentially the same").
+
+    One LSTM cell is four gate projections from the input and four from the
+    previous hidden state — the same algebraic-fusion opportunity as the
+    attention Q/K/V projections (stack the gate weight matrices, one GEMM
+    instead of four) — followed by a large region of element-wise gating
+    that the fusion engine collapses into a single kernel, exactly what
+    hand-tuned cuDNN LSTM kernels do.
+
+    Axis naming: [i] input features, [h] hidden, [p] previous-step hidden
+    (same extent as [h]), [b] batch. *)
+
+type config = {
+  input : int;  (** input feature size I *)
+  hidden : int;  (** hidden size H *)
+  batch : int;
+  seed : int64;
+}
+
+(** A cuDNN-benchmark-class cell: I = H = 1024, batch 64. *)
+val default : config
+
+val tiny : config
+
+type variant = Gates_separate | Gates_fused
+
+val variant_to_string : variant -> string
+val gates : string list (* [ "i"; "f"; "g"; "o" ] *)
+val containers : config -> (string * (Axis.t * int) list) list
+val program : ?variant:variant -> config -> Ops.Program.t
+val forward_program : ?variant:variant -> config -> Ops.Program.t
+val init : config -> (string * Dense.t) list
+
+(** [run ?variant cfg ~x ~h_prev ~c_prev ~d_h ~d_c_ext ~params]: outputs in
+    ["h_out"] / ["c"], input gradients in ["d_x"], ["d_h_prev"],
+    ["d_c_prev"], weight gradients in [d_wx_<g>], [d_wh_<g>], [d_bias_<g>]. *)
+val run :
+  ?variant:variant -> config -> x:Dense.t -> h_prev:Dense.t -> c_prev:Dense.t
+  -> d_h:Dense.t -> d_c_ext:Dense.t -> params:(string * Dense.t) list
+  -> Ops.Op.env
+
+(** [gate_fusion_times ?device cfg] — the Table II analogue for the gate
+    projections: (variant, forward seconds, backward-dX seconds). *)
+val gate_fusion_times :
+  ?device:Gpu.Device.t -> config -> (variant * float * float) list
+
+val kernel_names : (string list * string) list

@@ -1,0 +1,234 @@
+type config = {
+  widths : int list;
+  batch : int;
+  dropout_p : float;
+  seed : int64;
+  eps : float;
+}
+
+let default =
+  {
+    widths = [ 1024; 4096; 4096; 1024 ];
+    batch = 4096;
+    dropout_p = 0.1;
+    seed = 0x31337L;
+    eps = 1e-5;
+  }
+
+let tiny =
+  { widths = [ 6; 10; 4 ]; batch = 3; dropout_p = 0.25; seed = 0xF00L; eps = 1e-5 }
+
+(* One single-letter feature axis per layer (einsum specs are single-char). *)
+let letters = [| "a"; "c"; "d"; "e"; "f"; "g"; "m"; "q"; "r"; "s" |]
+
+let feature_axis l =
+  if l >= Array.length letters then
+    invalid_arg "Mlp: at most 10 layers supported";
+  letters.(l)
+
+let depth cfg = List.length cfg.widths - 1
+let width cfg l = List.nth cfg.widths l
+let h_name _cfg l = if l = 0 then "x" else Printf.sprintf "h%d" l
+let last cfg = depth cfg
+
+let containers cfg =
+  let n = cfg.batch in
+  let l_max = depth cfg in
+  if l_max < 1 then invalid_arg "Mlp: need at least two widths";
+  let feat l = (feature_axis l, width cfg l) in
+  let vec l name = (name, [ feat l; ("n", n) ]) in
+  let base =
+    [
+      ("x", [ feat 0; ("n", n) ]);
+      ("d_x", [ feat 0; ("n", n) ]);
+      ("bn_g", [ feat 1 ]);
+      ("bn_b", [ feat 1 ]);
+      ("bn1", [ feat 1; ("n", n) ]);
+      ("bn1_mean", [ feat 1 ]);
+      ("bn1_istd", [ feat 1 ]);
+      ("d_bn_g", [ feat 1 ]);
+      ("d_bn_b", [ feat 1 ]);
+      ("d_bn1", [ feat 1; ("n", n) ]);
+    ]
+  in
+  let per_layer l =
+    [
+      (Printf.sprintf "w%d" l, [ feat l; feat (l - 1) ]);
+      (Printf.sprintf "b%d" l, [ feat l ]);
+      (Printf.sprintf "d_w%d" l, [ feat l; feat (l - 1) ]);
+      (Printf.sprintf "d_b%d" l, [ feat l ]);
+      vec l (Printf.sprintf "z%d" l);
+      vec l (Printf.sprintf "zb%d" l);
+      vec l (Printf.sprintf "a%d" l);
+      vec l (Printf.sprintf "mask%d" l);
+      vec l (Printf.sprintf "h%d" l);
+      vec l (Printf.sprintf "d_h%d" l);
+      vec l (Printf.sprintf "d_a%d" l);
+      vec l (Printf.sprintf "d_zb%d" l);
+    ]
+  in
+  base @ List.concat (List.init l_max (fun i -> per_layer (i + 1)))
+
+let dims_of cfg =
+  ("n", cfg.batch)
+  :: List.mapi (fun l w -> (feature_axis l, w)) cfg.widths
+
+let vec_dims cfg l = [ (feature_axis l, width cfg l); ("n", cfg.batch) ]
+
+let forward_ops cfg =
+  let dims = dims_of cfg in
+  let l_max = depth cfg in
+  let part = Ops.Contraction.part in
+  List.concat
+    (List.init l_max (fun i ->
+         let l = i + 1 in
+         let o = feature_axis l and iax = feature_axis (l - 1) in
+         let spec = Printf.sprintf "%s%s,%sn->%sn" o iax iax o in
+         let lin =
+           Ops.Contraction.einsum ~name:(Printf.sprintf "lin%d" l) ~dims
+             (part ~spec
+                ~inputs:[ Printf.sprintf "w%d" l; h_name cfg (l - 1) ]
+                ~output:(Printf.sprintf "z%d" l) ())
+             ()
+         in
+         let bias_out =
+           if l = l_max then h_name cfg l else Printf.sprintf "zb%d" l
+         in
+         let bias =
+           Ops.Elementwise.bias ~name:(Printf.sprintf "bias%d" l)
+             ~x:(Printf.sprintf "z%d" l)
+             ~bias:(Printf.sprintf "b%d" l)
+             ~out:bias_out (vec_dims cfg l) ~bias_axes:[ o ] ()
+         in
+         if l = l_max then [ lin; bias ]
+         else begin
+           let relu_in = if l = 1 then "bn1" else Printf.sprintf "zb%d" l in
+           let bn_ops =
+             if l = 1 then
+               [
+                 Ops.Normalization.batchnorm ~name:"bn1" ~x:"zb1" ~gamma:"bn_g"
+                   ~beta:"bn_b" ~out:"bn1" ~mean:"bn1_mean" ~istd:"bn1_istd"
+                   (vec_dims cfg 1) ~channel:(feature_axis 1) ~eps:cfg.eps ();
+               ]
+             else []
+           in
+           [ lin; bias ] @ bn_ops
+           @ [
+               Ops.Elementwise.relu ~name:(Printf.sprintf "relu%d" l) ~x:relu_in
+                 ~out:(Printf.sprintf "a%d" l) (vec_dims cfg l) ();
+               Ops.Elementwise.dropout ~name:(Printf.sprintf "drop%d" l)
+                 ~x:(Printf.sprintf "a%d" l)
+                 ~out:(Printf.sprintf "h%d" l)
+                 ~mask:(Printf.sprintf "mask%d" l)
+                 (vec_dims cfg l) ~p:cfg.dropout_p ~seed:cfg.seed ();
+             ]
+         end))
+
+let backward_ops cfg =
+  let dims = dims_of cfg in
+  let l_max = depth cfg in
+  let part = Ops.Contraction.part in
+  let bwd op = { op with Ops.Op.backward = true } in
+  List.concat
+    (List.init l_max (fun i ->
+         let l = l_max - i in
+         let o = feature_axis l and iax = feature_axis (l - 1) in
+         (* bias dX is the identity: at the last layer the seeded cotangent
+            d_h<L> is already the pre-bias gradient *)
+         let d_zb =
+           if l = l_max then Printf.sprintf "d_h%d" l
+           else Printf.sprintf "d_zb%d" l
+         in
+         let head =
+           if l = l_max then []
+           else begin
+             let relu_in = if l = 1 then "bn1" else Printf.sprintf "zb%d" l in
+             let after_relu = if l = 1 then "d_bn1" else d_zb in
+             [
+               Ops.Elementwise.dropout_dx ~name:(Printf.sprintf "drop%d_dx" l)
+                 ~dy:(Printf.sprintf "d_h%d" l)
+                 ~mask:(Printf.sprintf "mask%d" l)
+                 ~out:(Printf.sprintf "d_a%d" l)
+                 (vec_dims cfg l) ~p:cfg.dropout_p;
+               Ops.Elementwise.relu_dx ~name:(Printf.sprintf "relu%d_dx" l)
+                 ~dy:(Printf.sprintf "d_a%d" l) ~x:relu_in ~out:after_relu
+                 (vec_dims cfg l);
+             ]
+             @
+             if l = 1 then
+               [
+                 Ops.Normalization.batchnorm_dw ~name:"bn1_dw" ~dy:"d_bn1"
+                   ~x:"zb1" ~mean:"bn1_mean" ~istd:"bn1_istd" ~dgamma:"d_bn_g"
+                   ~dbeta:"d_bn_b" (vec_dims cfg 1) ~channel:(feature_axis 1);
+                 Ops.Normalization.batchnorm_dx ~name:"bn1_dx" ~dy:"d_bn1"
+                   ~x:"zb1" ~gamma:"bn_g" ~mean:"bn1_mean" ~istd:"bn1_istd"
+                   ~out:d_zb (vec_dims cfg 1) ~channel:(feature_axis 1);
+               ]
+             else []
+           end
+         in
+         let d_in = if l = 1 then "d_x" else Printf.sprintf "d_h%d" (l - 1) in
+         head
+         @ [
+             Ops.Elementwise.bias_dw ~name:(Printf.sprintf "bias%d_dw" l)
+               ~dy:d_zb
+               ~out:(Printf.sprintf "d_b%d" l)
+               (vec_dims cfg l) ~bias_axes:[ o ];
+             Ops.Contraction.einsum ~name:(Printf.sprintf "lin%d_dx" l) ~dims
+               ~backward:true
+               (part
+                  ~spec:(Printf.sprintf "%s%s,%sn->%sn" o iax o iax)
+                  ~inputs:[ Printf.sprintf "w%d" l; d_zb ]
+                  ~output:d_in ())
+               ();
+             Ops.Contraction.einsum ~name:(Printf.sprintf "lin%d_dw" l) ~dims
+               ~backward:true
+               (part
+                  ~spec:(Printf.sprintf "%sn,%sn->%s%s" iax o o iax)
+                  ~inputs:[ h_name cfg (l - 1); d_zb ]
+                  ~output:(Printf.sprintf "d_w%d" l)
+                  ())
+               ();
+           ]))
+  |> List.map bwd
+
+let program cfg =
+  Ops.Program.make ~containers:(containers cfg)
+    (forward_ops cfg @ backward_ops cfg)
+
+let forward_program cfg =
+  Ops.Program.make ~containers:(containers cfg) (forward_ops cfg)
+
+let init cfg =
+  let prng = Prng.of_key cfg.seed "mlp-params" in
+  let l_max = depth cfg in
+  let per_layer l =
+    [
+      ( Printf.sprintf "w%d" l,
+        Dense.randn prng
+          [ (feature_axis l, width cfg l); (feature_axis (l - 1), width cfg (l - 1)) ]
+          ~stddev:(1.0 /. sqrt (float_of_int (width cfg (l - 1)))) );
+      (Printf.sprintf "b%d" l, Dense.zeros [ (feature_axis l, width cfg l) ]);
+    ]
+  in
+  [
+    ("bn_g", Dense.full [ (feature_axis 1, width cfg 1) ] 1.0);
+    ("bn_b", Dense.zeros [ (feature_axis 1, width cfg 1) ]);
+  ]
+  @ List.concat (List.init l_max (fun i -> per_layer (i + 1)))
+
+let run cfg ~x ~d_out ~params =
+  let p = program cfg in
+  Ops.Program.run p
+    ((("x", x) :: (Printf.sprintf "d_h%d" (last cfg), d_out) :: params))
+
+(* Canonical names for the groups the engine finds on the 3-layer default
+   configuration (batchnorm joins the first bias/ReLU/dropout chain; the
+   weight-gradient reductions sink into the backward chains). *)
+let kernel_names =
+  [
+    ([ "bias1"; "bn1"; "relu1"; "drop1" ], "BBNRD");
+    ([ "bias2"; "relu2"; "drop2" ], "BRD");
+    ([ "bias3_dw"; "drop2_dx"; "relu2_dx"; "bias2_dw" ], "BDRB");
+    ([ "drop1_dx"; "relu1_dx"; "bn1_dw"; "bn1_dx"; "bias1_dw" ], "DRBNB");
+  ]

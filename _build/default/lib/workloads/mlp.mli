@@ -1,0 +1,43 @@
+(** Multi-layer perceptron workload (paper §VIII: "For fully connected
+    networks (MLPs) ... there is little change, as the core operator types
+    are essentially the same").
+
+    A stack of linear layers with biases, ReLU activations and dropout,
+    plus batch normalization after the first layer (§VIII's "second largest
+    computation in ResNets"). The same recipe — fusion, layout exploration,
+    configuration selection — applies unchanged; the test suite validates
+    the hand-written backward against the autodiff engine. *)
+
+type config = {
+  widths : int list;  (** layer widths, first = input features; >= 2 *)
+  batch : int;
+  dropout_p : float;
+  seed : int64;
+  eps : float;
+}
+
+(** 1024 -> 4096 -> 4096 -> 1024 at batch 4096: a transformer-feed-forward-
+    class workload. *)
+val default : config
+
+val tiny : config
+
+(** Axis naming: layer features use one letter per layer from a fixed pool;
+    the batch axis is ["n"]. *)
+val feature_axis : int -> Axis.t
+
+val containers : config -> (string * (Axis.t * int) list) list
+val program : config -> Ops.Program.t
+val forward_program : config -> Ops.Program.t
+
+(** [init cfg] draws deterministic parameters (weights, biases, batch-norm
+    gain/bias). *)
+val init : config -> (string * Dense.t) list
+
+(** [run cfg ~x ~d_out ~params]: output in ["h<last>"], gradients in
+    [d_w<l>], [d_b<l>], [d_x]. *)
+val run :
+  config -> x:Dense.t -> d_out:Dense.t -> params:(string * Dense.t) list
+  -> Ops.Op.env
+
+val kernel_names : (string list * string) list

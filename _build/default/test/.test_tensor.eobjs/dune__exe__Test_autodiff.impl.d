@@ -1,0 +1,1 @@
+test/test_autodiff.ml: Alcotest Autodiff_check Dense List Ops Printf Prng Substation Transformer

@@ -1,0 +1,1 @@
+test/test_config.ml: Alcotest Array Float Gpu Int64 Layout Lazy List Ops Printf Prng QCheck QCheck_alcotest String Substation Transformer

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Autodiff_check Dense Float Frameworks Gpu List Ops Printf Prng Report Sdfg String Substation Transformer

@@ -1,0 +1,1 @@
+test/test_frameworks.ml: Alcotest Dense Frameworks Gpu Lazy List Ops Printf Prng Transformer

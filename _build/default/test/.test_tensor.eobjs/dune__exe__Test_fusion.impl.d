@@ -1,0 +1,1 @@
+test/test_fusion.ml: Alcotest Bool Dense Int64 List Ops Printf Prng QCheck QCheck_alcotest Sdfg Substation Transformer

@@ -1,0 +1,1 @@
+test/test_gpu.ml: Alcotest Float Gpu List Sdfg

@@ -1,0 +1,1 @@
+test/test_ops.ml: Alcotest Autodiff_check Dense Einsum Float List Ops Printf Prng Sdfg Transformer

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Autodiff_check Dense Einsum Float Gpu Half Int64 Layout List Ops Printf Prng QCheck QCheck_alcotest Sdfg Substation

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Float Lazy List Printf Report Sdfg String Transformer

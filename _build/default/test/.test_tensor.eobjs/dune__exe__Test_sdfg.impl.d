@@ -1,0 +1,1 @@
+test/test_sdfg.ml: Alcotest Float Hashtbl List Ops Sdfg Shape String Transformer

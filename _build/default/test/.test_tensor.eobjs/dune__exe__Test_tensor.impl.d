@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Autodiff_check Axis Dense Einsum Float Half Hashtbl Int64 Layout List Prng QCheck QCheck_alcotest Shape

@@ -1,0 +1,1 @@
+test/test_transformer.ml: Alcotest Array Autodiff_check Dense Float List Ops Printf Prng Shape Transformer

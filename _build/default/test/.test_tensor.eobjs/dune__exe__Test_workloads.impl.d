@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Autodiff_check Dense Float Gpu List Ops Printf Prng Substation Workloads

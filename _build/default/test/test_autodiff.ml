@@ -1,0 +1,243 @@
+(* Tests for reverse-mode autodiff: the VJP-based engine must agree with the
+   hand-derived backward operator programs (the paper's Table III rows) to
+   machine precision, and with finite differences independently. *)
+
+let check_bool = Alcotest.(check bool)
+let tiny = Transformer.Hparams.tiny
+
+let setup hp =
+  let prng = Prng.create 77L in
+  let params = Transformer.Params.init hp in
+  let x = Transformer.Params.random_input hp prng in
+  let d_y = Transformer.Params.random_cotangent hp prng in
+  (params, x, d_y)
+
+let autodiff_encoder hp ~params ~x ~d_y =
+  let fwd = Transformer.Encoder.forward_program hp in
+  let env = Ops.Program.run fwd (("x", x) :: params) in
+  Ops.Autodiff.backward fwd ~env ~seeds:[ ("y", d_y) ]
+
+let test_matches_handwritten_backward () =
+  let params, x, d_y = setup tiny in
+  let env = Transformer.Encoder.run tiny ~x ~d_y ~params in
+  let cots = autodiff_encoder tiny ~params ~x ~d_y in
+  List.iter
+    (fun name ->
+      let hand =
+        Ops.Op.lookup env
+          (Transformer.Encoder.grad (if name = "x" then "x" else name))
+      in
+      let auto = Ops.Autodiff.grad cots name in
+      let diff = Dense.max_abs_diff hand auto in
+      check_bool
+        (Printf.sprintf "autodiff(%s) == handwritten (diff %.1e)" name diff)
+        true (diff < 1e-12))
+    ("x" :: Transformer.Encoder.param_names)
+
+let test_matches_handwritten_all_variants () =
+  (* the hand-written backward of each algebraic variant also agrees *)
+  let params, x, d_y = setup tiny in
+  let cots = autodiff_encoder tiny ~params ~x ~d_y in
+  List.iter
+    (fun variant ->
+      let p = Transformer.Encoder.program_with ~variant tiny in
+      let env = Ops.Program.run p (("x", x) :: ("d_y", d_y) :: params) in
+      List.iter
+        (fun name ->
+          check_bool
+            (Transformer.Encoder.variant_to_string variant ^ ": " ^ name)
+            true
+            (Dense.max_abs_diff
+               (Ops.Op.lookup env (Transformer.Encoder.grad name))
+               (Ops.Autodiff.grad cots name)
+            < 1e-12))
+        [ "wq"; "wk"; "wv" ])
+    [ Transformer.Encoder.Qkv_separate; Transformer.Encoder.Qk_fused ]
+
+let test_decoder_autodiff () =
+  let params, x, d_y = setup tiny in
+  (* forward-only decoder program *)
+  let fwd =
+    Ops.Program.make
+      ~containers:(Transformer.Encoder.containers tiny)
+      (Transformer.Encoder.forward_ops ~activation:`Gelu ~causal:true tiny)
+  in
+  let env = Ops.Program.run fwd (("x", x) :: params) in
+  let cots = Ops.Autodiff.backward fwd ~env ~seeds:[ ("y", d_y) ] in
+  let hand = Transformer.Decoder.run tiny ~x ~d_y ~params in
+  List.iter
+    (fun name ->
+      check_bool ("decoder " ^ name) true
+        (Dense.max_abs_diff
+           (Ops.Op.lookup hand (Transformer.Encoder.grad name))
+           (Ops.Autodiff.grad cots name)
+        < 1e-12))
+    [ "x"; "w1"; "ln1_g"; "wo" ]
+
+let test_finite_differences () =
+  (* autodiff against finite differences, independently of the hand-written
+     path: perturb a couple of parameters *)
+  let params, x, d_y = setup tiny in
+  let cots = autodiff_encoder tiny ~params ~x ~d_y in
+  let loss_for name value =
+    let params =
+      List.map (fun (n, v) -> if n = name then (n, value) else (n, v)) params
+    in
+    let acts = Transformer.Reference.forward tiny ~x ~params in
+    Dense.sum_all (Dense.mul (Dense.align acts.Transformer.Reference.y d_y) d_y)
+  in
+  List.iter
+    (fun name ->
+      let ok, err =
+        Autodiff_check.check ~tol:2e-3
+          ~f:(loss_for name)
+          ~grad:(Ops.Autodiff.grad cots name)
+          (List.assoc name params)
+      in
+      check_bool (Printf.sprintf "fd %s (err %.1e)" name err) true ok)
+    [ "bq"; "ln2_g" ]
+
+let test_cross_attention_autodiff () =
+  let src_seq = 5 in
+  let prng = Prng.create 21L in
+  let params =
+    List.filter
+      (fun (n, _) -> List.mem n Transformer.Mha.param_names)
+      (Transformer.Params.init tiny)
+  in
+  let x = Dense.randn prng (Transformer.Hparams.dims_x tiny) ~stddev:1.0 in
+  let mem =
+    Dense.randn prng
+      [
+        ("i", tiny.Transformer.Hparams.embed);
+        ("b", tiny.Transformer.Hparams.batch);
+        ("k", src_seq);
+      ]
+      ~stddev:1.0
+  in
+  let d_out = Dense.randn prng (Transformer.Hparams.dims_x tiny) ~stddev:1.0 in
+  let full = Transformer.Cross_attention.program ~src_seq tiny in
+  let fwd_ops = List.filter (fun (o : Ops.Op.t) -> not o.Ops.Op.backward) full.Ops.Program.ops in
+  let fwd = Ops.Program.make ~containers:full.Ops.Program.containers fwd_ops in
+  let env = Ops.Program.run fwd (("x", x) :: ("mem", mem) :: params) in
+  let cots = Ops.Autodiff.backward fwd ~env ~seeds:[ ("attn_b", d_out) ] in
+  let hand =
+    Transformer.Cross_attention.run ~src_seq tiny ~x ~mem ~d_out ~params
+  in
+  List.iter
+    (fun (hand_name, cot_name) ->
+      check_bool ("cross " ^ cot_name) true
+        (Dense.max_abs_diff
+           (Ops.Op.lookup hand hand_name)
+           (Ops.Autodiff.grad cots cot_name)
+        < 1e-12))
+    [ ("d_x", "x"); ("d_mem", "mem"); ("d_wk", "wk"); ("d_bo", "bo") ]
+
+let test_missing_vjp_detected () =
+  (* a program containing an op without a rule, whose output needs a
+     cotangent, must fail loudly *)
+  let dims = [ ("a", 2) ] in
+  let bad =
+    {
+      (Ops.Elementwise.copy ~name:"norule" ~x:"x" ~out:"y" dims ()) with
+      Ops.Op.vjp = None;
+    }
+  in
+  let p = Ops.Program.make ~containers:[ ("x", dims); ("y", dims) ] [ bad ] in
+  let env = Ops.Program.run p [ ("x", Dense.full dims 1.0) ] in
+  check_bool "raises on missing rule" true
+    (try
+       ignore (Ops.Autodiff.backward p ~env ~seeds:[ ("y", Dense.full dims 1.0) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_unseeded_is_skipped () =
+  (* ops whose outputs carry no cotangent are skipped silently *)
+  let dims = [ ("a", 2) ] in
+  let p =
+    Ops.Program.make
+      ~containers:[ ("x", dims); ("y", dims); ("z", dims) ]
+      [
+        Ops.Elementwise.copy ~name:"c1" ~x:"x" ~out:"y" dims ();
+        Ops.Elementwise.relu ~name:"r" ~x:"x" ~out:"z" dims ();
+      ]
+  in
+  let env = Ops.Program.run p [ ("x", Dense.full dims 2.0) ] in
+  let cots = Ops.Autodiff.backward p ~env ~seeds:[ ("y", Dense.full dims 1.0) ] in
+  check_bool "x reached through the seeded path only" true
+    (Dense.approx_equal (Ops.Autodiff.grad cots "x") (Dense.full dims 1.0));
+  check_bool "grad_opt for unreached" true (Ops.Autodiff.grad_opt cots "z" = None)
+
+let test_gradient_accumulation () =
+  (* y = x + x: dx = 2 * cot *)
+  let dims = [ ("a", 3) ] in
+  let p =
+    Ops.Program.make
+      ~containers:[ ("x", dims); ("y", dims) ]
+      [ Ops.Elementwise.add ~name:"double" ~x:"x" ~y:"x" ~out:"y" dims () ]
+  in
+  let env = Ops.Program.run p [ ("x", Dense.full dims 1.5) ] in
+  let cots = Ops.Autodiff.backward p ~env ~seeds:[ ("y", Dense.full dims 1.0) ] in
+  check_bool "both uses accumulate" true
+    (Dense.approx_equal (Ops.Autodiff.grad cots "x") (Dense.full dims 2.0))
+
+(* ---------------- Fig. 3 patterns ---------------- *)
+
+let test_fig3_patterns () =
+  let p = Transformer.Encoder.program tiny in
+  let gs =
+    Substation.Fusion.groups ~name_table:Transformer.Encoder.kernel_names p
+  in
+  let steps name =
+    (List.find (fun (g : Substation.Fusion.group) -> g.fused.Ops.Op.name = name) gs)
+      .Substation.Fusion.steps
+  in
+  check_bool "AIB members are siblings" true
+    (List.for_all (fun (_, p) -> p = Substation.Fusion.Sibling) (steps "AIB"));
+  check_bool "SM: softmax feeds the dropout map" true
+    (List.assoc "attn_dropout" (steps "SM") = Substation.Fusion.Reduction_into_map);
+  check_bool "DRLN: ln1 joins as map-into-reduction" true
+    (List.assoc "ln1" (steps "DRLN") = Substation.Fusion.Map_into_reduction);
+  check_bool "DRLN: dropout joins as map chain" true
+    (List.assoc "attn_out_dropout" (steps "DRLN")
+    = Substation.Fusion.Producer_consumer_map);
+  check_bool "BDRB: bias2_dw arrives via the sink pass" true
+    (List.assoc "bias2_dw" (steps "BDRB") = Substation.Fusion.Warp_shared_reduction);
+  (* every paper pattern occurs somewhere in the encoder *)
+  let all = List.concat_map (fun (g : Substation.Fusion.group) -> g.Substation.Fusion.steps) gs in
+  List.iter
+    (fun pat ->
+      check_bool
+        (Substation.Fusion.pattern_to_string pat ^ " occurs")
+        true
+        (List.exists (fun (_, p) -> p = pat) all))
+    [
+      Substation.Fusion.Producer_consumer_map;
+      Substation.Fusion.Map_into_reduction;
+      Substation.Fusion.Reduction_into_map;
+      Substation.Fusion.Sibling;
+      Substation.Fusion.Warp_shared_reduction;
+    ]
+
+let () =
+  Alcotest.run "autodiff"
+    [
+      ( "vs handwritten backward",
+        [
+          Alcotest.test_case "encoder, every parameter" `Quick
+            test_matches_handwritten_backward;
+          Alcotest.test_case "all algebraic variants" `Quick
+            test_matches_handwritten_all_variants;
+          Alcotest.test_case "decoder (gelu + causal)" `Quick test_decoder_autodiff;
+          Alcotest.test_case "cross-attention" `Quick test_cross_attention_autodiff;
+        ] );
+      ( "independent checks",
+        [
+          Alcotest.test_case "finite differences" `Slow test_finite_differences;
+          Alcotest.test_case "missing rule detected" `Quick test_missing_vjp_detected;
+          Alcotest.test_case "unseeded ops skipped" `Quick test_unseeded_is_skipped;
+          Alcotest.test_case "gradient accumulation" `Quick test_gradient_accumulation;
+        ] );
+      ( "fig3 patterns",
+        [ Alcotest.test_case "paper patterns discovered" `Quick test_fig3_patterns ] );
+    ]

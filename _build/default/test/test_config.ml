@@ -1,0 +1,354 @@
+(* Tests for configuration machinery: SSSP, the configuration space, the
+   performance database, the global selector, and the recipe driver. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let device = Gpu.Device.v100
+let tiny = Transformer.Hparams.tiny
+
+(* shared expensive artifacts, built lazily once *)
+let bert_db =
+  lazy
+    (let program =
+       Substation.Fusion.fuse ~name_table:Transformer.Encoder.kernel_names
+         (Transformer.Encoder.program Transformer.Hparams.bert_large)
+     in
+     Substation.Perfdb.build ~device program)
+
+let bert_selection = lazy (Substation.Selector.select (Lazy.force bert_db))
+
+(* ---------------- SSSP ---------------- *)
+
+let diamond () =
+  let g = Substation.Sssp.create () in
+  let s = Substation.Sssp.add_node g "s" in
+  let a = Substation.Sssp.add_node g "a" in
+  let b = Substation.Sssp.add_node g "b" in
+  let t = Substation.Sssp.add_node g "t" in
+  Substation.Sssp.add_edge g ~src:s ~dst:a 1.0;
+  Substation.Sssp.add_edge g ~src:s ~dst:b 2.0;
+  Substation.Sssp.add_edge g ~src:a ~dst:t 5.0;
+  Substation.Sssp.add_edge g ~src:b ~dst:t 1.0;
+  (g, s, a, b, t)
+
+let test_sssp_diamond () =
+  let g, s, _, b, t = diamond () in
+  match Substation.Sssp.shortest_path g ~src:s ~dst:t with
+  | Some (cost, path) ->
+      Alcotest.(check (float 1e-12)) "cost" 3.0 cost;
+      Alcotest.(check (list int)) "path" [ s; b; t ] path
+  | None -> Alcotest.fail "expected a path"
+
+let test_sssp_unreachable () =
+  let g = Substation.Sssp.create () in
+  let a = Substation.Sssp.add_node g "a" in
+  let b = Substation.Sssp.add_node g "b" in
+  check_bool "unreachable" true (Substation.Sssp.shortest_path g ~src:a ~dst:b = None)
+
+let test_sssp_rejects_negative () =
+  let g = Substation.Sssp.create () in
+  let a = Substation.Sssp.add_node g "a" in
+  let b = Substation.Sssp.add_node g "b" in
+  check_bool "negative edge" true
+    (try
+       Substation.Sssp.add_edge g ~src:a ~dst:b (-1.0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_sssp_self () =
+  let g = Substation.Sssp.create () in
+  let a = Substation.Sssp.add_node g "a" in
+  match Substation.Sssp.shortest_path g ~src:a ~dst:a with
+  | Some (cost, path) ->
+      Alcotest.(check (float 0.0)) "zero cost" 0.0 cost;
+      Alcotest.(check (list int)) "trivial path" [ a ] path
+  | None -> Alcotest.fail "self path"
+
+let prop_sssp_vs_brute_force =
+  QCheck.Test.make ~name:"Dijkstra agrees with exhaustive path enumeration"
+    ~count:60
+    QCheck.(pair (int_range 3 7) (int_range 0 10000))
+    (fun (n, seed_int) ->
+      let prng = Prng.create (Int64.of_int seed_int) in
+      let g = Substation.Sssp.create () in
+      let nodes = Array.init n (fun i -> Substation.Sssp.add_node g i) in
+      (* random DAG: edges only forward to keep brute force fast *)
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          if Prng.bernoulli prng ~p:0.6 then
+            Substation.Sssp.add_edge g ~src:nodes.(i) ~dst:nodes.(j)
+              (Prng.uniform prng ~lo:0.0 ~hi:10.0)
+        done
+      done;
+      let fast = Substation.Sssp.shortest_path g ~src:nodes.(0) ~dst:nodes.(n - 1) in
+      let slow = Substation.Sssp.brute_force g ~src:nodes.(0) ~dst:nodes.(n - 1) in
+      match (fast, slow) with
+      | None, None -> true
+      | Some (c1, _), Some (c2, _) -> Float.abs (c1 -. c2) < 1e-9
+      | _ -> false)
+
+(* ---------------- config space ---------------- *)
+
+let tiny_fused =
+  lazy
+    (Substation.Fusion.fuse ~name_table:Transformer.Encoder.kernel_names
+       (Transformer.Encoder.program tiny))
+
+let find_op program name =
+  List.find (fun (o : Ops.Op.t) -> o.Ops.Op.name = name) program.Ops.Program.ops
+
+let test_gemm_config_enumeration () =
+  let program = Lazy.force tiny_fused in
+  let op = find_op program "lin1" in
+  let configs = Substation.Config_space.gemm_configs program op in
+  (* A (w1 [u,i]): 2 block orders; B (ln1_out [i,b,j]): 2 orders x 2 internal
+     perms of {b,j} = 4; C (ff1 [u,b,j]): 4; only FP16 at tiny sizes (extents
+     not multiples of 8): x 12 algorithms *)
+  check_int "lin1 config count" (2 * 4 * 4 * 12) (List.length configs)
+
+let test_gemm_layout_feasibility () =
+  (* every enumerated layout keeps role blocks contiguous with batch not
+     innermost - verify via the batched attention contraction *)
+  let program = Lazy.force tiny_fused in
+  let op = find_op program "qkt" in
+  let roles = match op.Ops.Op.kind with Ops.Op.Gemm r -> r | _ -> assert false in
+  List.iter
+    (fun (c : Substation.Config_space.gemm_config) ->
+      let innermost = Layout.innermost c.layout_a in
+      check_bool "batch axis never innermost (A)" false
+        (List.mem innermost roles.Ops.Op.batch_axes))
+    (Substation.Config_space.gemm_configs program op)
+
+let test_fused_config_enumeration () =
+  (* at BERT scale the tensors are large enough to enumerate layouts (tiny
+     tensors fall under the small-volume cutoff and keep their layout) *)
+  let program = Substation.Perfdb.program (Lazy.force bert_db) in
+  let op = find_op program "SM" in
+  let configs = Substation.Config_space.fused_configs program op in
+  check_bool "SM has a rich space" true (List.length configs > 100);
+  List.iter
+    (fun (c : Substation.Config_space.fused_config) ->
+      check_bool "vec axis from the beta tensor" true
+        (List.mem c.vec_axis [ "h"; "b"; "j"; "k" ]))
+    configs
+
+let test_iso_layout () =
+  let rep = [ ("p", 4); ("h", 2); ("b", 2); ("j", 3) ] in
+  let target = [ ("p", 4); ("h", 2); ("b", 2); ("k", 3) ] in
+  Alcotest.(check (list string)) "iso"
+    [ "b"; "k"; "p"; "h" ]
+    (Substation.Config_space.iso_layout ~rep_dims:rep ~target_dims:target
+       [ "b"; "j"; "p"; "h" ])
+
+let test_measure_positive_times () =
+  let program = Lazy.force tiny_fused in
+  List.iter
+    (fun (op : Ops.Op.t) ->
+      let m =
+        Substation.Config_space.measure ~device program op
+          (Substation.Config_space.default_config program op)
+      in
+      check_bool (op.Ops.Op.name ^ " positive time") true (m.time > 0.0))
+    (Lazy.force tiny_fused).Ops.Program.ops
+
+let test_resolve_layouts_cover () =
+  let program = Lazy.force tiny_fused in
+  List.iter
+    (fun (op : Ops.Op.t) ->
+      let layouts =
+        Substation.Config_space.resolve_layouts program op
+          (Substation.Config_space.default_config program op)
+      in
+      List.iter
+        (fun c ->
+          match List.assoc_opt c layouts with
+          | Some l ->
+              check_bool (c ^ " layout is a permutation") true
+                (Layout.is_permutation_of l
+                   (List.map fst (Ops.Program.container_dims program c)))
+          | None -> Alcotest.failf "op %s: container %s unassigned" op.Ops.Op.name c)
+        (op.Ops.Op.reads @ op.Ops.Op.writes))
+    (Lazy.force tiny_fused).Ops.Program.ops
+
+let test_quality_monotone () =
+  let program = Lazy.force tiny_fused in
+  let op = find_op program "BRD" in
+  let cfg = Substation.Config_space.default_config program op in
+  let t q = (Substation.Config_space.measure ~quality:q ~device program op cfg).Substation.Config_space.time in
+  check_bool "lower quality is slower" true (t 0.5 > t 1.0)
+
+let test_tuned_default_not_worse () =
+  let db = Lazy.force bert_db in
+  let program = Substation.Perfdb.program db in
+  List.iter
+    (fun (op : Ops.Op.t) ->
+      match op.Ops.Op.kind with
+      | Ops.Op.Gemm _ ->
+          let t cfg =
+            (Substation.Config_space.measure ~device program op cfg)
+              .Substation.Config_space.time
+          in
+          let dflt = t (Substation.Config_space.default_config program op) in
+          let tuned = t (Substation.Config_space.tuned_default_config ~device program op) in
+          check_bool (op.Ops.Op.name ^ ": tuned <= default") true (tuned <= dflt +. 1e-12)
+      | _ -> ())
+    program.Ops.Program.ops
+
+(* ---------------- perfdb ---------------- *)
+
+let test_perfdb_best () =
+  let db = Lazy.force bert_db in
+  List.iter
+    (fun name ->
+      let best = Substation.Perfdb.best db name in
+      List.iter
+        (fun (m : Substation.Config_space.measured) ->
+          check_bool "best is minimal" true (best.time <= m.time))
+        (Substation.Perfdb.entries db name))
+    [ "qkv"; "SM"; "BDRB"; "lin1" ]
+
+let test_perfdb_best_matching () =
+  let db = Lazy.force bert_db in
+  let best = Substation.Perfdb.best db "lin1" in
+  (* constraining to the best entry's own layouts returns a time no better *)
+  (match
+     Substation.Perfdb.best_matching db "lin1" ~constraints:best.layouts
+   with
+  | Some m ->
+      check_bool "constrained best matches" true
+        (Float.abs (m.time -. best.time) < 1e-15)
+  | None -> Alcotest.fail "constraints from a real entry must be satisfiable");
+  (* constraints on containers the op does not touch are vacuous *)
+  check_bool "unrelated constraint is vacuous" true
+    (Substation.Perfdb.best_matching db "lin1"
+       ~constraints:[ ("no_such_container", [ "a" ]) ]
+    <> None)
+
+let test_perfdb_quantiles_sorted () =
+  let db = Lazy.force bert_db in
+  let qs = Substation.Perfdb.quantiles db "SM" [ 0.0; 0.25; 0.5; 0.75; 1.0 ] in
+  let rec ascending = function
+    | a :: (b :: _ as rest) -> a <= b && ascending rest
+    | _ -> true
+  in
+  check_bool "quantiles ascending" true (ascending qs)
+
+(* ---------------- selector ---------------- *)
+
+let test_selection_gap () =
+  let sel = Lazy.force bert_selection in
+  let gap =
+    (sel.Substation.Selector.forward_time /. sel.Substation.Selector.sum_best_forward)
+    -. 1.0
+  in
+  check_bool
+    (Printf.sprintf "forward within 4%% of lower bound (got %.2f%%)" (100. *. gap))
+    true (gap <= 0.04)
+
+let test_selection_structure () =
+  let sel = Lazy.force bert_selection in
+  check_int "11 forward kernels" 11 (List.length sel.Substation.Selector.forward);
+  check_int "21 backward kernels" 21 (List.length sel.Substation.Selector.backward);
+  check_bool "total = fwd + bwd" true
+    (Float.abs
+       (sel.Substation.Selector.total_time
+       -. (sel.Substation.Selector.forward_time
+          +. sel.Substation.Selector.backward_time))
+    < 1e-12)
+
+let test_greedy_not_better () =
+  let db = Lazy.force bert_db in
+  let sel = Lazy.force bert_selection in
+  let greedy = Substation.Selector.greedy db in
+  check_bool "global selection beats greedy + transposes" true
+    (sel.Substation.Selector.total_time <= greedy.Substation.Selector.total_time);
+  check_bool "greedy pays transposes" true
+    (List.length greedy.Substation.Selector.transposes > 0)
+
+let test_backward_inference_ties_gradients () =
+  let sel = Lazy.force bert_selection in
+  let layouts = sel.Substation.Selector.layouts in
+  (* the gradient of a boundary tensor inherits its primal's layout *)
+  List.iter
+    (fun (primal, grad) ->
+      match (List.assoc_opt primal layouts, List.assoc_opt grad layouts) with
+      | Some lp, Some lg ->
+          check_bool
+            (Printf.sprintf "%s and %s share a layout" primal grad)
+            true (Layout.equal lp lg)
+      | _ -> Alcotest.failf "%s or %s missing from selection" primal grad)
+    [ ("qqb", "d_qqb"); ("beta", "d_beta"); ("gam", "d_gam") ]
+
+let test_selection_graph_dot () =
+  let db = Lazy.force bert_db in
+  let dot = Substation.Selector.graph_dot ~max_ops:2 db in
+  let contains sub =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length dot && (String.sub dot i n = sub || go (i + 1)) in
+    go 0
+  in
+  check_bool "digraph" true (contains "digraph");
+  check_bool "has source" true (contains "source");
+  check_bool "has qkv edges" true (contains "qkv")
+
+(* ---------------- recipe ---------------- *)
+
+let test_recipe_end_to_end () =
+  let program = Transformer.Encoder.program tiny in
+  let r =
+    Substation.Recipe.optimize ~name_table:Transformer.Encoder.kernel_names
+      ~device program
+  in
+  check_bool "movement reduced" true (Substation.Recipe.movement_reduction r > 0.0);
+  check_int "groups cover all fused ops"
+    (List.length r.Substation.Recipe.fused.Ops.Program.ops)
+    (List.length r.Substation.Recipe.groups);
+  check_bool "speedup helper" true
+    (Substation.Recipe.speedup_vs r ~baseline_time:1.0 > 0.0)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "config"
+    [
+      ( "sssp",
+        [
+          Alcotest.test_case "diamond" `Quick test_sssp_diamond;
+          Alcotest.test_case "unreachable" `Quick test_sssp_unreachable;
+          Alcotest.test_case "rejects negative weights" `Quick
+            test_sssp_rejects_negative;
+          Alcotest.test_case "self path" `Quick test_sssp_self;
+          q prop_sssp_vs_brute_force;
+        ] );
+      ( "config space",
+        [
+          Alcotest.test_case "GEMM enumeration count" `Quick
+            test_gemm_config_enumeration;
+          Alcotest.test_case "GEMM layout feasibility" `Quick
+            test_gemm_layout_feasibility;
+          Alcotest.test_case "fused enumeration" `Quick test_fused_config_enumeration;
+          Alcotest.test_case "layout isomorphism" `Quick test_iso_layout;
+          Alcotest.test_case "positive times" `Quick test_measure_positive_times;
+          Alcotest.test_case "resolve covers containers" `Quick
+            test_resolve_layouts_cover;
+          Alcotest.test_case "quality monotone" `Quick test_quality_monotone;
+          Alcotest.test_case "tuned default not worse" `Quick
+            test_tuned_default_not_worse;
+        ] );
+      ( "perfdb",
+        [
+          Alcotest.test_case "best is minimal" `Quick test_perfdb_best;
+          Alcotest.test_case "best matching constraints" `Quick
+            test_perfdb_best_matching;
+          Alcotest.test_case "quantiles" `Quick test_perfdb_quantiles_sorted;
+        ] );
+      ( "selector",
+        [
+          Alcotest.test_case "selection gap (paper: 4%)" `Quick test_selection_gap;
+          Alcotest.test_case "structure" `Quick test_selection_structure;
+          Alcotest.test_case "greedy ablation" `Quick test_greedy_not_better;
+          Alcotest.test_case "backward layout inference" `Quick
+            test_backward_inference_ties_gradients;
+          Alcotest.test_case "Fig. 6 graph export" `Quick test_selection_graph_dot;
+        ] );
+      ("recipe", [ Alcotest.test_case "end to end" `Quick test_recipe_end_to_end ]);
+    ]

@@ -1,0 +1,374 @@
+(* Tests for the beyond-the-paper extensions: chrome-trace export, activation
+   memory accounting, encoder/decoder cross-attention with K/V algebraic
+   fusion, model presets, the Adam optimizer, FP16 quantization, CSV export
+   and ASCII histograms. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let tiny = Transformer.Hparams.tiny
+let device = Gpu.Device.v100
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+(* ---------------- trace ---------------- *)
+
+let tiny_run () =
+  let plan =
+    Frameworks.Pytorch_sim.plan ~device ~workload:Frameworks.Executor.Encoder_layer
+      tiny
+  in
+  Gpu.Simulator.run device plan.Frameworks.Executor.kernels_forward
+
+let test_trace_json_structure () =
+  let run = tiny_run () in
+  let json = Gpu.Trace.to_json run in
+  check_bool "array" true (String.length json > 2 && json.[0] = '[');
+  check_bool "has kernels" true (contains json "\"qkv\"");
+  check_bool "has categories" true (contains json "tensor contraction");
+  check_bool "has bound args" true (contains json "\"bound\"");
+  (* event count = kernel count: count "ph":"X" occurrences *)
+  let rec count i acc =
+    if i + 9 > String.length json then acc
+    else if String.sub json i 9 = {|"ph":"X",|} then count (i + 9) (acc + 1)
+    else count (i + 1) acc
+  in
+  check_int "one event per kernel" (List.length run.Gpu.Simulator.timings)
+    (count 0 0)
+
+let test_trace_timestamps_monotone () =
+  let run = tiny_run () in
+  let json = Gpu.Trace.to_json run in
+  (* extract ts values in order and check they ascend *)
+  let rec collect i acc =
+    match String.index_from_opt json i 't' with
+    | None -> List.rev acc
+    | Some j ->
+        if j + 5 < String.length json && String.sub json j 5 = "ts\":" ^ "" then
+          collect (j + 1) acc
+        else collect (j + 1) acc
+  in
+  ignore collect;
+  (* simpler: combined trace of fwd+bwd starts backward after forward *)
+  let plan =
+    Frameworks.Pytorch_sim.plan ~device ~workload:Frameworks.Executor.Encoder_layer
+      tiny
+  in
+  let fwd = Gpu.Simulator.run device plan.Frameworks.Executor.kernels_forward in
+  let bwd = Gpu.Simulator.run device plan.Frameworks.Executor.kernels_backward in
+  let combined = Gpu.Trace.combined ~forward:fwd ~backward:bwd () in
+  check_bool "both passes present" true
+    (contains combined ":forward" && contains combined ":backward")
+
+let test_trace_escaping () =
+  let k =
+    Gpu.Kernel.make ~name:"weird\"name\\x" ~cls:Sdfg.Opclass.Elementwise ~flop:1
+      ~unit_:Gpu.Device.Fp16_simd ~compute_efficiency:0.5
+      [ Gpu.Kernel.access "t" Gpu.Kernel.Read 8 ]
+  in
+  let json = Gpu.Trace.to_json (Gpu.Simulator.run device [ k ]) in
+  check_bool "quotes escaped" true (contains json "weird\\\"name\\\\x")
+
+(* ---------------- memory ---------------- *)
+
+let test_memory_profile_basics () =
+  let p = Transformer.Encoder.program tiny in
+  let prof = Ops.Memory.profile p in
+  check_bool "peak <= total" true
+    (prof.Ops.Memory.peak_bytes <= prof.Ops.Memory.total_bytes);
+  check_bool "peak positive" true (prof.Ops.Memory.peak_bytes > 0);
+  check_int "resident per op" (List.length p.Ops.Program.ops)
+    (Array.length prof.Ops.Memory.resident);
+  check_bool "peak is the max resident" true
+    (Array.for_all
+       (fun v -> v <= prof.Ops.Memory.peak_bytes)
+       prof.Ops.Memory.resident)
+
+let test_memory_inputs_persistent () =
+  let p = Transformer.Encoder.program tiny in
+  let prof = Ops.Memory.profile p in
+  let lt name =
+    List.find
+      (fun (l : Ops.Memory.lifetime) -> l.container = name)
+      prof.Ops.Memory.lifetimes
+  in
+  check_bool "x is persistent input" true (lt "x").persistent;
+  check_int "x live from start" 0 (lt "x").first_use;
+  check_bool "weight gradient persistent output" true (lt "d_wq").persistent;
+  (* a pure interim activation dies before the end *)
+  let drop1 = lt "drop1" in
+  check_bool "drop1 freed after its last read" true
+    ((not drop1.persistent)
+    && drop1.last_use < List.length p.Ops.Program.ops - 1)
+
+let test_memory_fusion_reduces_total () =
+  let p = Transformer.Encoder.program Transformer.Hparams.bert_large in
+  let f = Substation.Fusion.fuse ~name_table:Transformer.Encoder.kernel_names p in
+  let pu = Ops.Memory.profile p in
+  let pf = Ops.Memory.profile f in
+  check_bool "fusion never increases total footprint" true
+    (pf.Ops.Memory.total_bytes <= pu.Ops.Memory.total_bytes);
+  check_bool "fusion elides some containers" true
+    (List.length pf.Ops.Memory.lifetimes < List.length pu.Ops.Memory.lifetimes);
+  check_bool "bert-large layer fits 16 GB" true
+    (Ops.Memory.fits pu ~capacity:16_000_000_000)
+
+let test_memory_scales_with_batch () =
+  let small = Ops.Memory.profile (Transformer.Encoder.program tiny) in
+  let bigger =
+    Ops.Memory.profile
+      (Transformer.Encoder.program
+         (Transformer.Hparams.with_batch_seq tiny ~batch:4 ~seq:6))
+  in
+  check_bool "bigger batch, bigger peak" true
+    (bigger.Ops.Memory.peak_bytes > small.Ops.Memory.peak_bytes)
+
+(* ---------------- cross-attention ---------------- *)
+
+let cross_setup () =
+  let src_seq = 5 in
+  let prng = Prng.create 21L in
+  let params =
+    List.filter
+      (fun (n, _) -> List.mem n Transformer.Mha.param_names)
+      (Transformer.Params.init tiny)
+  in
+  let x = Dense.randn prng (Transformer.Hparams.dims_x tiny) ~stddev:1.0 in
+  let mem =
+    Dense.randn prng
+      [ ("i", tiny.Transformer.Hparams.embed); ("b", tiny.Transformer.Hparams.batch); ("k", src_seq) ]
+      ~stddev:1.0
+  in
+  let d_out = Dense.randn prng (Transformer.Hparams.dims_x tiny) ~stddev:1.0 in
+  (src_seq, params, x, mem, d_out)
+
+let test_cross_attention_variants_agree () =
+  let src_seq, params, x, mem, d_out = cross_setup () in
+  let run variant =
+    Transformer.Cross_attention.run ~variant ~src_seq tiny ~x ~mem ~d_out ~params
+  in
+  let e1 = run Transformer.Cross_attention.Kv_fused in
+  let e2 = run Transformer.Cross_attention.Kv_separate in
+  List.iter
+    (fun c ->
+      check_bool (c ^ " agrees across KV variants") true
+        (Dense.approx_equal (Ops.Op.lookup e1 c) (Ops.Op.lookup e2 c)))
+    [ "attn_b"; "d_x"; "d_mem"; "d_wk"; "d_wv"; "d_wq" ]
+
+let test_cross_attention_matches_reference () =
+  let src_seq, params, x, mem, d_out = cross_setup () in
+  let env =
+    Transformer.Cross_attention.run ~src_seq tiny ~x ~mem ~d_out ~params
+  in
+  let reference =
+    Transformer.Reference.mha_forward tiny ~q:x ~k:mem ~v:mem ~params
+  in
+  check_bool "matches the general-attention reference" true
+    (Dense.approx_equal (Ops.Op.lookup env "attn_b") reference)
+
+let test_cross_attention_gradients () =
+  let src_seq, params, x, mem, d_out = cross_setup () in
+  let env =
+    Transformer.Cross_attention.run ~src_seq tiny ~x ~mem ~d_out ~params
+  in
+  let loss_mem m =
+    let out = Transformer.Reference.mha_forward tiny ~q:x ~k:m ~v:m ~params in
+    Dense.sum_all (Dense.mul (Dense.align out d_out) d_out)
+  in
+  let ok, err =
+    Autodiff_check.check ~tol:2e-3 ~f:loss_mem ~grad:(Ops.Op.lookup env "d_mem") mem
+  in
+  check_bool (Printf.sprintf "d_mem vs fd (err %.2e)" err) true ok;
+  let loss_x xv =
+    let out = Transformer.Reference.mha_forward tiny ~q:xv ~k:mem ~v:mem ~params in
+    Dense.sum_all (Dense.mul (Dense.align out d_out) d_out)
+  in
+  let ok2, err2 =
+    Autodiff_check.check ~tol:2e-3 ~f:loss_x ~grad:(Ops.Op.lookup env "d_x") x
+  in
+  check_bool (Printf.sprintf "d_x vs fd (err %.2e)" err2) true ok2
+
+let test_kv_fusion_pays () =
+  let rows =
+    Transformer.Cross_attention.kv_fusion_times ~device Transformer.Hparams.bert_large
+  in
+  check_int "two variants" 2 (List.length rows);
+  match rows with
+  | [ (_, f_sep, b_sep); (_, f_fused, b_fused) ] ->
+      check_bool "KV fusion speeds up the forward projections" true
+        (f_fused < f_sep);
+      check_bool "KV fusion speeds up the backward dX" true (b_fused < b_sep)
+  | _ -> Alcotest.fail "unexpected rows"
+
+let test_cross_attention_program_validates () =
+  let p = Transformer.Cross_attention.program ~src_seq:5 tiny in
+  check_bool "validates" true (Ops.Program.validate p = Ok ());
+  (* and the recipe applies to it end to end *)
+  let r =
+    Substation.Recipe.optimize
+      ~name_table:Transformer.Cross_attention.kernel_names ~device p
+  in
+  check_bool "recipe runs" true
+    (r.Substation.Recipe.selection.Substation.Selector.total_time > 0.0)
+
+(* ---------------- presets ---------------- *)
+
+let test_presets_valid () =
+  check_bool "at least 6 presets" true
+    (List.length Transformer.Hparams.presets >= 6);
+  List.iter
+    (fun (name, hp) ->
+      check_bool (name ^ " validates") true
+        (Transformer.Hparams.validate hp = Ok ()))
+    Transformer.Hparams.presets
+
+let test_presets_flop_scale () =
+  (* per-layer flop grows monotonically from bert-base to gpt3-13b-class *)
+  let flop name =
+    let hp = List.assoc name Transformer.Hparams.presets in
+    Sdfg.Analysis.total_flop (Ops.Program.graph (Transformer.Encoder.program hp))
+  in
+  check_bool "bert-base < bert-large" true (flop "bert-base" < flop "bert-large");
+  check_bool "bert-large < gpt2-xl" true (flop "bert-large" < flop "gpt2-xl");
+  check_bool "gpt2-xl < gpt3-13b" true (flop "gpt2-xl" < flop "gpt3-13b")
+
+(* ---------------- Adam ---------------- *)
+
+let model_hp = { tiny with Transformer.Hparams.batch = 2; seq = 4 }
+
+let test_adam_decreases_loss () =
+  let m = Transformer.Model.create ~n_layers:2 ~vocab:8 model_hp in
+  let h =
+    Transformer.Training.train ~optimizer:Transformer.Training.Adam m ~steps:25
+      ~lr:0.02 (Prng.create 3L)
+  in
+  check_bool
+    (Printf.sprintf "adam converges (%.3f -> %.3f)"
+       h.Transformer.Training.initial_loss h.Transformer.Training.final_loss)
+    true
+    (h.Transformer.Training.final_loss
+    < 0.4 *. h.Transformer.Training.initial_loss)
+
+let test_adam_state_updates () =
+  (* two identical steps must produce different updates (momentum builds) *)
+  let m = Transformer.Model.create ~n_layers:1 ~vocab:5 model_hp in
+  let state = Transformer.Model.adam_init m in
+  let tokens = [| [| 1; 2; 3; 0 |]; [| 4; 0; 2; 1 |] |] in
+  let snapshot () = Dense.copy m.Transformer.Model.embedding in
+  let apply () =
+    let cache = Transformer.Model.forward m ~tokens in
+    let _, d =
+      Transformer.Model.cross_entropy ~logits:cache.Transformer.Model.logits
+        ~targets:tokens
+    in
+    let grads = Transformer.Model.backward m cache ~d_logits:d in
+    Transformer.Model.adam_step m state grads ~lr:0.01
+  in
+  let e0 = snapshot () in
+  apply ();
+  let e1 = snapshot () in
+  apply ();
+  let e2 = snapshot () in
+  let step1 = Dense.max_abs_diff e1 e0 and step2 = Dense.max_abs_diff e2 e1 in
+  check_bool "first update moves params" true (step1 > 0.0);
+  check_bool "second update differs from first (state carried)" true
+    (Float.abs (step2 -. step1) > 1e-9)
+
+(* ---------------- fp16 quantization ---------------- *)
+
+let test_quantize_fp16_idempotent () =
+  let prng = Prng.create 8L in
+  let t = Dense.rand prng [ ("a", 64) ] ~lo:(-100.0) ~hi:100.0 in
+  let q = Dense.quantize_fp16 t in
+  check_bool "idempotent" true (Dense.approx_equal q (Dense.quantize_fp16 q));
+  check_bool "close to original" true (Dense.max_abs_diff t q < 0.1)
+
+let test_encoder_stable_under_fp16 () =
+  (* the mixed-precision claim: storing parameters and inputs at FP16 barely
+     moves the output *)
+  let params = Transformer.Params.init tiny in
+  let prng = Prng.create 5L in
+  let x = Transformer.Params.random_input tiny prng in
+  let d_y = Transformer.Params.random_cotangent tiny prng in
+  let env = Transformer.Encoder.run tiny ~x ~d_y ~params in
+  let env16 =
+    Transformer.Encoder.run tiny ~x:(Dense.quantize_fp16 x) ~d_y
+      ~params:(List.map (fun (n, v) -> (n, Dense.quantize_fp16 v)) params)
+  in
+  let diff = Dense.max_abs_diff (Ops.Op.lookup env "y") (Ops.Op.lookup env16 "y") in
+  check_bool (Printf.sprintf "output moved by %.1e < 5e-3" diff) true (diff < 5e-3)
+
+(* ---------------- csv / histogram ---------------- *)
+
+let test_csv_escaping () =
+  let csv =
+    Report.Table_fmt.render_csv ~header:[ "a"; "b" ]
+      [ [ "plain"; "with,comma" ]; [ "with\"quote"; "multi\nline" ] ]
+  in
+  check_bool "comma quoted" true (contains csv "\"with,comma\"");
+  check_bool "quote doubled" true (contains csv "\"with\"\"quote\"");
+  check_bool "newline quoted" true (contains csv "\"multi\nline\"")
+
+let test_histogram_bins () =
+  let h = Report.Table_fmt.histogram [ 1e-4; 1e-4; 1e-3; 1e-2 ] ~bins:3 ~width:10 in
+  check_int "three lines" 3
+    (List.length (List.filter (fun l -> l <> "") (String.split_on_char '\n' h)));
+  check_bool "has bars" true (contains h "#");
+  check_bool "empty input handled" true
+    (Report.Table_fmt.histogram [] ~bins:3 ~width:10 = "(empty)\n")
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "json structure" `Quick test_trace_json_structure;
+          Alcotest.test_case "combined passes" `Quick test_trace_timestamps_monotone;
+          Alcotest.test_case "escaping" `Quick test_trace_escaping;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "profile basics" `Quick test_memory_profile_basics;
+          Alcotest.test_case "inputs and gradients persist" `Quick
+            test_memory_inputs_persistent;
+          Alcotest.test_case "fusion reduces footprint" `Quick
+            test_memory_fusion_reduces_total;
+          Alcotest.test_case "scales with batch" `Quick test_memory_scales_with_batch;
+        ] );
+      ( "cross-attention",
+        [
+          Alcotest.test_case "KV variants agree" `Quick
+            test_cross_attention_variants_agree;
+          Alcotest.test_case "matches reference" `Quick
+            test_cross_attention_matches_reference;
+          Alcotest.test_case "gradients" `Quick test_cross_attention_gradients;
+          Alcotest.test_case "KV fusion pays (Table II analogue)" `Quick
+            test_kv_fusion_pays;
+          Alcotest.test_case "program validates + recipe applies" `Quick
+            test_cross_attention_program_validates;
+        ] );
+      ( "presets",
+        [
+          Alcotest.test_case "all validate" `Quick test_presets_valid;
+          Alcotest.test_case "flop scaling" `Quick test_presets_flop_scale;
+        ] );
+      ( "adam",
+        [
+          Alcotest.test_case "decreases loss" `Slow test_adam_decreases_loss;
+          Alcotest.test_case "carries state" `Quick test_adam_state_updates;
+        ] );
+      ( "fp16",
+        [
+          Alcotest.test_case "quantization idempotent" `Quick
+            test_quantize_fp16_idempotent;
+          Alcotest.test_case "encoder stable under fp16 storage" `Quick
+            test_encoder_stable_under_fp16;
+        ] );
+      ( "formats",
+        [
+          Alcotest.test_case "csv escaping" `Quick test_csv_escaping;
+          Alcotest.test_case "histogram" `Quick test_histogram_bins;
+        ] );
+    ]

@@ -1,0 +1,255 @@
+(* Tests for the fusion engine: the exact kernel set of the paper, semantic
+   preservation, external read/write computation, data-movement accounting,
+   and structural invariants (contraction barriers, forward/backward
+   separation, sink pass). *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let tiny = Transformer.Hparams.tiny
+let name_table = Transformer.Encoder.kernel_names
+
+let groups_of hp =
+  Substation.Fusion.groups ~name_table (Transformer.Encoder.program hp)
+
+let group_names hp =
+  List.map (fun (g : Substation.Fusion.group) -> g.fused.Ops.Op.name) (groups_of hp)
+
+let find_group hp name =
+  List.find
+    (fun (g : Substation.Fusion.group) -> g.fused.Ops.Op.name = name)
+    (groups_of hp)
+
+(* ---------------- kernel discovery ---------------- *)
+
+let test_paper_kernel_set () =
+  (* Table III / paper SIV-A: the exact fused kernels the recipe finds *)
+  Alcotest.(check (list string)) "encoder kernel sequence"
+    [
+      "qkv"; "AIB"; "qkt"; "SM"; "gamma"; "out"; "DRLN"; "lin1"; "BRD"; "lin2";
+      "BDRLN"; "BSB"; "BLNRD"; "lin2_dx"; "lin2_dw"; "BDRB"; "lin1_dx";
+      "lin1_dw"; "EBSB"; "BLNRD'"; "BAOB"; "out_dx"; "out_dw"; "gamma_dx1";
+      "gamma_dx2"; "BS"; "qkt_dx1"; "qkt_dx2"; "BAIB"; "qkv_dx"; "qkv_dw"; "BEI";
+    ]
+    (group_names tiny)
+
+let test_kernel_set_scale_invariant () =
+  (* fusion decisions depend on structure, not extents *)
+  Alcotest.(check (list string)) "same kernels at BERT-large scale"
+    (group_names tiny)
+    (group_names Transformer.Hparams.bert_large)
+
+let members name =
+  List.map (fun (o : Ops.Op.t) -> o.Ops.Op.name) (find_group tiny name).members
+
+let test_group_members () =
+  Alcotest.(check (list string)) "AIB" [ "bias_q"; "bias_k"; "bias_v" ] (members "AIB");
+  Alcotest.(check (list string)) "SM" [ "softmax"; "attn_dropout" ] (members "SM");
+  Alcotest.(check (list string)) "DRLN"
+    [ "output_bias"; "attn_out_dropout"; "residual1"; "ln1" ]
+    (members "DRLN");
+  Alcotest.(check (list string)) "BRD" [ "bias1"; "relu"; "ff_dropout" ] (members "BRD");
+  (* BDRB requires the sink pass: bias2_dw moves past the lin2 GEMMs *)
+  Alcotest.(check (list string)) "BDRB (sink pass)"
+    [ "bias2_dw"; "ff_dropout_dx"; "relu_dx"; "bias1_dw" ]
+    (members "BDRB");
+  Alcotest.(check (list string)) "EBSB" [ "residual2_dx"; "ln1_dw" ] (members "EBSB");
+  Alcotest.(check (list string)) "BS" [ "attn_dropout_dx"; "softmax_dx" ] (members "BS");
+  Alcotest.(check (list string)) "BAIB"
+    [ "bias_q_dw"; "bias_k_dw"; "bias_v_dw" ]
+    (members "BAIB")
+
+let test_contractions_are_barriers () =
+  List.iter
+    (fun (g : Substation.Fusion.group) ->
+      if Sdfg.Opclass.equal g.fused.Ops.Op.cls Sdfg.Opclass.Contraction then
+        check_int "contraction stays singleton" 1 (List.length g.members))
+    (groups_of tiny)
+
+let test_no_cross_pass_fusion () =
+  List.iter
+    (fun (g : Substation.Fusion.group) ->
+      let flags =
+        List.sort_uniq Bool.compare
+          (List.map (fun (o : Ops.Op.t) -> o.Ops.Op.backward) g.members)
+      in
+      check_bool "group stays within one pass" true (List.length flags = 1))
+    (groups_of tiny)
+
+let test_fused_class () =
+  check_bool "SM is a normalization kernel" true
+    (Sdfg.Opclass.equal (find_group tiny "SM").fused.Ops.Op.cls
+       Sdfg.Opclass.Normalization);
+  check_bool "AIB is elementwise" true
+    (Sdfg.Opclass.equal (find_group tiny "AIB").fused.Ops.Op.cls
+       Sdfg.Opclass.Elementwise);
+  check_bool "BEI keeps canonical name" true
+    (List.exists
+       (fun (g : Substation.Fusion.group) -> g.fused.Ops.Op.name = "BEI")
+       (groups_of tiny))
+
+(* ---------------- external reads/writes ---------------- *)
+
+let test_sm_io () =
+  let program = Transformer.Encoder.program tiny in
+  let g = find_group tiny "SM" in
+  let reads = Substation.Fusion.external_reads program g.members in
+  let writes = Substation.Fusion.external_writes program g.members in
+  Alcotest.(check (list string)) "SM reads beta only" [ "beta" ] reads;
+  (* the paper's Table III: SM writes 3x the tensor (saved softmax output,
+     dropout output, dropout mask) *)
+  Alcotest.(check (list string)) "SM writes"
+    [ "alpha_sm"; "alpha"; "attn_mask" ]
+    writes
+
+let test_drln_interim_elision () =
+  let program = Transformer.Encoder.program tiny in
+  let g = find_group tiny "DRLN" in
+  let writes = Substation.Fusion.external_writes program g.members in
+  check_bool "drop1 is interim (never leaves the kernel)" false
+    (List.mem "drop1" writes);
+  check_bool "res1 is external (read by backward)" true (List.mem "res1" writes);
+  check_bool "mask1 is external (read by backward)" true (List.mem "mask1" writes)
+
+let test_brd_reads () =
+  let program = Transformer.Encoder.program tiny in
+  let g = find_group tiny "BRD" in
+  let reads = Substation.Fusion.external_reads program g.members in
+  Alcotest.(check (list string)) "BRD reads" [ "ff1"; "b1" ] reads;
+  let writes = Substation.Fusion.external_writes program g.members in
+  check_bool "ff1b saved for relu backward" true (List.mem "ff1b" writes);
+  check_bool "act is interim" false (List.mem "act" writes)
+
+(* ---------------- semantics ---------------- *)
+
+let run_program program hp =
+  let prng = Prng.create 99L in
+  let params = Transformer.Params.init hp in
+  let x = Transformer.Params.random_input hp prng in
+  let d_y = Transformer.Params.random_cotangent hp prng in
+  Ops.Program.run program (("x", x) :: ("d_y", d_y) :: params)
+
+let test_fusion_preserves_semantics () =
+  let program = Transformer.Encoder.program tiny in
+  let fused = Substation.Fusion.fuse ~name_table program in
+  let env1 = run_program program tiny in
+  let env2 = run_program fused tiny in
+  List.iter
+    (fun c ->
+      let a = Ops.Op.lookup env1 c and b = Ops.Op.lookup env2 c in
+      if not (Dense.approx_equal a b) then
+        Alcotest.failf "container %s differs after fusion" c)
+    [ "y"; "d_x"; "d_wq"; "d_bq"; "d_w1"; "d_b2"; "d_ln1_g"; "d_ln2_b"; "d_wo" ]
+
+let test_fusion_preserves_decoder_semantics () =
+  let program = Transformer.Decoder.program tiny in
+  let fused =
+    Substation.Fusion.fuse ~name_table:Transformer.Decoder.kernel_names program
+  in
+  let env1 = run_program program tiny in
+  let env2 = run_program fused tiny in
+  List.iter
+    (fun c ->
+      check_bool (c ^ " equal") true
+        (Dense.approx_equal (Ops.Op.lookup env1 c) (Ops.Op.lookup env2 c)))
+    [ "y"; "d_x"; "d_w1" ]
+
+(* a random chain of element-wise maps must fuse into one kernel with
+   identical results *)
+let prop_random_map_chain =
+  QCheck.Test.make ~name:"fusing a random map chain preserves results" ~count:25
+    QCheck.(int_range 1 6)
+    (fun n ->
+      let dims = [ ("a", 3); ("b", 4) ] in
+      let containers =
+        ("t0", dims) :: List.init n (fun i -> (Printf.sprintf "t%d" (i + 1), dims))
+      in
+      let ops =
+        List.init n (fun i ->
+            let src = Printf.sprintf "t%d" i and dst = Printf.sprintf "t%d" (i + 1) in
+            if i mod 2 = 0 then
+              Ops.Elementwise.relu ~name:("op" ^ string_of_int i) ~x:src ~out:dst
+                dims ()
+            else
+              Ops.Elementwise.add ~name:("op" ^ string_of_int i) ~x:src ~y:"t0"
+                ~out:dst dims ())
+      in
+      let program = Ops.Program.make ~containers ops in
+      let fused = Substation.Fusion.fuse program in
+      check_int "chain fuses to one kernel" 1 (List.length fused.Ops.Program.ops);
+      let prng = Prng.create (Int64.of_int n) in
+      let x = Dense.rand prng dims ~lo:(-1.0) ~hi:1.0 in
+      let last = Printf.sprintf "t%d" n in
+      let a = Ops.Op.lookup (Ops.Program.run program [ ("t0", x) ]) last in
+      let b = Ops.Op.lookup (Ops.Program.run fused [ ("t0", x) ]) last in
+      Dense.approx_equal a b)
+
+(* ---------------- data movement ---------------- *)
+
+let test_movement_saved_tiny () =
+  let program = Transformer.Encoder.program tiny in
+  let unfused, fused = Substation.Fusion.movement_saved ~bytes_per_elem:2 program in
+  check_bool "fusion reduces movement" true (fused < unfused);
+  check_bool "reduction below 50%" true (float_of_int fused > 0.5 *. float_of_int unfused)
+
+let test_movement_saved_bert () =
+  (* the paper reports ~22.91%; the reproduction lands near 19-20% *)
+  let program = Transformer.Encoder.program Transformer.Hparams.bert_large in
+  let unfused, fused = Substation.Fusion.movement_saved ~bytes_per_elem:2 program in
+  let reduction = 1.0 -. (float_of_int fused /. float_of_int unfused) in
+  check_bool
+    (Printf.sprintf "movement reduction %.1f%% in [12%%, 30%%]" (100. *. reduction))
+    true
+    (reduction > 0.12 && reduction < 0.30)
+
+let test_fused_flop_conserved () =
+  let program = Transformer.Encoder.program tiny in
+  let fused = Substation.Fusion.fuse ~name_table program in
+  let total p =
+    List.fold_left (fun acc (o : Ops.Op.t) -> acc + o.Ops.Op.flop) 0 p.Ops.Program.ops
+  in
+  check_int "fusion conserves flop" (total program) (total fused)
+
+let test_fused_program_validates () =
+  let program = Transformer.Encoder.program tiny in
+  let fused = Substation.Fusion.fuse ~name_table program in
+  check_bool "fused program validates" true (Ops.Program.validate fused = Ok ())
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "fusion"
+    [
+      ( "kernel discovery",
+        [
+          Alcotest.test_case "paper kernel set" `Quick test_paper_kernel_set;
+          Alcotest.test_case "scale invariance" `Quick test_kernel_set_scale_invariant;
+          Alcotest.test_case "group members" `Quick test_group_members;
+          Alcotest.test_case "contraction barriers" `Quick
+            test_contractions_are_barriers;
+          Alcotest.test_case "no forward/backward mixing" `Quick
+            test_no_cross_pass_fusion;
+          Alcotest.test_case "fused classes and names" `Quick test_fused_class;
+        ] );
+      ( "kernel io",
+        [
+          Alcotest.test_case "SM reads/writes (Table III)" `Quick test_sm_io;
+          Alcotest.test_case "DRLN interim elision" `Quick test_drln_interim_elision;
+          Alcotest.test_case "BRD io" `Quick test_brd_reads;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "encoder fused == unfused" `Quick
+            test_fusion_preserves_semantics;
+          Alcotest.test_case "decoder fused == unfused" `Quick
+            test_fusion_preserves_decoder_semantics;
+          q prop_random_map_chain;
+        ] );
+      ( "data movement",
+        [
+          Alcotest.test_case "tiny savings" `Quick test_movement_saved_tiny;
+          Alcotest.test_case "BERT-large savings (SVI-C)" `Quick
+            test_movement_saved_bert;
+          Alcotest.test_case "flop conserved" `Quick test_fused_flop_conserved;
+          Alcotest.test_case "fused program validates" `Quick
+            test_fused_program_validates;
+        ] );
+    ]

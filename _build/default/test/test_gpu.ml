@@ -1,0 +1,295 @@
+(* Tests for the simulated GPU: device models, the roofline cost model, the
+   MUE metric, the GEMM (cuBLAS-substitute) model, and the simulator. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let v100 = Gpu.Device.v100
+
+let mem_kernel ?(eff = 1.0) ?(bytes_per_elem = 2) ?(launches = 1) elems =
+  Gpu.Kernel.make ~name:"mem" ~cls:Sdfg.Opclass.Elementwise ~flop:1
+    ~unit_:Gpu.Device.Fp16_simd ~compute_efficiency:1.0 ~launches
+    [
+      Gpu.Kernel.access ~bytes_per_elem ~efficiency:eff "x" Gpu.Kernel.Read elems;
+      Gpu.Kernel.access ~bytes_per_elem ~efficiency:eff "y" Gpu.Kernel.Write elems;
+    ]
+
+let flop_kernel flop =
+  Gpu.Kernel.make ~name:"flop" ~cls:Sdfg.Opclass.Contraction ~flop
+    ~unit_:Gpu.Device.Tensor_core ~compute_efficiency:0.5
+    [ Gpu.Kernel.access "x" Gpu.Kernel.Read 16 ]
+
+(* ---------------- device ---------------- *)
+
+let test_device_peaks () =
+  check_bool "tc peak" true (Gpu.Device.peak_for v100 Gpu.Device.Tensor_core = 125e12);
+  check_bool "fp16 peak" true (Gpu.Device.peak_for v100 Gpu.Device.Fp16_simd = 31.4e12);
+  check_bool "a100 faster" true
+    (Gpu.Device.a100.Gpu.Device.tensor_core_peak > v100.Gpu.Device.tensor_core_peak);
+  check_bool "a100 more bandwidth" true
+    (Gpu.Device.a100.Gpu.Device.mem_bandwidth > v100.Gpu.Device.mem_bandwidth)
+
+(* ---------------- kernel ---------------- *)
+
+let test_kernel_bytes () =
+  let k = mem_kernel 1000 in
+  check_int "bytes" 4000 (Gpu.Kernel.bytes_moved k);
+  check_int "read bytes" 2000 (Gpu.Kernel.read_bytes k);
+  check_int "write bytes" 2000 (Gpu.Kernel.write_bytes k);
+  check_int "min bytes defaults to moved" 4000 k.Gpu.Kernel.min_bytes
+
+let test_kernel_validation () =
+  check_bool "bad efficiency" true
+    (try
+       ignore (Gpu.Kernel.access ~efficiency:1.5 "x" Gpu.Kernel.Read 1);
+       false
+     with Invalid_argument _ -> true);
+  check_bool "bad launches" true
+    (try
+       ignore
+         (Gpu.Kernel.make ~name:"k" ~cls:Sdfg.Opclass.Elementwise ~flop:0
+            ~unit_:Gpu.Device.Fp16_simd ~compute_efficiency:0.5 ~launches:0 []);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- cost model ---------------- *)
+
+let test_memory_bound_timing () =
+  (* 100 MB at full bandwidth on 900 GB/s ~ 111 us + 4 us overhead *)
+  let k = mem_kernel 25_000_000 in
+  let t = Gpu.Cost_model.time v100 k in
+  check_bool "time ~115 us" true
+    (Float.abs (t.Gpu.Cost_model.time -. 115.1e-6) < 2e-6);
+  check_bool "memory bound" true (t.Gpu.Cost_model.bound = Gpu.Cost_model.Memory_bound);
+  check_bool "achieved bw below peak" true
+    (t.Gpu.Cost_model.achieved_bandwidth <= v100.Gpu.Device.mem_bandwidth)
+
+let test_compute_bound_timing () =
+  (* 10 Tflop at 50% of 125 Tflop/s = 160 ms *)
+  let k = flop_kernel 10_000_000_000_000 in
+  let t = Gpu.Cost_model.time v100 k in
+  check_bool "compute bound" true (t.Gpu.Cost_model.bound = Gpu.Cost_model.Compute_bound);
+  check_bool "time ~160 ms" true (Float.abs (t.Gpu.Cost_model.time -. 0.16) < 0.01);
+  check_bool "pct of peak ~50" true
+    (Float.abs (t.Gpu.Cost_model.pct_of_peak -. 50.0) < 1.0)
+
+let test_overhead_bound () =
+  let k = mem_kernel ~launches:100 16 in
+  let t = Gpu.Cost_model.time v100 k in
+  check_bool "overhead bound" true
+    (t.Gpu.Cost_model.bound = Gpu.Cost_model.Overhead_bound);
+  check_bool "100 launches = 400us" true
+    (Float.abs (t.Gpu.Cost_model.overhead -. 400e-6) < 1e-9)
+
+let test_monotonicity () =
+  let t1 = (Gpu.Cost_model.time v100 (mem_kernel 1_000_000)).Gpu.Cost_model.time in
+  let t2 = (Gpu.Cost_model.time v100 (mem_kernel 2_000_000)).Gpu.Cost_model.time in
+  check_bool "more bytes, more time" true (t2 > t1);
+  let e1 = (Gpu.Cost_model.time v100 (mem_kernel ~eff:0.5 1_000_000)).Gpu.Cost_model.time in
+  check_bool "lower efficiency, more time" true (e1 > t1)
+
+(* ---------------- MUE ---------------- *)
+
+let test_mue_bounds () =
+  let t = Gpu.Cost_model.time v100 (mem_kernel 25_000_000) in
+  let mue = Gpu.Mue.mue v100 t in
+  check_bool "mue in (0, 100]" true (mue > 0.0 && mue <= 100.0);
+  check_bool "memory-bound rule" true (Gpu.Mue.is_memory_bound v100 t)
+
+let test_mue_penalizes_extra_traffic () =
+  (* same logical work, twice the traffic -> half the MUE (ish) *)
+  let base = mem_kernel 25_000_000 in
+  let wasteful =
+    Gpu.Kernel.make ~name:"wasteful" ~cls:Sdfg.Opclass.Elementwise ~flop:1
+      ~unit_:Gpu.Device.Fp16_simd ~compute_efficiency:1.0
+      ~min_bytes:(Gpu.Kernel.bytes_moved base)
+      [
+        Gpu.Kernel.access "x" Gpu.Kernel.Read 50_000_000;
+        Gpu.Kernel.access "y" Gpu.Kernel.Write 50_000_000;
+      ]
+  in
+  let m1 = Gpu.Mue.mue v100 (Gpu.Cost_model.time v100 base) in
+  let m2 = Gpu.Mue.mue v100 (Gpu.Cost_model.time v100 wasteful) in
+  check_bool "extra traffic lowers mue" true (m2 < m1 *. 0.7)
+
+(* ---------------- GEMM model ---------------- *)
+
+let shape m n k batch = { Gpu.Gemm_model.m; n; k; batch }
+
+let test_gemm_flop () =
+  check_int "2mnk" (2 * 64 * 32 * 16) (Gpu.Gemm_model.flop (shape 64 32 16 1));
+  check_int "batched" (2 * 8 * 8 * 8 * 10) (Gpu.Gemm_model.flop (shape 8 8 8 10))
+
+let test_gemm_efficiency_bounds () =
+  List.iter
+    (fun algo ->
+      let eff =
+        Gpu.Gemm_model.compute_efficiency v100 ~use_tc:true (shape 4096 4096 1024 1)
+          ~ta:Gpu.Gemm_model.N ~tb:Gpu.Gemm_model.N algo
+      in
+      check_bool "efficiency in (0,1]" true (eff > 0.0 && eff <= 1.0))
+    Gpu.Gemm_model.algorithms
+
+let test_gemm_small_k_starves () =
+  (* dimensions of 64 underutilize tensor cores (paper Fig. 4) *)
+  let eff k =
+    Gpu.Gemm_model.compute_efficiency v100 ~use_tc:true (shape 512 512 k 128)
+      ~ta:Gpu.Gemm_model.N ~tb:Gpu.Gemm_model.N
+      (List.hd Gpu.Gemm_model.algorithms)
+  in
+  check_bool "k=64 much worse than k=1024" true (eff 64 < 0.6 *. eff 1024)
+
+let test_gemm_best_vs_heuristic () =
+  let shapes =
+    [
+      shape 4096 3072 1024 1; shape 512 512 64 128; shape 512 64 512 128;
+      shape 4096 4096 1024 1; shape 4096 1024 4096 1; shape 1024 1024 4096 1;
+      shape 3072 1024 4096 1;
+    ]
+  in
+  List.iter
+    (fun s ->
+      let gap =
+        Gpu.Gemm_model.heuristic_gap v100 ~use_tc:true s ~ta:Gpu.Gemm_model.N
+          ~tb:Gpu.Gemm_model.N
+      in
+      check_bool "heuristic never beats best" true (gap >= -1e9 && gap >= 0.0);
+      check_bool "gap below 40%" true (gap < 0.40))
+    shapes;
+  (* across the encoder's shapes the worst gap lands near the paper's 14% *)
+  let worst =
+    List.fold_left
+      (fun acc s ->
+        Float.max acc
+          (Gpu.Gemm_model.heuristic_gap v100 ~use_tc:true s ~ta:Gpu.Gemm_model.N
+             ~tb:Gpu.Gemm_model.N))
+      0.0 shapes
+  in
+  check_bool "worst gap in [3%, 30%]" true (worst >= 0.03 && worst <= 0.30)
+
+let test_gemm_best_avoids_wasteful () =
+  List.iter
+    (fun s ->
+      let best =
+        Gpu.Gemm_model.best_algo v100 ~use_tc:true s ~ta:Gpu.Gemm_model.N
+          ~tb:Gpu.Gemm_model.N
+      in
+      check_bool "best algorithm is never a 2x-flop one" false
+        best.Gpu.Gemm_model.wasteful)
+    [ shape 4096 4096 1024 1; shape 512 512 64 128; shape 64 64 64 8 ]
+
+let test_gemm_wasteful_slower () =
+  let s = shape 4096 4096 1024 1 in
+  let time algo =
+    let k =
+      Gpu.Gemm_model.kernel ~name:"g" s ~ta:Gpu.Gemm_model.N ~tb:Gpu.Gemm_model.N
+        ~use_tc:true ~algo v100
+    in
+    (Gpu.Cost_model.time v100 k).Gpu.Cost_model.time
+  in
+  let normal = List.hd Gpu.Gemm_model.algorithms in
+  let wasteful =
+    List.find (fun a -> a.Gpu.Gemm_model.wasteful) Gpu.Gemm_model.algorithms
+  in
+  check_bool "wasteful 2x-flop algorithm is slower" true
+    (time wasteful > 1.5 *. time normal)
+
+let test_gemm_kernel_traffic () =
+  let s = shape 128 64 32 2 in
+  let algo = List.hd Gpu.Gemm_model.algorithms in
+  let k =
+    Gpu.Gemm_model.kernel ~name:"g" s ~ta:Gpu.Gemm_model.N ~tb:Gpu.Gemm_model.N
+      ~use_tc:true ~algo v100
+  in
+  (* A + B + C elements, 2 bytes each *)
+  check_int "gemm traffic"
+    (2 * ((128 * 32 * 2) + (32 * 64 * 2) + (128 * 64 * 2)))
+    (Gpu.Kernel.bytes_moved k)
+
+let test_gemm_split_k_extra_traffic () =
+  let s = shape 128 64 512 1 in
+  let split =
+    List.find (fun a -> a.Gpu.Gemm_model.split_k > 1) Gpu.Gemm_model.algorithms
+  in
+  let plain = List.hd Gpu.Gemm_model.algorithms in
+  let bytes algo =
+    Gpu.Kernel.bytes_moved
+      (Gpu.Gemm_model.kernel ~name:"g" s ~ta:Gpu.Gemm_model.N
+         ~tb:Gpu.Gemm_model.N ~use_tc:true ~algo v100)
+  in
+  check_bool "split-K moves more" true (bytes split > bytes plain)
+
+let test_gemm_deterministic () =
+  let s = shape 512 512 64 128 in
+  let algo = List.nth Gpu.Gemm_model.algorithms 3 in
+  let e () =
+    Gpu.Gemm_model.compute_efficiency v100 ~use_tc:true s ~ta:Gpu.Gemm_model.T
+      ~tb:Gpu.Gemm_model.N algo
+  in
+  check_bool "same config, same efficiency" true (e () = e ())
+
+(* ---------------- simulator ---------------- *)
+
+let test_simulator_totals () =
+  let kernels = [ mem_kernel 1_000_000; flop_kernel 1_000_000_000 ] in
+  let run = Gpu.Simulator.run v100 kernels in
+  let sum =
+    List.fold_left (fun a (t : Gpu.Cost_model.timing) -> a +. t.time) 0.0
+      run.Gpu.Simulator.timings
+  in
+  check_bool "total = sum of kernels" true
+    (Float.abs (run.Gpu.Simulator.total_time -. sum) < 1e-12);
+  check_int "flop total" 1_000_000_001 run.Gpu.Simulator.total_flop;
+  check_bool "find" true (Gpu.Simulator.find run "mem" <> None);
+  check_bool "find missing" true (Gpu.Simulator.find run "nope" = None)
+
+let test_simulator_class_shares () =
+  let run = Gpu.Simulator.run v100 [ mem_kernel 1_000_000; flop_kernel 1_000_000_000 ] in
+  let shares = Gpu.Simulator.class_runtime_share run in
+  let total = List.fold_left (fun a (_, s) -> a +. s) 0.0 shares in
+  check_bool "shares sum to 1" true (Float.abs (total -. 1.0) < 1e-9)
+
+let () =
+  Alcotest.run "gpu"
+    [
+      ("device", [ Alcotest.test_case "peaks" `Quick test_device_peaks ]);
+      ( "kernel",
+        [
+          Alcotest.test_case "byte accounting" `Quick test_kernel_bytes;
+          Alcotest.test_case "validation" `Quick test_kernel_validation;
+        ] );
+      ( "cost model",
+        [
+          Alcotest.test_case "memory-bound timing" `Quick test_memory_bound_timing;
+          Alcotest.test_case "compute-bound timing" `Quick test_compute_bound_timing;
+          Alcotest.test_case "overhead-bound timing" `Quick test_overhead_bound;
+          Alcotest.test_case "monotonicity" `Quick test_monotonicity;
+        ] );
+      ( "mue",
+        [
+          Alcotest.test_case "bounds" `Quick test_mue_bounds;
+          Alcotest.test_case "penalizes extra traffic" `Quick
+            test_mue_penalizes_extra_traffic;
+        ] );
+      ( "gemm model",
+        [
+          Alcotest.test_case "flop count" `Quick test_gemm_flop;
+          Alcotest.test_case "efficiency bounds" `Quick test_gemm_efficiency_bounds;
+          Alcotest.test_case "small K starves tensor cores" `Quick
+            test_gemm_small_k_starves;
+          Alcotest.test_case "heuristic vs best (paper 14.24%)" `Quick
+            test_gemm_best_vs_heuristic;
+          Alcotest.test_case "best avoids wasteful algorithms" `Quick
+            test_gemm_best_avoids_wasteful;
+          Alcotest.test_case "wasteful algorithms are slower" `Quick
+            test_gemm_wasteful_slower;
+          Alcotest.test_case "kernel traffic" `Quick test_gemm_kernel_traffic;
+          Alcotest.test_case "split-K extra traffic" `Quick
+            test_gemm_split_k_extra_traffic;
+          Alcotest.test_case "deterministic" `Quick test_gemm_deterministic;
+        ] );
+      ( "simulator",
+        [
+          Alcotest.test_case "totals" `Quick test_simulator_totals;
+          Alcotest.test_case "class shares" `Quick test_simulator_class_shares;
+        ] );
+    ]

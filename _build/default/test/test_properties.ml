@@ -1,0 +1,267 @@
+(* Property-based tests (qcheck) over the core invariants: einsum algebra,
+   layout metrics, the FP16 codec, the roofline cost model, fusion of random
+   programs, selection vs greedy, memory profiles, and autodiff vs finite
+   differences on random element-wise DAGs. *)
+
+let q = QCheck_alcotest.to_alcotest
+let device = Gpu.Device.v100
+
+(* ---------------- einsum algebra ---------------- *)
+
+let prop_einsum_three_operands =
+  QCheck.Test.make ~name:"ternary contraction equals two binary steps" ~count:30
+    QCheck.(triple (int_range 1 3) (int_range 1 3) (int_range 1 3))
+    (fun (m, k, l) ->
+      let prng = Prng.create (Int64.of_int ((m * 49) + (k * 7) + l)) in
+      let a = Dense.rand prng [ ("m", m); ("k", k) ] ~lo:(-1.0) ~hi:1.0 in
+      let b = Dense.rand prng [ ("k", k); ("l", l) ] ~lo:(-1.0) ~hi:1.0 in
+      let c = Dense.rand prng [ ("l", l); ("n", 2) ] ~lo:(-1.0) ~hi:1.0 in
+      let direct = Einsum.contract [ a; b; c ] ~out:[ "m"; "n" ] in
+      let staged =
+        Einsum.contract
+          [ Einsum.contract [ a; b ] ~out:[ "m"; "l" ]; c ]
+          ~out:[ "m"; "n" ]
+      in
+      Dense.approx_equal ~rtol:1e-9 ~atol:1e-9 direct staged)
+
+let prop_einsum_linearity =
+  QCheck.Test.make ~name:"contraction is linear in each argument" ~count:30
+    QCheck.(pair (int_range 1 4) (float_range (-3.0) 3.0))
+    (fun (n, s) ->
+      let prng = Prng.create (Int64.of_int (n + int_of_float (s *. 100.0))) in
+      let a = Dense.rand prng [ ("m", n); ("k", 3) ] ~lo:(-1.0) ~hi:1.0 in
+      let b = Dense.rand prng [ ("k", 3); ("n", 2) ] ~lo:(-1.0) ~hi:1.0 in
+      let lhs = Einsum.contract [ Dense.scale s a; b ] ~out:[ "m"; "n" ] in
+      let rhs = Dense.scale s (Einsum.contract [ a; b ] ~out:[ "m"; "n" ]) in
+      Dense.approx_equal ~rtol:1e-9 ~atol:1e-9 lhs rhs)
+
+let prop_sum_over_commutes =
+  QCheck.Test.make ~name:"reductions over disjoint axes commute" ~count:40
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let prng = Prng.create (Int64.of_int seed) in
+      let t = Dense.rand prng [ ("a", 3); ("b", 4); ("c", 2) ] ~lo:(-2.0) ~hi:2.0 in
+      let ab = Dense.sum_over (Dense.sum_over t [ "a" ]) [ "b" ] in
+      let ba = Dense.sum_over (Dense.sum_over t [ "b" ]) [ "a" ] in
+      Dense.approx_equal ~rtol:1e-9 ~atol:1e-9 ab ba)
+
+(* ---------------- layout metric ---------------- *)
+
+let nth_layout axes i =
+  let ls = Layout.all axes in
+  List.nth ls (i mod List.length ls)
+
+let prop_transpositions_metric =
+  QCheck.Test.make ~name:"Kendall tau is a metric on layouts" ~count:60
+    QCheck.(triple (int_range 0 23) (int_range 0 23) (int_range 0 23))
+    (fun (i, j, k) ->
+      let axes = [ "a"; "b"; "c"; "d" ] in
+      let x = nth_layout axes i and y = nth_layout axes j and z = nth_layout axes k in
+      let d = Layout.transpositions in
+      d x x = 0
+      && d x y = d y x
+      && d x z <= d x y + d y z
+      && (d x y > 0 || Layout.equal x y))
+
+(* ---------------- FP16 ---------------- *)
+
+let prop_half_monotone =
+  QCheck.Test.make ~name:"FP16 rounding is monotone" ~count:200
+    QCheck.(pair (float_range (-60000.0) 60000.0) (float_range (-60000.0) 60000.0))
+    (fun (a, b) ->
+      let lo = Float.min a b and hi = Float.max a b in
+      Half.round lo <= Half.round hi)
+
+let prop_half_sign =
+  QCheck.Test.make ~name:"FP16 rounding preserves sign" ~count:200
+    QCheck.(float_range (-60000.0) 60000.0)
+    (fun v ->
+      let r = Half.round v in
+      (v >= 0.0 && r >= 0.0) || (v <= 0.0 && r <= 0.0))
+
+(* ---------------- roofline cost model ---------------- *)
+
+let kernel ~flop ~elems ~eff =
+  Gpu.Kernel.make ~name:"k" ~cls:Sdfg.Opclass.Elementwise ~flop
+    ~unit_:Gpu.Device.Fp16_simd ~compute_efficiency:0.5
+    [ Gpu.Kernel.access ~efficiency:eff "x" Gpu.Kernel.Read elems ]
+
+let prop_roofline_lower_bounds =
+  QCheck.Test.make ~name:"time >= both roofline components + overhead" ~count:100
+    QCheck.(triple (int_range 1 1000000000) (int_range 1 100000000) (float_range 0.05 0.95))
+    (fun (flop, elems, eff) ->
+      let t = Gpu.Cost_model.time device (kernel ~flop ~elems ~eff) in
+      t.Gpu.Cost_model.time
+      >= t.Gpu.Cost_model.compute_time -. 1e-15
+      && t.Gpu.Cost_model.time >= t.Gpu.Cost_model.memory_time -. 1e-15
+      && t.Gpu.Cost_model.time >= device.Gpu.Device.launch_overhead -. 1e-15)
+
+let prop_cost_monotone_bytes =
+  QCheck.Test.make ~name:"more bytes never run faster" ~count:100
+    QCheck.(pair (int_range 1 50000000) (int_range 1 50000000))
+    (fun (e1, e2) ->
+      let t e = (Gpu.Cost_model.time device (kernel ~flop:1 ~elems:e ~eff:0.8)).Gpu.Cost_model.time in
+      let lo = min e1 e2 and hi = max e1 e2 in
+      t lo <= t hi +. 1e-15)
+
+let prop_mue_bounded =
+  QCheck.Test.make ~name:"MUE stays in [0, 100]" ~count:100
+    QCheck.(pair (int_range 1 10000000) (float_range 0.05 0.95))
+    (fun (elems, eff) ->
+      let t = Gpu.Cost_model.time device (kernel ~flop:1 ~elems ~eff) in
+      let m = Gpu.Mue.mue device t in
+      m >= 0.0 && m <= 100.0)
+
+(* ---------------- fusion of random programs ---------------- *)
+
+let random_pointwise_program prng ~n_ops =
+  let dims = [ ("a", 4); ("b", 3) ] in
+  let containers =
+    ("t0", dims)
+    :: ("bias", [ ("a", 4) ])
+    :: List.concat
+         (List.init n_ops (fun i ->
+              [
+                (Printf.sprintf "t%d" (i + 1), dims);
+                (Printf.sprintf "m%d" (i + 1), dims);
+              ]))
+  in
+  let ops =
+    List.init n_ops (fun i ->
+        let src = Printf.sprintf "t%d" i and dst = Printf.sprintf "t%d" (i + 1) in
+        match Prng.int prng ~bound:5 with
+        | 0 -> Ops.Elementwise.relu ~name:(Printf.sprintf "op%d" i) ~x:src ~out:dst dims ()
+        | 1 ->
+            Ops.Elementwise.bias ~name:(Printf.sprintf "op%d" i) ~x:src
+              ~bias:"bias" ~out:dst dims ~bias_axes:[ "a" ] ()
+        | 2 ->
+            Ops.Elementwise.add ~name:(Printf.sprintf "op%d" i) ~x:src ~y:"t0"
+              ~out:dst dims ()
+        | 3 ->
+            Ops.Elementwise.dropout ~name:(Printf.sprintf "op%d" i) ~x:src
+              ~out:dst ~mask:(Printf.sprintf "m%d" (i + 1)) dims ~p:0.3
+              ~seed:17L ()
+        | _ ->
+            Ops.Elementwise.gelu ~name:(Printf.sprintf "op%d" i) ~x:src ~out:dst
+              dims ())
+  in
+  Ops.Program.make ~containers ops
+
+let prop_fusion_preserves_random_programs =
+  QCheck.Test.make ~name:"fusion preserves random pointwise programs" ~count:30
+    QCheck.(pair (int_range 1 8) (int_range 0 1000000))
+    (fun (n_ops, seed) ->
+      let prng = Prng.create (Int64.of_int seed) in
+      let program = random_pointwise_program prng ~n_ops in
+      let fused = Substation.Fusion.fuse program in
+      let x =
+        Dense.rand (Prng.create 5L) [ ("a", 4); ("b", 3) ] ~lo:(-1.0) ~hi:1.0
+      in
+      let bias = Dense.rand (Prng.create 6L) [ ("a", 4) ] ~lo:(-1.0) ~hi:1.0 in
+      let last = Printf.sprintf "t%d" n_ops in
+      let run p = Ops.Op.lookup (Ops.Program.run p [ ("t0", x); ("bias", bias) ]) last in
+      List.length fused.Ops.Program.ops <= List.length program.Ops.Program.ops
+      && Dense.approx_equal (run program) (run fused))
+
+let prop_fusion_never_increases_movement =
+  QCheck.Test.make ~name:"fusion never increases data movement" ~count:30
+    QCheck.(pair (int_range 1 8) (int_range 0 1000000))
+    (fun (n_ops, seed) ->
+      let prng = Prng.create (Int64.of_int seed) in
+      let program = random_pointwise_program prng ~n_ops in
+      let unfused, fused = Substation.Fusion.movement_saved ~bytes_per_elem:2 program in
+      fused <= unfused)
+
+(* ---------------- autodiff on random pointwise DAGs ---------------- *)
+
+let prop_autodiff_vs_fd =
+  QCheck.Test.make ~name:"autodiff equals finite differences on random programs"
+    ~count:15
+    QCheck.(pair (int_range 1 6) (int_range 0 1000000))
+    (fun (n_ops, seed) ->
+      let prng = Prng.create (Int64.of_int seed) in
+      let program = random_pointwise_program prng ~n_ops in
+      let dims = [ ("a", 4); ("b", 3) ] in
+      let x = Dense.rand (Prng.create 9L) dims ~lo:(-1.0) ~hi:1.0 in
+      let bias = Dense.rand (Prng.create 10L) [ ("a", 4) ] ~lo:(-1.0) ~hi:1.0 in
+      let w = Dense.rand (Prng.create 11L) dims ~lo:(-1.0) ~hi:1.0 in
+      let last = Printf.sprintf "t%d" n_ops in
+      let forward xv =
+        Ops.Op.lookup (Ops.Program.run program [ ("t0", xv); ("bias", bias) ]) last
+      in
+      let env = Ops.Program.run program [ ("t0", x); ("bias", bias) ] in
+      let cots = Ops.Autodiff.backward program ~env ~seeds:[ (last, w) ] in
+      let loss xv = Dense.sum_all (Dense.mul (forward xv) w) in
+      let ok, _ =
+        Autodiff_check.check ~tol:5e-3 ~f:loss ~grad:(Ops.Autodiff.grad cots "t0") x
+      in
+      ok)
+
+(* ---------------- memory profiles ---------------- *)
+
+let prop_memory_invariants =
+  QCheck.Test.make ~name:"memory profile invariants on random programs" ~count:30
+    QCheck.(pair (int_range 1 8) (int_range 0 1000000))
+    (fun (n_ops, seed) ->
+      let prng = Prng.create (Int64.of_int seed) in
+      let program = random_pointwise_program prng ~n_ops in
+      let p = Ops.Memory.profile program in
+      p.Ops.Memory.peak_bytes <= p.Ops.Memory.total_bytes
+      && Array.for_all (fun r -> r <= p.Ops.Memory.peak_bytes) p.Ops.Memory.resident
+      && List.for_all
+           (fun (l : Ops.Memory.lifetime) -> l.first_use <= l.last_use)
+           p.Ops.Memory.lifetimes)
+
+(* ---------------- selection vs greedy ---------------- *)
+
+let prop_selection_not_worse_than_greedy =
+  QCheck.Test.make ~name:"global selection never loses to greedy + transposes"
+    ~count:6
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let prng = Prng.create (Int64.of_int seed) in
+      (* random chain with enough volume that layouts matter *)
+      let dims = [ ("a", 64); ("b", 96) ] in
+      let n_ops = 2 + Prng.int prng ~bound:4 in
+      let containers =
+        ("t0", dims)
+        :: List.concat
+             (List.init n_ops (fun i ->
+                  [
+                    (Printf.sprintf "t%d" (i + 1), dims);
+                    (Printf.sprintf "m%d" (i + 1), dims);
+                  ]))
+      in
+      let ops =
+        List.init n_ops (fun i ->
+            let src = Printf.sprintf "t%d" i and dst = Printf.sprintf "t%d" (i + 1) in
+            if Prng.bernoulli prng ~p:0.5 then
+              Ops.Elementwise.relu ~name:(Printf.sprintf "op%d" i) ~x:src
+                ~out:dst dims ()
+            else
+              Ops.Elementwise.dropout ~name:(Printf.sprintf "op%d" i) ~x:src
+                ~out:dst ~mask:(Printf.sprintf "m%d" (i + 1)) dims ~p:0.2
+                ~seed:3L ())
+      in
+      let program = Ops.Program.make ~containers ops in
+      let db = Substation.Perfdb.build ~device program in
+      let sel = Substation.Selector.select db in
+      let greedy = Substation.Selector.greedy db in
+      sel.Substation.Selector.total_time
+      <= greedy.Substation.Selector.total_time +. 1e-12)
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "einsum",
+        [ q prop_einsum_three_operands; q prop_einsum_linearity; q prop_sum_over_commutes ] );
+      ("layout", [ q prop_transpositions_metric ]);
+      ("fp16", [ q prop_half_monotone; q prop_half_sign ]);
+      ( "cost model",
+        [ q prop_roofline_lower_bounds; q prop_cost_monotone_bytes; q prop_mue_bounded ] );
+      ( "fusion",
+        [ q prop_fusion_preserves_random_programs; q prop_fusion_never_increases_movement ] );
+      ("autodiff", [ q prop_autodiff_vs_fd ]);
+      ("memory", [ q prop_memory_invariants ]);
+      ("selection", [ q prop_selection_not_worse_than_greedy ]);
+    ]

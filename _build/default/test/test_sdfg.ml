@@ -1,0 +1,203 @@
+(* Tests for the dataflow-graph IR: construction, volume accounting,
+   topological ordering, analysis, and dot export. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+let op ?(cls = Sdfg.Opclass.Elementwise) ?(flop = 0) ?(backward = false) name
+    ~reads ~writes =
+  { Sdfg.Graph.op_name = name; cls; flop; reads; writes; backward }
+
+(* a -> f -> b -> g -> c, with g also reading a *)
+let sample_graph () =
+  let g = Sdfg.Graph.create () in
+  Sdfg.Graph.add_data g "a" (Shape.create [ ("i", 4); ("j", 3) ]);
+  Sdfg.Graph.add_data g "b" (Shape.create [ ("i", 4); ("j", 3) ]);
+  Sdfg.Graph.add_data g "c" (Shape.create [ ("i", 4) ]);
+  Sdfg.Graph.add_op g (op "f" ~flop:24 ~reads:[ "a" ] ~writes:[ "b" ]);
+  Sdfg.Graph.add_op g
+    (op "g" ~cls:Sdfg.Opclass.Normalization ~flop:12 ~reads:[ "b"; "a" ]
+       ~writes:[ "c" ]);
+  g
+
+let test_graph_basics () =
+  let g = sample_graph () in
+  check_int "volume a" 12 (Sdfg.Graph.volume_of g "a");
+  check_int "ops" 2 (List.length (Sdfg.Graph.ops g));
+  check_bool "has data" true (Sdfg.Graph.has_data g "c");
+  check_bool "unknown data" false (Sdfg.Graph.has_data g "zz");
+  Alcotest.(check (list string))
+    "data names sorted" [ "a"; "b"; "c" ] (Sdfg.Graph.data_names g)
+
+let test_graph_errors () =
+  let g = sample_graph () in
+  (* same name, same semantic shape: fine *)
+  Sdfg.Graph.add_data g "a" (Shape.create [ ("i", 4); ("j", 3) ]);
+  check_bool "conflicting redeclaration" true
+    (try
+       Sdfg.Graph.add_data g "a" (Shape.create [ ("i", 5) ]);
+       false
+     with Invalid_argument _ -> true);
+  check_bool "unknown container in op" true
+    (try
+       Sdfg.Graph.add_op g (op "h" ~reads:[ "nope" ] ~writes:[ "a" ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_graph_volumes () =
+  let g = sample_graph () in
+  let f = List.hd (Sdfg.Graph.ops g) in
+  check_int "read elements" 12 (Sdfg.Graph.read_elements g f);
+  check_int "write elements" 12 (Sdfg.Graph.write_elements g f);
+  check_int "io" 24 (Sdfg.Graph.io_elements g f);
+  let gg = List.nth (Sdfg.Graph.ops g) 1 in
+  check_int "two reads" 24 (Sdfg.Graph.read_elements g gg)
+
+let test_producers_consumers () =
+  let g = sample_graph () in
+  check_int "producers of b" 1 (List.length (Sdfg.Graph.producers g "b"));
+  check_int "consumers of a" 2 (List.length (Sdfg.Graph.consumers g "a"));
+  check_int "consumers of c" 0 (List.length (Sdfg.Graph.consumers g "c"))
+
+let test_topological () =
+  let g = sample_graph () in
+  let order =
+    List.map (fun (o : Sdfg.Graph.op) -> o.op_name) (Sdfg.Graph.topological_ops g)
+  in
+  Alcotest.(check (list string)) "topo order" [ "f"; "g" ] order;
+  check_bool "validate" true (Sdfg.Graph.validate g = Ok ())
+
+let test_topo_respects_dataflow () =
+  (* encoder program: every op's reads are produced before it runs *)
+  let p = Transformer.Encoder.program Transformer.Hparams.tiny in
+  let g = Ops.Program.graph p in
+  let seen = Hashtbl.create 64 in
+  let inputs =
+    List.filter (fun c -> Sdfg.Graph.producers g c = []) (Sdfg.Graph.data_names g)
+  in
+  List.iter (fun c -> Hashtbl.replace seen c ()) inputs;
+  List.iter
+    (fun (o : Sdfg.Graph.op) ->
+      List.iter
+        (fun r ->
+          if not (Hashtbl.mem seen r) then
+            Alcotest.failf "op %s reads %s before it is produced" o.op_name r)
+        o.reads;
+      List.iter (fun w -> Hashtbl.replace seen w ()) o.writes)
+    (Sdfg.Graph.topological_ops g)
+
+let test_analysis_ratio () =
+  let g = sample_graph () in
+  let f = List.hd (Sdfg.Graph.ops g) in
+  let r = Sdfg.Analysis.analyze_op g f in
+  check_float "flop per element" 1.0 r.Sdfg.Analysis.flop_per_element;
+  check_bool "balanced" true (r.Sdfg.Analysis.bound = Sdfg.Analysis.Balanced)
+
+let test_analysis_boundedness () =
+  let g = Sdfg.Graph.create () in
+  Sdfg.Graph.add_data g "x" (Shape.create [ ("i", 100) ]);
+  Sdfg.Graph.add_data g "y" (Shape.create [ ("i", 100) ]);
+  Sdfg.Graph.add_op g (op "io_heavy" ~flop:10 ~reads:[ "x" ] ~writes:[ "y" ]);
+  Sdfg.Graph.add_op g
+    (op "flop_heavy" ~cls:Sdfg.Opclass.Contraction ~flop:100000 ~reads:[ "x" ]
+       ~writes:[ "y" ]);
+  let reports = Sdfg.Analysis.analyze g in
+  check_bool "io dominated" true
+    ((List.hd reports).Sdfg.Analysis.bound = Sdfg.Analysis.Io_dominated);
+  check_bool "flop dominated" true
+    ((List.nth reports 1).Sdfg.Analysis.bound = Sdfg.Analysis.Flop_dominated)
+
+let test_class_shares () =
+  let g = sample_graph () in
+  let shares = Sdfg.Analysis.class_shares g in
+  let share cls =
+    (List.find (fun (s : Sdfg.Analysis.class_share) -> s.cls = cls) shares)
+      .Sdfg.Analysis.flop_share
+  in
+  check_float "elementwise share" (24.0 /. 36.0) (share Sdfg.Opclass.Elementwise);
+  check_float "normalization share" (12.0 /. 36.0)
+    (share Sdfg.Opclass.Normalization);
+  check_float "contraction share" 0.0 (share Sdfg.Opclass.Contraction)
+
+let test_encoder_flop_shares () =
+  (* the paper's Table I flop column: 99.80 / 0.17 / 0.03 *)
+  let p = Transformer.Encoder.program Transformer.Hparams.bert_large in
+  let g = Ops.Program.graph p in
+  let shares = Sdfg.Analysis.class_shares g in
+  let share cls =
+    100.0
+    *. (List.find (fun (s : Sdfg.Analysis.class_share) -> s.cls = cls) shares)
+         .Sdfg.Analysis.flop_share
+  in
+  check_bool "contraction ~99.8%" true
+    (Float.abs (share Sdfg.Opclass.Contraction -. 99.80) < 0.15);
+  check_bool "normalization ~0.17%" true
+    (Float.abs (share Sdfg.Opclass.Normalization -. 0.17) < 0.05);
+  check_bool "elementwise small" true (share Sdfg.Opclass.Elementwise < 0.15)
+
+let test_encoder_total_flop () =
+  (* the paper's total: 312.633 binary Gflop (required column) *)
+  let p = Transformer.Encoder.program Transformer.Hparams.bert_large in
+  let g = Ops.Program.graph p in
+  let gflop = float_of_int (Sdfg.Analysis.total_flop g) /. 1073741824.0 in
+  check_bool "total ~312.6 Gflop" true (Float.abs (gflop -. 312.6) < 2.0)
+
+let test_unique_io () =
+  let g = sample_graph () in
+  let ops = Sdfg.Graph.ops g in
+  (* fusing f and g: b becomes interim (produced and consumed inside) *)
+  let unique = Sdfg.Analysis.unique_io_elements g ops in
+  check_int "interim b elided" (12 + 4) unique;
+  let single = Sdfg.Analysis.unique_io_elements g [ List.hd ops ] in
+  check_int "single op keeps all" 24 single
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_dot_export () =
+  let g = sample_graph () in
+  let dot = Sdfg.Dot.to_dot ~title:"test" g in
+  check_bool "digraph" true (contains dot "digraph");
+  check_bool "has data a" true (contains dot "data_a");
+  check_bool "op shapes present" true (contains dot "ellipse");
+  check_bool "norm box present" true (contains dot "box")
+
+let test_opclass () =
+  check_int "three classes" 3 (List.length Sdfg.Opclass.all);
+  check_bool "symbols distinct" true
+    (List.length
+       (List.sort_uniq String.compare (List.map Sdfg.Opclass.symbol Sdfg.Opclass.all))
+    = 3)
+
+let () =
+  Alcotest.run "sdfg"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "basics" `Quick test_graph_basics;
+          Alcotest.test_case "errors" `Quick test_graph_errors;
+          Alcotest.test_case "volumes" `Quick test_graph_volumes;
+          Alcotest.test_case "producers/consumers" `Quick test_producers_consumers;
+          Alcotest.test_case "topological order" `Quick test_topological;
+          Alcotest.test_case "encoder topo respects dataflow" `Quick
+            test_topo_respects_dataflow;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "flop/element ratio" `Quick test_analysis_ratio;
+          Alcotest.test_case "boundedness" `Quick test_analysis_boundedness;
+          Alcotest.test_case "class shares" `Quick test_class_shares;
+          Alcotest.test_case "encoder flop shares (Table I)" `Quick
+            test_encoder_flop_shares;
+          Alcotest.test_case "encoder total flop" `Quick test_encoder_total_flop;
+          Alcotest.test_case "unique io elides interim" `Quick test_unique_io;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "dot" `Quick test_dot_export;
+          Alcotest.test_case "opclass" `Quick test_opclass;
+        ] );
+    ]

@@ -1,0 +1,457 @@
+(* Tests for the tensor substrate: axes, shapes, layouts, PRNG, the FP16
+   codec, dense tensors, einsum, and the finite-difference checker. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---------------- Axis ---------------- *)
+
+let test_axis_validate () =
+  Axis.validate "abc_1";
+  Alcotest.check_raises "empty" (Invalid_argument "Axis.validate: empty axis name")
+    (fun () -> Axis.validate "");
+  check_bool "bad char raises" true
+    (try
+       Axis.validate "A";
+       false
+     with Invalid_argument _ -> true)
+
+let test_axis_sets () =
+  check_bool "distinct" true (Axis.distinct [ "a"; "b"; "c" ]);
+  check_bool "not distinct" false (Axis.distinct [ "a"; "b"; "a" ]);
+  Alcotest.(check (list string))
+    "union" [ "a"; "b"; "c" ]
+    (Axis.union [ "a"; "b" ] [ "b"; "c" ]);
+  Alcotest.(check (list string)) "inter" [ "b" ] (Axis.inter [ "a"; "b" ] [ "b"; "c" ]);
+  Alcotest.(check (list string)) "diff" [ "a" ] (Axis.diff [ "a"; "b" ] [ "b"; "c" ]);
+  check_bool "subset" true (Axis.subset [ "a" ] [ "a"; "b" ]);
+  check_bool "equal_sets" true (Axis.equal_sets [ "a"; "b" ] [ "b"; "a" ])
+
+(* ---------------- Shape ---------------- *)
+
+let test_shape_basic () =
+  let s = Shape.create [ ("b", 2); ("j", 3); ("i", 4) ] in
+  check_int "rank" 3 (Shape.rank s);
+  check_int "volume" 24 (Shape.volume s);
+  check_int "size i" 4 (Shape.size s "i");
+  check_int "index j" 1 (Shape.index s "j");
+  Alcotest.(check (array int)) "strides" [| 12; 4; 1 |] (Shape.strides s)
+
+let test_shape_errors () =
+  check_bool "dup axis" true
+    (try
+       ignore (Shape.create [ ("a", 2); ("a", 3) ]);
+       false
+     with Invalid_argument _ -> true);
+  check_bool "zero size" true
+    (try
+       ignore (Shape.create [ ("a", 0) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_shape_reorder () =
+  let s = Shape.create [ ("b", 2); ("j", 3); ("i", 4) ] in
+  let r = Shape.reorder s [ "i"; "b"; "j" ] in
+  Alcotest.(check (list string)) "axes" [ "i"; "b"; "j" ] (Shape.axes r);
+  check_bool "same semantics" true (Shape.same_semantics s r);
+  check_bool "not equal" false (Shape.equal s r);
+  let d = Shape.drop s "j" in
+  Alcotest.(check (list string)) "dropped" [ "b"; "i" ] (Shape.axes d)
+
+(* ---------------- Layout ---------------- *)
+
+let test_layout_all () =
+  let ls = Layout.all [ "a"; "b"; "c" ] in
+  check_int "3! perms" 6 (List.length ls);
+  check_bool "identity first" true (Layout.equal (List.hd ls) [ "a"; "b"; "c" ]);
+  let ls4 = Layout.all [ "a"; "b"; "c"; "d" ] in
+  check_int "4! perms" 24 (List.length ls4);
+  check_int "all distinct" 24 (List.length (List.sort_uniq Layout.compare ls4))
+
+let test_layout_ops () =
+  let l = Layout.of_letters "phbj" in
+  Alcotest.(check string) "innermost" "j" (Layout.innermost l);
+  check_int "position" 2 (Layout.position l "b");
+  check_bool "contiguous" true (Layout.contiguous_for l "j");
+  check_bool "not contiguous" false (Layout.contiguous_for l "p");
+  check_int "transpositions self" 0 (Layout.transpositions l l);
+  check_int "transpositions reversed" 6
+    (Layout.transpositions l (List.rev l));
+  Alcotest.(check string) "roundtrip" "p,h,b,j" (Layout.to_string l)
+
+(* ---------------- Prng ---------------- *)
+
+let test_prng_determinism () =
+  let a = Prng.create 42L and b = Prng.create 42L in
+  for _ = 1 to 10 do
+    check_float "same stream" (Prng.float a) (Prng.float b)
+  done;
+  let c = Prng.of_key 42L "dropout1" and d = Prng.of_key 42L "dropout2" in
+  check_bool "different keys decorrelate" true (Prng.float c <> Prng.float d)
+
+let test_prng_ranges () =
+  let p = Prng.create 7L in
+  for _ = 1 to 1000 do
+    let f = Prng.float p in
+    check_bool "float in [0,1)" true (f >= 0.0 && f < 1.0);
+    let i = Prng.int p ~bound:17 in
+    check_bool "int in range" true (i >= 0 && i < 17)
+  done
+
+let test_prng_gaussian () =
+  let p = Prng.create 123L in
+  let n = 20000 in
+  let sum = ref 0.0 and sum2 = ref 0.0 in
+  for _ = 1 to n do
+    let g = Prng.gaussian p in
+    sum := !sum +. g;
+    sum2 := !sum2 +. (g *. g)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sum2 /. float_of_int n) -. (mean *. mean) in
+  check_bool "mean ~ 0" true (Float.abs mean < 0.05);
+  check_bool "var ~ 1" true (Float.abs (var -. 1.0) < 0.05)
+
+let test_prng_bernoulli () =
+  let p = Prng.create 5L in
+  let hits = ref 0 in
+  let n = 20000 in
+  for _ = 1 to n do
+    if Prng.bernoulli p ~p:0.1 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  check_bool "p ~ 0.1" true (Float.abs (rate -. 0.1) < 0.02)
+
+(* ---------------- Half ---------------- *)
+
+let test_half_landmarks () =
+  check_float "one" 1.0 (Half.round 1.0);
+  check_float "max" 65504.0 (Half.round 65504.0);
+  check_bool "65520 overflows to inf" true (Half.round 65520.0 = infinity);
+  check_float "just below rounds down" 65504.0 (Half.round 65519.0);
+  check_float "epsilon spacing" (1.0 +. Half.epsilon) (Half.round (1.0 +. Half.epsilon));
+  check_float "ties to even at 1+eps/2" 1.0 (Half.round (1.0 +. (Half.epsilon /. 2.0)));
+  check_float "min normal" Half.min_positive_normal
+    (Half.round Half.min_positive_normal);
+  check_float "min subnormal" Half.min_positive_subnormal
+    (Half.round Half.min_positive_subnormal);
+  check_float "below min subnormal underflows" 0.0
+    (Half.round (Half.min_positive_subnormal /. 3.0));
+  check_bool "nan preserved" true (Float.is_nan (Half.round Float.nan));
+  check_bool "inf preserved" true (Half.round infinity = infinity);
+  check_bool "neg inf" true (Half.round neg_infinity = neg_infinity);
+  check_bool "neg zero sign" true (1.0 /. Half.round (-0.0) = neg_infinity)
+
+let test_half_bit_helpers () =
+  check_bool "nan bits" true (Half.is_nan 0x7E00);
+  check_bool "inf bits" true (Half.is_infinite 0x7C00);
+  check_bool "neg inf bits" true (Half.is_infinite 0xFC00);
+  check_bool "one not nan" false (Half.is_nan 0x3C00)
+
+let test_half_roundtrip_all_finite () =
+  (* every finite 16-bit pattern must decode/encode to itself *)
+  let checked = ref 0 in
+  for bits = 0 to 0xFFFF do
+    if not (Half.is_nan bits) then begin
+      let v = Half.to_float bits in
+      if Float.is_finite v || Half.is_infinite bits then begin
+        let bits' = Half.of_float v in
+        if bits' <> bits then
+          Alcotest.failf "half roundtrip: %04x -> %g -> %04x" bits v bits';
+        incr checked
+      end
+    end
+  done;
+  check_bool "covered most patterns" true (!checked > 63000)
+
+let test_half_monotone_rounding () =
+  (* rounding error bounded by half ULP for normals *)
+  let p = Prng.create 99L in
+  for _ = 1 to 1000 do
+    let v = Prng.uniform p ~lo:(-1000.0) ~hi:1000.0 in
+    let r = Half.round v in
+    let ulp = Float.abs v *. Half.epsilon in
+    check_bool "error within ulp" true (Float.abs (r -. v) <= Float.max ulp 1e-7)
+  done
+
+(* ---------------- Dense ---------------- *)
+
+let dims_bji = [ ("b", 2); ("j", 3); ("i", 4) ]
+
+let seq_tensor dims =
+  let n = ref 0.0 in
+  Dense.init dims (fun _ ->
+      n := !n +. 1.0;
+      !n)
+
+let test_dense_init_get () =
+  let t = Dense.init dims_bji (fun idx ->
+      float_of_int ((100 * List.assoc "b" idx) + (10 * List.assoc "j" idx) + List.assoc "i" idx))
+  in
+  check_float "get" 123.0 (Dense.get t [ ("b", 1); ("j", 2); ("i", 3) ]);
+  check_float "get reordered idx" 123.0 (Dense.get t [ ("i", 3); ("b", 1); ("j", 2) ]);
+  Dense.set t [ ("b", 0); ("j", 0); ("i", 0) ] 7.5;
+  check_float "set" 7.5 (Dense.get t [ ("b", 0); ("j", 0); ("i", 0) ])
+
+let test_dense_permute () =
+  let t = seq_tensor dims_bji in
+  let p = Dense.permute t [ "i"; "b"; "j" ] in
+  check_bool "semantics preserved" true (Dense.approx_equal t p);
+  Alcotest.(check (list string)) "layout" [ "i"; "b"; "j" ] (Dense.layout p);
+  (* values physically moved *)
+  check_float "element preserved" (Dense.get t [ ("b", 1); ("j", 2); ("i", 3) ])
+    (Dense.get p [ ("b", 1); ("j", 2); ("i", 3) ])
+
+let test_dense_bcast () =
+  let t = Dense.full dims_bji 1.0 in
+  let bias = Dense.init [ ("i", 4) ] (fun idx -> float_of_int (List.assoc "i" idx)) in
+  let r = Dense.add_bcast t bias in
+  check_float "bias broadcast" 4.0 (Dense.get r [ ("b", 1); ("j", 1); ("i", 3) ]);
+  let m = Dense.mul_bcast t bias in
+  check_float "mul broadcast" 2.0 (Dense.get m [ ("b", 0); ("j", 2); ("i", 2) ])
+
+let test_dense_reduce () =
+  let t = seq_tensor dims_bji in
+  let s = Dense.sum_over t [ "i" ] in
+  Alcotest.(check (list string)) "axes after reduce" [ "b"; "j" ] (Dense.axes s);
+  (* first row: 1+2+3+4 = 10 *)
+  check_float "sum" 10.0 (Dense.get s [ ("b", 0); ("j", 0) ]);
+  let mx = Dense.max_over t [ "b"; "j"; "i" ] in
+  check_float "max all" 24.0 (Dense.item mx);
+  check_float "sum all" 300.0 (Dense.sum_all t);
+  let mean = Dense.mean_over t [ "i" ] in
+  check_float "mean" 2.5 (Dense.get mean [ ("b", 0); ("j", 0) ]);
+  let rb = Dense.reduce_bcast t [ "i" ] in
+  check_float "reduce_bcast keeps i" (1.0 +. 5.0 +. 9.0 +. 13.0 +. 17.0 +. 21.0)
+    (Dense.get rb [ ("i", 0) ])
+
+let test_dense_map2_alignment () =
+  let t = seq_tensor dims_bji in
+  let p = Dense.permute t [ "i"; "j"; "b" ] in
+  let sum = Dense.add t p in
+  check_bool "t + permuted t = 2t" true
+    (Dense.approx_equal sum (Dense.scale 2.0 t))
+
+let test_dense_rename () =
+  let t = seq_tensor dims_bji in
+  let r = Dense.rename_axes t [ ("j", "k") ] in
+  Alcotest.(check (list string)) "renamed" [ "b"; "k"; "i" ] (Dense.axes r);
+  check_float "data untouched" (Dense.get t [ ("b", 1); ("j", 1); ("i", 1) ])
+    (Dense.get r [ ("b", 1); ("k", 1); ("i", 1) ])
+
+(* ---------------- Einsum ---------------- *)
+
+let test_einsum_parse () =
+  let spec = Einsum.parse "phi,ibj->phbj" in
+  check_int "operands" 2 (List.length spec.Einsum.operands);
+  Alcotest.(check (list string)) "result" [ "p"; "h"; "b"; "j" ] spec.Einsum.result;
+  Alcotest.(check string) "roundtrip" "phi,ibj->phbj" (Einsum.spec_to_string spec);
+  check_bool "missing arrow" true
+    (try
+       ignore (Einsum.parse "abc");
+       false
+     with Invalid_argument _ -> true)
+
+let test_einsum_matmul () =
+  let a = Dense.init [ ("m", 2); ("k", 3) ] (fun idx ->
+      float_of_int ((10 * List.assoc "m" idx) + List.assoc "k" idx))
+  in
+  let b = Dense.init [ ("k", 3); ("n", 2) ] (fun idx ->
+      float_of_int ((List.assoc "k" idx * 2) + List.assoc "n" idx))
+  in
+  let c = Einsum.eval "mk,kn->mn" [ a; b ] in
+  (* manual: c[m][n] = sum_k a[m][k] * b[k][n] *)
+  let manual m n =
+    let acc = ref 0.0 in
+    for k = 0 to 2 do
+      acc := !acc
+        +. Dense.get a [ ("m", m); ("k", k) ] *. Dense.get b [ ("k", k); ("n", n) ]
+    done;
+    !acc
+  in
+  for m = 0 to 1 do
+    for n = 0 to 1 do
+      check_float "matmul" (manual m n) (Dense.get c [ ("m", m); ("n", n) ])
+    done
+  done
+
+let test_einsum_scale_and_flops () =
+  let a = Dense.full [ ("m", 2); ("k", 2) ] 1.0 in
+  let b = Dense.full [ ("k", 2); ("n", 2) ] 1.0 in
+  let c = Einsum.eval ~scale:0.5 "mk,kn->mn" [ a; b ] in
+  check_float "scaled" 1.0 (Dense.get c [ ("m", 0); ("n", 0) ]);
+  let spec = Einsum.parse "mk,kn->mn" in
+  let size = function "m" -> 2 | "n" -> 3 | "k" -> 4 | _ -> 1 in
+  check_int "flops 2mnk" (2 * 2 * 3 * 4) (Einsum.flops spec ~size);
+  check_int "io" ((2 * 4) + (4 * 3) + (2 * 3)) (Einsum.io_elements spec ~size)
+
+let test_einsum_layout_invariance () =
+  let prng = Prng.create 17L in
+  let a = Dense.rand prng [ ("p", 3); ("h", 2); ("i", 4) ] ~lo:(-1.0) ~hi:1.0 in
+  let x = Dense.rand prng [ ("i", 4); ("b", 2); ("j", 3) ] ~lo:(-1.0) ~hi:1.0 in
+  let base = Einsum.eval "phi,ibj->phbj" [ a; x ] in
+  List.iter
+    (fun layout ->
+      let x' = Dense.permute x layout in
+      let r = Einsum.eval "phi,ibj->phbj" [ a; x' ] in
+      check_bool "layout does not change einsum" true (Dense.approx_equal base r))
+    (Layout.all [ "i"; "b"; "j" ])
+
+let test_einsum_validation () =
+  let a = Dense.full [ ("m", 2); ("k", 2) ] 1.0 in
+  let b = Dense.full [ ("k", 3); ("n", 2) ] 1.0 in
+  check_bool "size mismatch" true
+    (try
+       ignore (Einsum.eval "mk,kn->mn" [ a; b ]);
+       false
+     with Invalid_argument _ -> true);
+  check_bool "operand count" true
+    (try
+       ignore (Einsum.eval "mk,kn->mn" [ a ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* naive reference for property testing: independent implementation *)
+let naive_contract inputs ~out =
+  let sizes = Hashtbl.create 8 in
+  List.iter
+    (fun t ->
+      List.iter (fun (a, d) -> Hashtbl.replace sizes a d) (Shape.to_list (Dense.shape t)))
+    inputs;
+  let all_axes =
+    List.fold_left (fun acc t -> Axis.union acc (Dense.axes t)) [] inputs
+  in
+  let red = Axis.diff all_axes out in
+  let result = Dense.zeros (List.map (fun a -> (a, Hashtbl.find sizes a)) out) in
+  let rec loop axes idx =
+    match axes with
+    | [] ->
+        let term =
+          List.fold_left
+            (fun acc t ->
+              let sub = List.filter (fun (a, _) -> List.mem a (Dense.axes t)) idx in
+              acc *. Dense.get t sub)
+            1.0 inputs
+        in
+        let out_idx = List.filter (fun (a, _) -> List.mem a out) idx in
+        Dense.set result out_idx (Dense.get result out_idx +. term)
+    | a :: rest ->
+        for v = 0 to Hashtbl.find sizes a - 1 do
+          loop rest ((a, v) :: idx)
+        done
+  in
+  loop (out @ red) [];
+  result
+
+let prop_einsum_vs_naive =
+  QCheck.Test.make ~name:"einsum agrees with naive triple loop" ~count:40
+    QCheck.(triple (int_range 1 3) (int_range 1 3) (int_range 1 3))
+    (fun (m, n, k) ->
+      let prng = Prng.create (Int64.of_int ((m * 100) + (n * 10) + k)) in
+      let a = Dense.rand prng [ ("m", m); ("k", k) ] ~lo:(-2.0) ~hi:2.0 in
+      let b = Dense.rand prng [ ("k", k); ("n", n) ] ~lo:(-2.0) ~hi:2.0 in
+      let fast = Einsum.contract [ a; b ] ~out:[ "m"; "n" ] in
+      let slow = naive_contract [ a; b ] ~out:[ "m"; "n" ] in
+      Dense.approx_equal ~rtol:1e-9 ~atol:1e-9 fast slow)
+
+let prop_permute_roundtrip =
+  QCheck.Test.make ~name:"permute roundtrips through any layout" ~count:50
+    QCheck.(pair (int_range 1 4) (int_range 0 5))
+    (fun (size, perm_idx) ->
+      let dims = [ ("a", size); ("b", 2); ("c", 3) ] in
+      let prng = Prng.create (Int64.of_int (size + perm_idx)) in
+      let t = Dense.rand prng dims ~lo:(-1.0) ~hi:1.0 in
+      let layouts = Layout.all [ "a"; "b"; "c" ] in
+      let l = List.nth layouts (perm_idx mod List.length layouts) in
+      let back = Dense.permute (Dense.permute t l) (Dense.layout t) in
+      Dense.approx_equal t back)
+
+let prop_half_roundtrip_stable =
+  QCheck.Test.make ~name:"half rounding is idempotent" ~count:200
+    QCheck.(float_range (-70000.0) 70000.0)
+    (fun v ->
+      let r = Half.round v in
+      (Float.is_nan r && Float.is_nan (Half.round r)) || Half.round r = r)
+
+(* ---------------- Autodiff_check ---------------- *)
+
+let test_numerical_gradient () =
+  let x = Dense.init [ ("a", 3) ] (fun idx -> float_of_int (List.assoc "a" idx + 1)) in
+  let f t = Dense.sum_all (Dense.mul t t) in
+  let g = Autodiff_check.numerical_gradient ~f x in
+  (* d/dx sum x^2 = 2x *)
+  check_bool "2x" true
+    (Dense.approx_equal ~rtol:1e-5 ~atol:1e-5 g (Dense.scale 2.0 x));
+  let ok, err = Autodiff_check.check ~f ~grad:(Dense.scale 2.0 x) x in
+  check_bool "check passes" true ok;
+  check_bool "small error" true (err < 1e-5)
+
+let test_scalarize () =
+  let prng = Prng.create 4L in
+  let f, w = Autodiff_check.scalarize prng [ ("a", 4) ] in
+  let y = Dense.init [ ("a", 4) ] (fun idx -> float_of_int (List.assoc "a" idx)) in
+  check_float "linear functional" (Dense.sum_all (Dense.mul y w)) (f y)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "tensor"
+    [
+      ( "axis",
+        [
+          Alcotest.test_case "validate" `Quick test_axis_validate;
+          Alcotest.test_case "set operations" `Quick test_axis_sets;
+        ] );
+      ( "shape",
+        [
+          Alcotest.test_case "basics" `Quick test_shape_basic;
+          Alcotest.test_case "errors" `Quick test_shape_errors;
+          Alcotest.test_case "reorder/drop" `Quick test_shape_reorder;
+        ] );
+      ( "layout",
+        [
+          Alcotest.test_case "enumeration" `Quick test_layout_all;
+          Alcotest.test_case "operations" `Quick test_layout_ops;
+        ] );
+      ( "prng",
+        [
+          Alcotest.test_case "determinism" `Quick test_prng_determinism;
+          Alcotest.test_case "ranges" `Quick test_prng_ranges;
+          Alcotest.test_case "gaussian moments" `Quick test_prng_gaussian;
+          Alcotest.test_case "bernoulli rate" `Quick test_prng_bernoulli;
+        ] );
+      ( "half",
+        [
+          Alcotest.test_case "landmarks" `Quick test_half_landmarks;
+          Alcotest.test_case "bit helpers" `Quick test_half_bit_helpers;
+          Alcotest.test_case "all finite patterns roundtrip" `Quick
+            test_half_roundtrip_all_finite;
+          Alcotest.test_case "rounding error bounded" `Quick
+            test_half_monotone_rounding;
+          q prop_half_roundtrip_stable;
+        ] );
+      ( "dense",
+        [
+          Alcotest.test_case "init/get/set" `Quick test_dense_init_get;
+          Alcotest.test_case "permute" `Quick test_dense_permute;
+          Alcotest.test_case "broadcast" `Quick test_dense_bcast;
+          Alcotest.test_case "reductions" `Quick test_dense_reduce;
+          Alcotest.test_case "map2 aligns layouts" `Quick test_dense_map2_alignment;
+          Alcotest.test_case "rename axes" `Quick test_dense_rename;
+          q prop_permute_roundtrip;
+        ] );
+      ( "einsum",
+        [
+          Alcotest.test_case "parse" `Quick test_einsum_parse;
+          Alcotest.test_case "matmul" `Quick test_einsum_matmul;
+          Alcotest.test_case "scale and flop counts" `Quick test_einsum_scale_and_flops;
+          Alcotest.test_case "layout invariance" `Quick test_einsum_layout_invariance;
+          Alcotest.test_case "validation" `Quick test_einsum_validation;
+          q prop_einsum_vs_naive;
+        ] );
+      ( "autodiff",
+        [
+          Alcotest.test_case "numerical gradient" `Quick test_numerical_gradient;
+          Alcotest.test_case "scalarize" `Quick test_scalarize;
+        ] );
+    ]

@@ -1,0 +1,290 @@
+(* Tests for the beyond-transformers workloads (paper §VIII): the MLP with
+   batch normalization and the LSTM cell — numerics against autodiff and
+   finite differences, gate-fusion variants, and recipe applicability. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let device = Gpu.Device.v100
+
+(* ---------------- new operators ---------------- *)
+
+let test_sigmoid_tanh_values () =
+  let x = Dense.of_flat [ ("a", 3) ] [| -2.0; 0.0; 2.0 |] in
+  let env = Ops.Op.env_of_list [ ("x", x) ] in
+  (Ops.Elementwise.sigmoid ~name:"s" ~x:"x" ~out:"y" [ ("a", 3) ] ()).Ops.Op.run env;
+  let y = Ops.Op.lookup env "y" in
+  check_bool "sigmoid(0) = 0.5" true
+    (Float.abs (Dense.get y [ ("a", 1) ] -. 0.5) < 1e-12);
+  check_bool "sigmoid symmetric" true
+    (Float.abs (Dense.get y [ ("a", 0) ] +. Dense.get y [ ("a", 2) ] -. 1.0) < 1e-12);
+  (Ops.Elementwise.tanh_ ~name:"t" ~x:"x" ~out:"z" [ ("a", 3) ] ()).Ops.Op.run env;
+  let z = Ops.Op.lookup env "z" in
+  check_bool "tanh(0) = 0" true (Dense.get z [ ("a", 1) ] = 0.0);
+  check_bool "tanh odd" true
+    (Float.abs (Dense.get z [ ("a", 0) ] +. Dense.get z [ ("a", 2) ]) < 1e-12)
+
+let test_gate_gradients_fd () =
+  (* sigmoid/tanh dX kernels against finite differences through scalars *)
+  let p = Prng.create 3L in
+  for _ = 1 to 30 do
+    let v = Prng.uniform p ~lo:(-3.0) ~hi:3.0 in
+    let eps = 1e-6 in
+    let sig_ x = 1.0 /. (1.0 +. exp (-.x)) in
+    let fd = (sig_ (v +. eps) -. sig_ (v -. eps)) /. (2.0 *. eps) in
+    let y = sig_ v in
+    check_bool "sigmoid grad" true (Float.abs (fd -. (y *. (1.0 -. y))) < 1e-6);
+    let fdt = (tanh (v +. eps) -. tanh (v -. eps)) /. (2.0 *. eps) in
+    let t = tanh v in
+    check_bool "tanh grad" true (Float.abs (fdt -. (1.0 -. (t *. t))) < 1e-6)
+  done
+
+let test_batchnorm_statistics () =
+  let prng = Prng.create 4L in
+  let dims = [ ("c", 4); ("n", 50) ] in
+  let x = Dense.rand prng dims ~lo:(-3.0) ~hi:5.0 in
+  let env =
+    Ops.Op.env_of_list
+      [
+        ("x", x);
+        ("g", Dense.full [ ("c", 4) ] 1.0);
+        ("bt", Dense.zeros [ ("c", 4) ]);
+      ]
+  in
+  (Ops.Normalization.batchnorm ~name:"bn" ~x:"x" ~gamma:"g" ~beta:"bt" ~out:"y"
+     ~mean:"mu" ~istd:"si" dims ~channel:"c" ())
+    .Ops.Op.run env;
+  let y = Ops.Op.lookup env "y" in
+  (* each channel normalized over the batch *)
+  let mean = Dense.mean_over y [ "n" ] in
+  Dense.iter mean (fun _ v ->
+      if Float.abs v > 1e-9 then Alcotest.fail "bn mean not ~0");
+  let var = Dense.mean_over (Dense.mul y y) [ "n" ] in
+  Dense.iter var (fun _ v ->
+      if Float.abs (v -. 1.0) > 1e-2 then Alcotest.fail "bn var not ~1")
+
+let test_batchnorm_gradients_fd () =
+  let prng = Prng.create 5L in
+  let dims = [ ("c", 3); ("n", 6) ] in
+  let x = Dense.rand prng dims ~lo:(-1.0) ~hi:1.0 in
+  let g = Dense.rand prng [ ("c", 3) ] ~lo:0.5 ~hi:1.5 in
+  let bt = Dense.rand prng [ ("c", 3) ] ~lo:(-0.3) ~hi:0.3 in
+  let w = Dense.rand prng dims ~lo:(-1.0) ~hi:1.0 in
+  let fwd xv gv btv =
+    let env = Ops.Op.env_of_list [ ("x", xv); ("g", gv); ("bt", btv) ] in
+    (Ops.Normalization.batchnorm ~name:"bn" ~x:"x" ~gamma:"g" ~beta:"bt"
+       ~out:"y" ~mean:"mu" ~istd:"si" dims ~channel:"c" ())
+      .Ops.Op.run env;
+    env
+  in
+  let env = fwd x g bt in
+  Ops.Op.store env "dy" w;
+  (Ops.Normalization.batchnorm_dx ~name:"bndx" ~dy:"dy" ~x:"x" ~gamma:"g"
+     ~mean:"mu" ~istd:"si" ~out:"dx" dims ~channel:"c")
+    .Ops.Op.run env;
+  let loss xv =
+    Dense.sum_all (Dense.mul (Ops.Op.lookup (fwd xv g bt) "y") w)
+  in
+  let ok, err =
+    Autodiff_check.check ~tol:1e-4 ~f:loss ~grad:(Ops.Op.lookup env "dx") x
+  in
+  check_bool (Printf.sprintf "bn dx vs fd (err %.1e)" err) true ok;
+  (Ops.Normalization.batchnorm_dw ~name:"bndw" ~dy:"dy" ~x:"x" ~mean:"mu"
+     ~istd:"si" ~dgamma:"dg" ~dbeta:"db" dims ~channel:"c")
+    .Ops.Op.run env;
+  let loss_g gv = Dense.sum_all (Dense.mul (Ops.Op.lookup (fwd x gv bt) "y") w) in
+  let ok2, err2 =
+    Autodiff_check.check ~tol:1e-4 ~f:loss_g ~grad:(Ops.Op.lookup env "dg") g
+  in
+  check_bool (Printf.sprintf "bn dgamma vs fd (err %.1e)" err2) true ok2
+
+(* ---------------- MLP ---------------- *)
+
+let mlp_setup () =
+  let cfg = Workloads.Mlp.tiny in
+  let prng = Prng.create 4L in
+  let params = Workloads.Mlp.init cfg in
+  let x =
+    Dense.randn prng [ (Workloads.Mlp.feature_axis 0, 6); ("n", 3) ] ~stddev:1.0
+  in
+  let d_out =
+    Dense.randn prng [ (Workloads.Mlp.feature_axis 2, 4); ("n", 3) ] ~stddev:1.0
+  in
+  (cfg, params, x, d_out)
+
+let test_mlp_validates () =
+  let cfg, _, _, _ = mlp_setup () in
+  check_bool "tiny validates" true
+    (Ops.Program.validate (Workloads.Mlp.program cfg) = Ok ());
+  check_bool "default validates" true
+    (Ops.Program.validate (Workloads.Mlp.program Workloads.Mlp.default) = Ok ())
+
+let test_mlp_backward_vs_autodiff () =
+  let cfg, params, x, d_out = mlp_setup () in
+  let env = Workloads.Mlp.run cfg ~x ~d_out ~params in
+  let fwd = Workloads.Mlp.forward_program cfg in
+  let fenv = Ops.Program.run fwd (("x", x) :: params) in
+  let cots = Ops.Autodiff.backward fwd ~env:fenv ~seeds:[ ("h2", d_out) ] in
+  List.iter
+    (fun (hand, name) ->
+      check_bool ("mlp " ^ name) true
+        (Dense.max_abs_diff (Ops.Op.lookup env hand) (Ops.Autodiff.grad cots name)
+        < 1e-12))
+    [
+      ("d_x", "x"); ("d_w1", "w1"); ("d_b1", "b1"); ("d_w2", "w2");
+      ("d_b2", "b2"); ("d_bn_g", "bn_g"); ("d_bn_b", "bn_b");
+    ]
+
+let test_mlp_recipe () =
+  let program = Workloads.Mlp.program Workloads.Mlp.default in
+  let recipe =
+    Substation.Recipe.optimize ~name_table:Workloads.Mlp.kernel_names ~device
+      program
+  in
+  check_bool "movement saved > 20%" true
+    (Substation.Recipe.movement_reduction recipe > 0.20);
+  check_bool "fuses below 20 kernels" true
+    (List.length recipe.Substation.Recipe.fused.Ops.Program.ops < 20);
+  (* batchnorm joined the first pointwise chain *)
+  check_bool "BBNRD discovered" true
+    (List.exists
+       (fun (g : Substation.Fusion.group) -> g.fused.Ops.Op.name = "BBNRD")
+       recipe.Substation.Recipe.groups)
+
+(* ---------------- LSTM ---------------- *)
+
+let lstm_setup () =
+  let cfg = Workloads.Lstm.tiny in
+  let prng = Prng.create 13L in
+  let params = Workloads.Lstm.init cfg in
+  let t dims = Dense.randn prng dims ~stddev:1.0 in
+  let x = t [ ("i", cfg.input); ("b", cfg.batch) ] in
+  let h_prev = t [ ("p", cfg.hidden); ("b", cfg.batch) ] in
+  let c_prev = t [ ("h", cfg.hidden); ("b", cfg.batch) ] in
+  let d_h = t [ ("h", cfg.hidden); ("b", cfg.batch) ] in
+  let d_c_ext = t [ ("h", cfg.hidden); ("b", cfg.batch) ] in
+  (cfg, params, x, h_prev, c_prev, d_h, d_c_ext)
+
+let test_lstm_validates () =
+  let cfg, _, _, _, _, _, _ = lstm_setup () in
+  List.iter
+    (fun variant ->
+      check_bool
+        (Workloads.Lstm.variant_to_string variant ^ " validates")
+        true
+        (Ops.Program.validate (Workloads.Lstm.program ~variant cfg) = Ok ()))
+    [ Workloads.Lstm.Gates_separate; Workloads.Lstm.Gates_fused ]
+
+let test_lstm_variants_agree () =
+  let cfg, params, x, h_prev, c_prev, d_h, d_c_ext = lstm_setup () in
+  let run variant =
+    Workloads.Lstm.run ~variant cfg ~x ~h_prev ~c_prev ~d_h ~d_c_ext ~params
+  in
+  let e1 = run Workloads.Lstm.Gates_fused in
+  let e2 = run Workloads.Lstm.Gates_separate in
+  List.iter
+    (fun c ->
+      check_bool (c ^ " agrees") true
+        (Dense.approx_equal (Ops.Op.lookup e1 c) (Ops.Op.lookup e2 c)))
+    [ "h_out"; "c"; "d_x"; "d_h_prev"; "d_c_prev"; "d_wx_i"; "d_wh_o" ]
+
+let test_lstm_backward_vs_autodiff () =
+  let cfg, params, x, h_prev, c_prev, d_h, d_c_ext = lstm_setup () in
+  let env = Workloads.Lstm.run cfg ~x ~h_prev ~c_prev ~d_h ~d_c_ext ~params in
+  let fwd = Workloads.Lstm.forward_program cfg in
+  let fenv =
+    Ops.Program.run fwd
+      (("x", x) :: ("h_prev", h_prev) :: ("c_prev", c_prev) :: params)
+  in
+  let cots =
+    Ops.Autodiff.backward fwd ~env:fenv
+      ~seeds:[ ("h_out", d_h); ("c", d_c_ext) ]
+  in
+  List.iter
+    (fun (hand, name) ->
+      check_bool ("lstm " ^ name) true
+        (Dense.max_abs_diff (Ops.Op.lookup env hand) (Ops.Autodiff.grad cots name)
+        < 1e-12))
+    [
+      ("d_x", "x"); ("d_h_prev", "h_prev"); ("d_c_prev", "c_prev");
+      ("d_wx_i", "wx_i"); ("d_wx_g", "wx_g"); ("d_wh_f", "wh_f");
+      ("d_wh_o", "wh_o"); ("d_bias_i", "bias_i"); ("d_bias_o", "bias_o");
+    ]
+
+let test_lstm_cell_state_gradient_fd () =
+  (* independent check through the functional forward *)
+  let cfg, params, x, h_prev, c_prev, d_h, _ = lstm_setup () in
+  let d_c_ext = Dense.zeros [ ("h", cfg.hidden); ("b", cfg.batch) ] in
+  let env = Workloads.Lstm.run cfg ~x ~h_prev ~c_prev ~d_h ~d_c_ext ~params in
+  let loss cv =
+    let e = Workloads.Lstm.run cfg ~x ~h_prev ~c_prev:cv ~d_h ~d_c_ext ~params in
+    Dense.sum_all (Dense.mul (Dense.align (Ops.Op.lookup e "h_out") d_h) d_h)
+  in
+  let ok, err =
+    Autodiff_check.check ~tol:1e-4 ~f:loss ~grad:(Ops.Op.lookup env "d_c_prev")
+      c_prev
+  in
+  check_bool (Printf.sprintf "d_c_prev vs fd (err %.1e)" err) true ok
+
+let test_lstm_pointwise_collapse () =
+  let program = Workloads.Lstm.program Workloads.Lstm.default in
+  let gs = Substation.Fusion.groups ~name_table:Workloads.Lstm.kernel_names program in
+  let find name =
+    List.find (fun (g : Substation.Fusion.group) -> g.fused.Ops.Op.name = name) gs
+  in
+  check_int "forward gating collapses to one kernel" 17
+    (List.length (find "LSTM_POINTWISE").members);
+  check_int "backward gating collapses to one kernel" 16
+    (List.length (find "LSTM_POINTWISE_DX").members)
+
+let test_lstm_gate_fusion_pays () =
+  let rows = Workloads.Lstm.gate_fusion_times ~device Workloads.Lstm.default in
+  match rows with
+  | [ (_, f_sep, b_sep); (_, f_fused, b_fused) ] ->
+      check_bool "gate fusion speeds forward GEMMs" true (f_fused < f_sep);
+      check_bool "gate fusion speeds backward dX" true (b_fused < b_sep);
+      check_bool "substantial gain (>1.3x fwd)" true (f_sep /. f_fused > 1.3)
+  | _ -> Alcotest.fail "expected two variants"
+
+let test_lstm_recipe_end_to_end () =
+  let program = Workloads.Lstm.program Workloads.Lstm.default in
+  let recipe =
+    Substation.Recipe.optimize ~name_table:Workloads.Lstm.kernel_names ~device
+      program
+  in
+  check_bool "selection positive" true
+    (recipe.Substation.Recipe.selection.Substation.Selector.total_time > 0.0);
+  check_bool "few kernels" true
+    (List.length recipe.Substation.Recipe.fused.Ops.Program.ops <= 10)
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "operators",
+        [
+          Alcotest.test_case "sigmoid/tanh values" `Quick test_sigmoid_tanh_values;
+          Alcotest.test_case "gate gradients" `Quick test_gate_gradients_fd;
+          Alcotest.test_case "batchnorm statistics" `Quick test_batchnorm_statistics;
+          Alcotest.test_case "batchnorm gradients" `Quick test_batchnorm_gradients_fd;
+        ] );
+      ( "mlp",
+        [
+          Alcotest.test_case "validates" `Quick test_mlp_validates;
+          Alcotest.test_case "backward vs autodiff" `Quick
+            test_mlp_backward_vs_autodiff;
+          Alcotest.test_case "recipe applies" `Slow test_mlp_recipe;
+        ] );
+      ( "lstm",
+        [
+          Alcotest.test_case "validates" `Quick test_lstm_validates;
+          Alcotest.test_case "gate variants agree" `Quick test_lstm_variants_agree;
+          Alcotest.test_case "backward vs autodiff" `Quick
+            test_lstm_backward_vs_autodiff;
+          Alcotest.test_case "cell-state gradient vs fd" `Quick
+            test_lstm_cell_state_gradient_fd;
+          Alcotest.test_case "pointwise collapse (cuDNN-style)" `Quick
+            test_lstm_pointwise_collapse;
+          Alcotest.test_case "gate fusion pays (Table II analogue)" `Quick
+            test_lstm_gate_fusion_pays;
+          Alcotest.test_case "recipe end to end" `Slow test_lstm_recipe_end_to_end;
+        ] );
+    ]
