@@ -1,0 +1,22 @@
+# `make check` is the tier-1 verify plus a fault-campaign smoke run, so the
+# resilience path is exercised on every verify.
+
+DUNE ?= dune
+
+.PHONY: check build test smoke clean
+
+check: build test smoke
+
+build:
+	$(DUNE) build
+
+test:
+	$(DUNE) runtest
+
+# ~1.5 s: one fault cell plus a punched-hole degraded-selection demo on the
+# tiny configuration.
+smoke:
+	$(DUNE) exec bin/substation_cli.exe -- faults -c tiny --rates 0.1 --sigmas 0.0 --punch 1
+
+clean:
+	$(DUNE) clean

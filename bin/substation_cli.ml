@@ -85,11 +85,26 @@ let fuse hp _device mha =
     (float_of_int fused /. 1e6)
     (100.0 *. (1.0 -. (float_of_int fused /. float_of_int unfused)))
 
-let tune hp device mha op_filter csv_out =
+let faults_spec ~rate ~sigma ~seed =
+  if rate = 0.0 && sigma = 0.0 then Gpu.Faults.none
+  else Gpu.Faults.uniform_rate ~seed:(Int64.of_int seed) ~noise_sigma:sigma rate
+
+let tune hp device mha op_filter csv_out fault_rate noise fault_seed checkpoint
+    =
   let program =
     Substation.Fusion.fuse ~name_table:(table_of ~mha) (program_of ~mha hp)
   in
-  let db = Substation.Perfdb.build ~device program in
+  let faults = faults_spec ~rate:fault_rate ~sigma:noise ~seed:fault_seed in
+  let db = Substation.Perfdb.build ~faults ?checkpoint ~device program in
+  if not (Gpu.Faults.is_clean faults) then begin
+    Format.printf "sweep under %a@." Gpu.Faults.pp faults;
+    Format.printf "%a@.@." Substation.Perfdb.pp_stats
+      (Substation.Perfdb.stats db);
+    match Substation.Perfdb.holes db with
+    | [] -> ()
+    | hs -> Format.printf "holes (no surviving configuration): %s@.@."
+              (String.concat ", " hs)
+  end;
   (match csv_out with
   | Some path ->
       let oc = open_out path in
@@ -284,6 +299,71 @@ let train steps lr =
   Array.iteri (fun i l -> Format.printf "step %3d  loss %.4f@." i l) h.losses;
   Format.printf "loss: %.4f -> %.4f@." h.initial_loss h.final_loss
 
+let faults_campaign hp device mha seed rates sigmas punch =
+  let open Substation in
+  let program =
+    Fusion.fuse ~name_table:(table_of ~mha) (program_of ~mha hp)
+  in
+  Format.printf "fault campaign: %a on %s, seed %d@.@." Transformer.Hparams.pp
+    hp device.Gpu.Device.name seed;
+  let clean_db = Perfdb.build ~device program in
+  let clean = Selector.select clean_db in
+  Format.printf "clean sweep: %d measurements, selected total %.3f ms@.@."
+    (Perfdb.stats clean_db).Perfdb.measurements
+    (clean.Selector.total_time *. 1e3);
+  (* Selection quality: re-price the chosen configurations with the clean
+     cost model, so the column reports how far faults *misled* selection,
+     not how optimistic the noisy estimates look. *)
+  let true_total (sel : Selector.selection) =
+    let op_of name =
+      List.find (fun (o : Ops.Op.t) -> o.Ops.Op.name = name) program.Ops.Program.ops
+    in
+    List.fold_left
+      (fun acc (c : Selector.choice) ->
+        acc
+        +. (Config_space.measure ~device program (op_of c.Selector.op.Ops.Op.name)
+              c.Selector.measured.Config_space.config)
+             .Config_space.time)
+      (List.fold_left
+         (fun a (t : Selector.transpose) -> a +. t.Selector.cost)
+         0.0 sel.Selector.transposes)
+      (sel.Selector.forward @ sel.Selector.backward)
+  in
+  Format.printf "%-6s %-6s %12s %8s %11s %6s %10s %9s %9s@." "rate" "sigma"
+    "measurements" "retries" "quarantined" "holes" "total(ms)" "vs clean"
+    "degraded";
+  List.iter
+    (fun rate ->
+      List.iter
+        (fun sigma ->
+          let faults = faults_spec ~rate ~sigma ~seed in
+          let db = Perfdb.build ~faults ~device program in
+          let sel = Selector.select db in
+          let st = Perfdb.stats db in
+          let holes = List.length (Perfdb.holes db) in
+          let true_t = true_total sel in
+          let delta =
+            100.0 *. ((true_t /. clean.Selector.total_time) -. 1.0)
+          in
+          Format.printf "%-6.2f %-6.2f %12d %8d %11d %6d %10.3f %+8.2f%% %9d@."
+            rate sigma st.Perfdb.measurements st.Perfdb.retries
+            st.Perfdb.quarantined_configs holes (true_t *. 1e3) delta
+            (List.length sel.Selector.degradation.Selector.degraded_ops))
+        sigmas)
+    rates;
+  if punch > 0 then begin
+    let names =
+      List.filteri (fun i _ -> i < punch) (Perfdb.op_names clean_db)
+    in
+    let holed = Perfdb.punched clean_db names in
+    let sel = Selector.select holed in
+    Format.printf
+      "@.degraded-mode demonstration (holes punched into the clean database: \
+       %s):@.%a@."
+      (String.concat ", " names) Selector.pp_degradation
+      sel.Selector.degradation
+  end
+
 (* ---------------- command wiring ---------------- *)
 
 let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
@@ -309,9 +389,68 @@ let tune_csv_arg =
     & info [ "dump-csv" ] ~docv:"FILE"
         ~doc:"Also write the full configuration database as CSV.")
 
+let fault_rate_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "fault-rate" ] ~docv:"R"
+        ~doc:
+          "Inject measurement faults: R is split across transient \
+           crash/timeout/NaN failures plus R/10 permanent faults.")
+
+let noise_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "noise" ] ~docv:"SIGMA"
+        ~doc:"Relative gaussian timing noise (median-of-k aggregation kicks \
+              in when nonzero).")
+
+let fault_seed_arg =
+  Arg.(
+    value & opt int 42
+    & info [ "fault-seed" ] ~docv:"N" ~doc:"Fault-model seed.")
+
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "Checkpoint the sweep to FILE after every operator and resume \
+           from it when it exists.")
+
 let tune_cmd =
   cmd "tune" "Sweep every configuration of every operator (paper Figs. 4-5)."
-    Term.(const tune $ hp_arg $ device_arg $ mha_arg $ op_arg $ tune_csv_arg)
+    Term.(
+      const tune $ hp_arg $ device_arg $ mha_arg $ op_arg $ tune_csv_arg
+      $ fault_rate_arg $ noise_arg $ fault_seed_arg $ checkpoint_arg)
+
+let rates_arg =
+  Arg.(
+    value
+    & opt (list float) [ 0.05; 0.1; 0.2 ]
+    & info [ "rates" ] ~docv:"R,..." ~doc:"Fault rates to sweep.")
+
+let sigmas_arg =
+  Arg.(
+    value
+    & opt (list float) [ 0.0; 0.05 ]
+    & info [ "sigmas" ] ~docv:"S,..." ~doc:"Timing-noise sigmas to sweep.")
+
+let punch_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "punch" ] ~docv:"N"
+        ~doc:
+          "Also demonstrate degraded-mode selection by punching N operator \
+           holes into the clean database (0 disables).")
+
+let faults_cmd =
+  cmd "faults"
+    "Fault-injection campaign: sweep failure rates x noise levels and report \
+     selection-quality degradation vs the clean run."
+    Term.(
+      const faults_campaign $ hp_arg $ device_arg $ mha_arg $ fault_seed_arg
+      $ rates_arg $ sigmas_arg $ punch_arg)
 
 let select_cmd =
   cmd "select" "Global configuration selection via SSSP (paper Fig. 6)."
@@ -382,11 +521,21 @@ let () =
         "Data-movement optimization recipe for transformers (MLSys 2021 \
          reproduction)."
   in
+  (* Recoverable misuse (stale checkpoints, bad fault specs, holed-database
+     lookups) raises Invalid_argument/Failure with a remediation hint;
+     present it as a normal CLI error rather than an uncaught-exception
+     backtrace. *)
+  let eval group =
+    try Cmd.eval ~catch:false group with
+    | Invalid_argument msg | Failure msg ->
+        Printf.eprintf "substation: %s\n" msg;
+        Cmd.Exit.some_error
+  in
   exit
-    (Cmd.eval
+    (eval
        (Cmd.group info
           [
             analyze_cmd; fuse_cmd; tune_cmd; select_cmd; compare_cmd; table_cmd;
             figure_cmd; summary_cmd; train_cmd; memory_cmd; trace_cmd; presets_cmd;
-            kv_fusion_cmd; cost_cmd;
+            kv_fusion_cmd; cost_cmd; faults_cmd;
           ]))

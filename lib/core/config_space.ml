@@ -407,6 +407,44 @@ let measure ?(quality = 1.0) ~device program (op : Ops.Op.t) config =
     layouts = resolve_layouts program op config;
   }
 
+(* Canonical identity string of a configuration: every knob, including the
+   operand layouts (two GEMM configs can differ only in a layout). Keys the
+   fault model's deterministic draws and the quarantine records. *)
+let config_key = function
+  | Gemm_cfg c ->
+      Printf.sprintf "gemm|a=%s|b=%s|c=%s|ta=%s|tb=%s|tc=%b|algo=%d"
+        (Layout.to_string c.layout_a)
+        (Layout.to_string c.layout_b)
+        (Layout.to_string c.layout_c)
+        (Gpu.Gemm_model.transpose_to_string c.ta)
+        (Gpu.Gemm_model.transpose_to_string c.tb)
+        c.use_tc c.algo.Gpu.Gemm_model.algo_id
+  | Fused_cfg c ->
+      Printf.sprintf "fused|vec=%s|warp=%s|%s" c.vec_axis
+        (match c.warp_axis with None -> "grid" | Some a -> a)
+        (String.concat ";"
+           (List.map
+              (fun (rep, l) -> rep ^ "=" ^ Layout.to_string l)
+              c.group_layouts))
+
+type measure_error = {
+  failed_op : string;
+  failed_config : string;
+  failure : Gpu.Faults.failure;
+  attempt : int;
+}
+
+let measure_faulty ?quality ?(attempt = 0) ~faults ~device program
+    (op : Ops.Op.t) config =
+  let m = measure ?quality ~device program op config in
+  if Gpu.Faults.is_clean faults then Ok m
+  else
+    let key = config_key config in
+    match Gpu.Faults.inject faults ~op:op.name ~config:key ~attempt m.time with
+    | Gpu.Faults.Measured time -> Ok { m with time }
+    | Gpu.Faults.Failed failure ->
+        Error { failed_op = op.name; failed_config = key; failure; attempt }
+
 let measure_all ?quality ~device program op =
   List.map (measure ?quality ~device program op) (configs program op)
 

@@ -63,6 +63,28 @@ val measure_all :
   ?quality:float -> device:Gpu.Device.t -> Ops.Program.t -> Ops.Op.t
   -> measured list
 
+(** [config_key config] is a canonical identity string covering every knob
+    (layouts included). It keys the fault model's deterministic draws and
+    the performance database's quarantine records. *)
+val config_key : config -> string
+
+type measure_error = {
+  failed_op : string;
+  failed_config : string;  (** [config_key] of the failing configuration *)
+  failure : Gpu.Faults.failure;
+  attempt : int;
+}
+
+(** [measure_faulty ?quality ?attempt ~faults ~device program op config]
+    is [measure] with the fault model injected beneath it: the clean
+    measurement is taken and then perturbed or discarded according to
+    [faults]. With [Gpu.Faults.none] this is exactly [measure] (no draw is
+    even made). [attempt] decorrelates retries. *)
+val measure_faulty :
+  ?quality:float -> ?attempt:int -> faults:Gpu.Faults.spec
+  -> device:Gpu.Device.t -> Ops.Program.t -> Ops.Op.t -> config
+  -> (measured, measure_error) result
+
 (** [default_config program op] is the framework-natural configuration:
     canonical container layouts, heuristic GEMM algorithm, tensor cores
     when eligible, innermost-axis vectorization. *)

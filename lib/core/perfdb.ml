@@ -1,30 +1,310 @@
+type quarantined = {
+  q_op : string;
+  q_config : string;
+  q_reason : string;
+  q_attempts : int;
+}
+
+type sweep_stats = {
+  measurements : int;
+  retries : int;
+  transient_failures : int;
+  quarantined_configs : int;
+  backoff_time : float;
+  resumed_ops : int;
+}
+
+let zero_stats =
+  {
+    measurements = 0;
+    retries = 0;
+    transient_failures = 0;
+    quarantined_configs = 0;
+    backoff_time = 0.0;
+    resumed_ops = 0;
+  }
+
+exception Interrupted of string
+
 type t = {
   device : Gpu.Device.t;
   program : Ops.Program.t;
   table : (string, Config_space.measured list) Hashtbl.t;
   order : string list;
+  quarantine : quarantined list;
+  stats : sweep_stats;
 }
 
-let build ?quality ~device (program : Ops.Program.t) =
+(* ------------------------------------------------------------------ *)
+(* Robust aggregation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let median = function
+  | [] -> invalid_arg "Perfdb: median of an empty sample"
+  | ts ->
+      let arr = Array.of_list ts in
+      Array.sort Float.compare arr;
+      let n = Array.length arr in
+      if n mod 2 = 1 then arr.(n / 2)
+      else 0.5 *. (arr.((n / 2) - 1) +. arr.(n / 2))
+
+(* Median of the samples surviving a 3-sigma MAD cut (sigma ~ 1.4826 * MAD
+   for a gaussian). The median itself always survives, so the filtered
+   sample is never empty. *)
+let robust_time = function
+  | [ t ] -> t
+  | ts ->
+      let med = median ts in
+      let mad = median (List.map (fun t -> Float.abs (t -. med)) ts) in
+      if mad = 0.0 then med
+      else
+        let cut = 3.0 *. 1.4826 *. mad in
+        median (List.filter (fun t -> Float.abs (t -. med) <= cut) ts)
+
+(* ------------------------------------------------------------------ *)
+(* Checkpointing                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type checkpoint_payload =
+  (string * Config_space.measured list) list * quarantined list * sweep_stats
+
+let checkpoint_magic = "SUBSTATION-PERFDB-CKPT/1"
+
+let fingerprint ?quality ~faults ~device (program : Ops.Program.t) =
+  Printf.sprintf "%s|q=%s|f=%s|ops=%s" device.Gpu.Device.name
+    (match quality with None -> "-" | Some q -> Printf.sprintf "%h" q)
+    (Gpu.Faults.fingerprint faults)
+    (String.concat ","
+       (List.map (fun (o : Ops.Op.t) -> o.Ops.Op.name) program.Ops.Program.ops))
+
+let save_checkpoint path fp (payload : checkpoint_payload) =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc (checkpoint_magic ^ "\n");
+  output_string oc (fp ^ "\n");
+  Marshal.to_channel oc payload [];
+  close_out oc;
+  Sys.rename tmp path
+
+let load_checkpoint path fp : checkpoint_payload =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let magic = try input_line ic with End_of_file -> "" in
+      if magic <> checkpoint_magic then
+        invalid_arg
+          (Printf.sprintf
+             "Perfdb.build: %s is not a perfdb checkpoint (expected header \
+              %s); delete the file or point ~checkpoint at a fresh path"
+             path checkpoint_magic);
+      let stored = try input_line ic with End_of_file -> "" in
+      if stored <> fp then
+        invalid_arg
+          (Printf.sprintf
+             "Perfdb.build: checkpoint %s was written by a different sweep \
+              (device, program, quality or fault spec differ); delete the \
+              file or use a fresh path to start over"
+             path);
+      (Marshal.from_channel ic : checkpoint_payload))
+
+(* ------------------------------------------------------------------ *)
+(* The sweep                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type sweep_state = {
+  mutable s_measurements : int;
+  mutable s_retries : int;
+  mutable s_transient : int;
+  mutable s_quarantined : int;
+  mutable s_backoff : float;
+}
+
+(* Measure one configuration under faults: gather [repeats] successful
+   samples, retrying each with exponential backoff for up to [max_retries]
+   consecutive transient failures, then aggregate robustly. [None] means
+   the configuration is quarantined (permanent fault, or retries
+   exhausted before any sample landed). *)
+let measure_config ?quality ~faults ~device ~max_retries ~repeats st program op
+    config =
+  let samples = ref [] and proto = ref None in
+  let attempt = ref 0 and consecutive = ref 0 in
+  let quarantine = ref None in
+  while
+    !quarantine = None
+    && List.length !samples < repeats
+    && !consecutive <= max_retries
+  do
+    (match
+       Config_space.measure_faulty ?quality ~attempt:!attempt ~faults ~device
+         program op config
+     with
+    | Ok m ->
+        if !proto = None then proto := Some m;
+        samples := m.Config_space.time :: !samples;
+        st.s_measurements <- st.s_measurements + 1;
+        consecutive := 0
+    | Error e when Gpu.Faults.is_transient e.Config_space.failure ->
+        st.s_transient <- st.s_transient + 1;
+        st.s_retries <- st.s_retries + 1;
+        incr consecutive;
+        st.s_backoff <- st.s_backoff +. Gpu.Faults.backoff !consecutive
+    | Error e ->
+        quarantine :=
+          Some
+            {
+              q_op = e.Config_space.failed_op;
+              q_config = e.Config_space.failed_config;
+              q_reason = Gpu.Faults.failure_to_string e.Config_space.failure;
+              q_attempts = !attempt + 1;
+            });
+    incr attempt
+  done;
+  match (!quarantine, !proto) with
+  | Some q, _ ->
+      st.s_quarantined <- st.s_quarantined + 1;
+      Error q
+  | None, Some m when !samples <> [] ->
+      Ok { m with Config_space.time = robust_time !samples }
+  | None, _ ->
+      st.s_quarantined <- st.s_quarantined + 1;
+      Error
+        {
+          q_op = op.Ops.Op.name;
+          q_config = Config_space.config_key config;
+          q_reason =
+            Printf.sprintf "%d consecutive transient failures (retries \
+                            exhausted)"
+              !consecutive;
+          q_attempts = !attempt;
+        }
+
+let sweep_op ?quality ~faults ~device ~max_retries ~repeats st program op =
+  if Gpu.Faults.is_clean faults then begin
+    let entries = Config_space.measure_all ?quality ~device program op in
+    st.s_measurements <- st.s_measurements + List.length entries;
+    (entries, [])
+  end
+  else
+    let entries = ref [] and quarantined = ref [] in
+    List.iter
+      (fun config ->
+        match
+          measure_config ?quality ~faults ~device ~max_retries ~repeats st
+            program op config
+        with
+        | Ok m -> entries := m :: !entries
+        | Error q -> quarantined := q :: !quarantined)
+      (Config_space.configs program op);
+    (List.rev !entries, List.rev !quarantined)
+
+let build ?quality ?(faults = Gpu.Faults.none) ?repeats ?(max_retries = 4)
+    ?checkpoint ?interrupt_after ~device (program : Ops.Program.t) =
+  let repeats =
+    match repeats with
+    | Some r when r >= 1 -> r
+    | Some r -> invalid_arg (Printf.sprintf "Perfdb.build: repeats = %d < 1" r)
+    | None -> if faults.Gpu.Faults.noise_sigma > 0.0 then 5 else 1
+  in
+  let fp = fingerprint ?quality ~faults ~device program in
+  let resumed, quarantine0, stats0 =
+    match checkpoint with
+    | Some path when Sys.file_exists path -> load_checkpoint path fp
+    | _ -> ([], [], zero_stats)
+  in
+  let st =
+    {
+      s_measurements = stats0.measurements;
+      s_retries = stats0.retries;
+      s_transient = stats0.transient_failures;
+      s_quarantined = stats0.quarantined_configs;
+      s_backoff = stats0.backoff_time;
+    }
+  in
   let table = Hashtbl.create 64 in
+  List.iter (fun (name, es) -> Hashtbl.replace table name es) resumed;
+  let completed = ref (List.rev resumed) in
+  let quarantine = ref quarantine0 in
+  let swept_this_run = ref 0 in
+  let mk_stats () =
+    {
+      measurements = st.s_measurements;
+      retries = st.s_retries;
+      transient_failures = st.s_transient;
+      quarantined_configs = st.s_quarantined;
+      backoff_time = st.s_backoff;
+      resumed_ops = List.length resumed;
+    }
+  in
   let order =
     List.map
       (fun (op : Ops.Op.t) ->
-        Hashtbl.replace table op.name
-          (Config_space.measure_all ?quality ~device program op);
+        if not (Hashtbl.mem table op.name) then begin
+          let entries, quar =
+            sweep_op ?quality ~faults ~device ~max_retries ~repeats st program
+              op
+          in
+          Hashtbl.replace table op.name entries;
+          quarantine := !quarantine @ quar;
+          completed := (op.name, entries) :: !completed;
+          (match checkpoint with
+          | Some path ->
+              save_checkpoint path fp (List.rev !completed, !quarantine, mk_stats ())
+          | None -> ());
+          incr swept_this_run;
+          match interrupt_after with
+          | Some n when !swept_this_run >= n ->
+              raise (Interrupted (Option.value checkpoint ~default:""))
+          | _ -> ()
+        end;
         op.name)
       program.Ops.Program.ops
   in
-  { device; program; table; order }
+  (* The sweep is complete: the checkpoint has served its purpose. *)
+  (match checkpoint with
+  | Some path when Sys.file_exists path -> (try Sys.remove path with Sys_error _ -> ())
+  | _ -> ());
+  { device; program; table; order; quarantine = !quarantine; stats = mk_stats () }
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                            *)
+(* ------------------------------------------------------------------ *)
 
 let device t = t.device
 let program t = t.program
 let op_names t = t.order
+let quarantine t = t.quarantine
+let stats t = t.stats
+
+let op_quarantine t name =
+  List.filter (fun q -> q.q_op = name) t.quarantine
+
+let entries_opt t name = Hashtbl.find_opt t.table name
+
+let known_ops_hint t =
+  match t.order with
+  | [] -> "the database is empty"
+  | names ->
+      "known operators: " ^ String.concat ", " names
+      ^ " (see Perfdb.op_names)"
 
 let entries t name =
   match Hashtbl.find_opt t.table name with
   | Some es -> es
-  | None -> invalid_arg ("Perfdb.entries: unknown operator " ^ name)
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Perfdb.entries: unknown operator %s; %s" name
+           (known_ops_hint t))
+
+let holes t =
+  List.filter
+    (fun name ->
+      match Hashtbl.find_opt t.table name with
+      | Some [] | None -> true
+      | Some _ -> false)
+    t.order
+
+let complete t = holes t = []
 
 let fastest = function
   | [] -> invalid_arg "Perfdb: empty entry list"
@@ -34,7 +314,22 @@ let fastest = function
           if m.time < best.time then m else best)
         e rest
 
-let best t name = fastest (entries t name)
+let best t name =
+  match entries t name with
+  | [] ->
+      invalid_arg
+        (Printf.sprintf
+           "Perfdb.best: operator %s has no surviving measurements (%d \
+            configurations quarantined); use Perfdb.best_opt or the \
+            degraded-mode Selector, or re-sweep with lower fault rates"
+           name
+           (List.length (op_quarantine t name)))
+  | es -> fastest es
+
+let best_opt t name =
+  match entries_opt t name with
+  | Some (_ :: _ as es) -> Some (fastest es)
+  | Some [] | None -> None
 
 let satisfies (m : Config_space.measured) constraints =
   List.for_all
@@ -49,9 +344,54 @@ let best_matching t name ~constraints =
   | [] -> None
   | es -> Some (fastest es)
 
+let violations (m : Config_space.measured) constraints =
+  List.fold_left
+    (fun acc (c, l) ->
+      match List.assoc_opt c m.layouts with
+      | Some l' when not (Layout.equal l l') -> acc + 1
+      | _ -> acc)
+    0 constraints
+
+let nearest_matching t name ~constraints =
+  match entries_opt t name with
+  | None | Some [] -> None
+  | Some es ->
+      let scored =
+        List.map (fun (m : Config_space.measured) -> (m, violations m constraints)) es
+      in
+      Some
+        (List.fold_left
+           (fun ((bm : Config_space.measured), bv) ((m : Config_space.measured), v) ->
+             if v < bv || (v = bv && m.time < bm.time) then (m, v) else (bm, bv))
+           (List.hd scored) (List.tl scored))
+
+let punched t names =
+  let table = Hashtbl.copy t.table in
+  let q =
+    List.map
+      (fun name ->
+        if not (Hashtbl.mem table name) then
+          invalid_arg
+            (Printf.sprintf "Perfdb.punched: unknown operator %s; %s" name
+               (known_ops_hint t));
+        Hashtbl.replace table name [];
+        {
+          q_op = name;
+          q_config = "*";
+          q_reason = "hole punched (Perfdb.punched)";
+          q_attempts = 0;
+        })
+      names
+  in
+  { t with table; quarantine = t.quarantine @ q }
+
 let sum_best t =
-  List.fold_left (fun acc name -> acc +. (best t name).Config_space.time) 0.0
-    t.order
+  List.fold_left
+    (fun acc name ->
+      match best_opt t name with
+      | Some m -> acc +. m.Config_space.time
+      | None -> acc)
+    0.0 t.order
 
 let quantiles t name ps =
   let times =
@@ -102,3 +442,10 @@ let export_csv t =
         (entries t name))
     t.order;
   Buffer.contents buf
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "%d measurements, %d retries (%d transient failures, %.3f s simulated \
+     backoff), %d configurations quarantined, %d ops resumed from checkpoint"
+    s.measurements s.retries s.transient_failures s.backoff_time
+    s.quarantined_configs s.resumed_ops

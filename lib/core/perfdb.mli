@@ -1,20 +1,91 @@
 (** Performance database: every measured configuration of every operator of
     a program (paper §V's exhaustive benchmark sweep, feeding §VI-A's
-    configuration selection). *)
+    configuration selection).
+
+    The sweep is resilient: measurements run under an optional fault model
+    ({!Gpu.Faults}), transient failures are retried with exponential
+    backoff, noisy timings are aggregated robustly (median of k with a MAD
+    outlier cut), permanently failing configurations are quarantined, and
+    the partially built database can be checkpointed to disk so an
+    interrupted sweep resumes exactly where it stopped. With
+    [Gpu.Faults.none] (the default) the sweep is byte-identical to a plain
+    exhaustive measurement pass. *)
 
 type t
 
-(** [build ?quality ~device program] sweeps the configuration space of each
-    operator. *)
-val build : ?quality:float -> device:Gpu.Device.t -> Ops.Program.t -> t
+(** One quarantined (permanently failing or retries-exhausted)
+    configuration. *)
+type quarantined = {
+  q_op : string;
+  q_config : string;  (** {!Config_space.config_key} of the configuration *)
+  q_reason : string;
+  q_attempts : int;
+}
+
+type sweep_stats = {
+  measurements : int;  (** successful measurement attempts *)
+  retries : int;
+  transient_failures : int;
+  quarantined_configs : int;
+  backoff_time : float;  (** simulated backoff wait, s *)
+  resumed_ops : int;  (** operators restored from a checkpoint *)
+}
+
+val zero_stats : sweep_stats
+
+(** Raised by [build ~interrupt_after:n] once [n] operators have been swept
+    (and checkpointed) in this run — a deterministic stand-in for a sweep
+    killed mid-flight. Carries the checkpoint path ([""] if none). *)
+exception Interrupted of string
+
+(** [build ?quality ?faults ?repeats ?max_retries ?checkpoint
+    ?interrupt_after ~device program] sweeps the configuration space of
+    each operator.
+
+    - [faults] (default {!Gpu.Faults.none}): the measurement fault model.
+    - [repeats]: successful samples per configuration (default 5 when
+      [faults.noise_sigma > 0], else 1), aggregated by MAD-filtered median.
+    - [max_retries] (default 4): consecutive transient failures tolerated
+      per configuration before it is quarantined; each retry accrues
+      {!Gpu.Faults.backoff} into [stats.backoff_time].
+    - [checkpoint]: path of the resume file. Written atomically after every
+      operator, loaded (and validated against device/program/quality/fault
+      fingerprints) when it exists, deleted on successful completion.
+    - [interrupt_after]: raise {!Interrupted} after sweeping that many
+      operators this run (testing hook for interrupt/resume). *)
+val build :
+  ?quality:float -> ?faults:Gpu.Faults.spec -> ?repeats:int
+  -> ?max_retries:int -> ?checkpoint:string -> ?interrupt_after:int
+  -> device:Gpu.Device.t -> Ops.Program.t -> t
 
 val device : t -> Gpu.Device.t
 val program : t -> Ops.Program.t
 val op_names : t -> string list
+
+(** [entries db op] raises [Invalid_argument] (naming the known operators)
+    when [op] is not in the database; an empty list marks a hole. *)
 val entries : t -> string -> Config_space.measured list
 
-(** [best db op] is the fastest configuration regardless of layouts. *)
+val entries_opt : t -> string -> Config_space.measured list option
+
+(** Every quarantined configuration of the sweep. *)
+val quarantine : t -> quarantined list
+
+val op_quarantine : t -> string -> quarantined list
+val stats : t -> sweep_stats
+
+(** Operators with no surviving measurements (every configuration
+    quarantined, or not yet swept in a resumed run). *)
+val holes : t -> string list
+
+val complete : t -> bool
+
+(** [best db op] is the fastest configuration regardless of layouts.
+    Raises [Invalid_argument] with a remediation hint when [op] is unknown
+    or a hole; use [best_opt] in degraded paths. *)
 val best : t -> string -> Config_space.measured
+
+val best_opt : t -> string -> Config_space.measured option
 
 (** [best_matching db op ~constraints] is the fastest entry consistent with
     the layout constraints: for every [(container, layout)] pair that the
@@ -24,9 +95,22 @@ val best_matching :
   t -> string -> constraints:(string * Layout.t) list
   -> Config_space.measured option
 
+(** [nearest_matching db op ~constraints] is the entry violating the fewest
+    layout constraints (ties broken by time) together with its violation
+    count — the degraded-mode fallback when quarantine holes make the exact
+    constraints unsatisfiable. [None] when the operator has no entries. *)
+val nearest_matching :
+  t -> string -> constraints:(string * Layout.t) list
+  -> (Config_space.measured * int) option
+
+(** [punched db ops] returns a copy of [db] with the entries of [ops]
+    removed and quarantine records added — deliberate holes for degraded-
+    mode testing and fault campaigns. *)
+val punched : t -> string list -> t
+
 (** [sum_best db] adds up each operator's unconstrained best time — the
     lower bound the paper compares its global selection against (within 4%,
-    §VI-A). *)
+    §VI-A). Holes contribute nothing. *)
 val sum_best : t -> float
 
 (** [quantiles db op ps] returns time quantiles (e.g. [[0.; 0.25; 0.5; 1.]])
@@ -37,3 +121,5 @@ val quantiles : t -> string -> float list -> float list
     (operator, configuration kind and knobs, per-container layouts, time in
     microseconds) for external plotting of the Fig. 4/5 distributions. *)
 val export_csv : t -> string
+
+val pp_stats : Format.formatter -> sweep_stats -> unit

@@ -8,10 +8,10 @@ type result = {
   movement_fused_bytes : int;
 }
 
-let optimize ?(name_table = []) ~device program =
+let optimize ?(name_table = []) ?faults ?checkpoint ~device program =
   let groups = Fusion.groups ~name_table program in
   let fused = Fusion.fuse ~name_table program in
-  let db = Perfdb.build ~device fused in
+  let db = Perfdb.build ?faults ?checkpoint ~device fused in
   let selection = Selector.select db in
   let movement_unfused_bytes, movement_fused_bytes =
     Fusion.movement_saved ~bytes_per_elem:2 program

@@ -19,9 +19,14 @@ type result = {
   movement_fused_bytes : int;
 }
 
+(** [optimize ?name_table ?faults ?checkpoint ~device program] runs every
+    step. [faults] (default clean) and [checkpoint] are forwarded to the
+    measurement sweep ({!Perfdb.build}); with faults present the selection
+    step runs in degraded mode and reports any fallbacks it took in
+    [selection.degradation]. *)
 val optimize :
-  ?name_table:(string list * string) list -> device:Gpu.Device.t
-  -> Ops.Program.t -> result
+  ?name_table:(string list * string) list -> ?faults:Gpu.Faults.spec
+  -> ?checkpoint:string -> device:Gpu.Device.t -> Ops.Program.t -> result
 
 (** [movement_reduction r] is the fractional data-movement saving of fusion
     (paper §VI-C reports ~22.91%). *)

@@ -7,6 +7,17 @@ type transpose = {
   cost : float;
 }
 
+type degraded_op = {
+  d_op : string;
+  d_reason : string;
+  d_fallback : string;
+  d_penalty : float;
+}
+
+type degradation = { degraded_ops : degraded_op list; time_penalty : float }
+
+let no_degradation = { degraded_ops = []; time_penalty = 0.0 }
+
 type selection = {
   forward : choice list;
   backward : choice list;
@@ -16,6 +27,7 @@ type selection = {
   backward_time : float;
   total_time : float;
   sum_best_forward : float;
+  degradation : degradation;
 }
 
 let volume_of program c =
@@ -90,6 +102,52 @@ let transpose_cost (device : Gpu.Device.t) program (b : boundary) =
   in
   (float_of_int bytes /. (device.mem_bandwidth *. 0.85)) +. device.launch_overhead
 
+(* ------------------------------------------------------------------ *)
+(* Degraded-mode fallbacks                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* When an operator has no surviving measurements (a hole), selection falls
+   back to a clean cost-model estimate of the framework-natural (default)
+   configuration. The penalty reports what the hole costs versus the clean
+   unconstrained best, which the analytic cost model can still price. *)
+type estimate = {
+  est : Config_space.measured;  (* default-config clean estimate *)
+  est_best : float;  (* clean best over the whole space *)
+}
+
+let estimate_for db cache (op : Ops.Op.t) =
+  match Hashtbl.find_opt cache op.Ops.Op.name with
+  | Some e -> e
+  | None ->
+      let program = Perfdb.program db and device = Perfdb.device db in
+      let est =
+        Config_space.measure ~device program op
+          (Config_space.default_config program op)
+      in
+      let est_best =
+        List.fold_left
+          (fun acc (m : Config_space.measured) -> Float.min acc m.time)
+          est.Config_space.time
+          (Config_space.measure_all ~device program op)
+      in
+      let e = { est; est_best } in
+      Hashtbl.replace cache op.Ops.Op.name e;
+      e
+
+let hole_record db cache (op : Ops.Op.t) =
+  let e = estimate_for db cache op in
+  {
+    d_op = op.Ops.Op.name;
+    d_reason =
+      Printf.sprintf "no surviving measurements (%d configurations quarantined)"
+        (List.length (Perfdb.op_quarantine db op.Ops.Op.name));
+    d_fallback = "cost-model estimate of the default configuration";
+    d_penalty = Float.max 0.0 (e.est.Config_space.time -. e.est_best);
+  }
+
+let is_hole db name =
+  match Perfdb.entries_opt db name with None | Some [] -> true | Some _ -> false
+
 (* Fastest entry of [op] whose layouts assign [l_in] to [rep_in] and [l_out]
    to [rep_out]; buckets computed in one pass over the entries. When the
    operator does not actually read the incoming boundary (the schedule is
@@ -115,7 +173,7 @@ let edge_weights db (op : Ops.Op.t) ~rep_in ~rep_out =
           if current = None || m.time < Option.get current then
             Hashtbl.replace table key m.time
       | _ -> ())
-    (Perfdb.entries db op.name);
+    (Option.value (Perfdb.entries_opt db op.name) ~default:[]);
   (table, in_relevant)
 
 let constrain_gradients program constraints (op : Ops.Op.t) =
@@ -133,7 +191,45 @@ let constrain_gradients program constraints (op : Ops.Op.t) =
       end)
     (op.reads @ op.writes)
 
-let repair_pass db ?(initial = []) ops =
+(* One operator's choice under the current constraints. The clean path
+   (no quarantine, no hole) is exactly the seed behaviour: exact
+   constraint match, else the unconstrained best. Only quarantine holes
+   enable the degraded chain: nearest-layout entry (fewest violated
+   constraints), then the cost-model estimate when nothing survived. *)
+let pick_measured db cache degraded (op : Ops.Op.t) cs =
+  if is_hole db op.Ops.Op.name then begin
+    degraded := hole_record db cache op :: !degraded;
+    (estimate_for db cache op).est
+  end
+  else
+    match Perfdb.best_matching db op.Ops.Op.name ~constraints:cs with
+    | Some m -> m
+    | None ->
+        if Perfdb.op_quarantine db op.Ops.Op.name = [] then
+          Perfdb.best db op.Ops.Op.name
+        else begin
+          match Perfdb.nearest_matching db op.Ops.Op.name ~constraints:cs with
+          | Some (m, v) ->
+              let best = Perfdb.best db op.Ops.Op.name in
+              degraded :=
+                {
+                  d_op = op.Ops.Op.name;
+                  d_reason =
+                    Printf.sprintf
+                      "quarantine left the exact layout constraints \
+                       unsatisfiable (%d violated)"
+                      v;
+                  d_fallback = "nearest-layout surviving entry";
+                  d_penalty =
+                    Float.max 0.0
+                      (m.Config_space.time -. best.Config_space.time);
+                }
+                :: !degraded;
+              m
+          | None -> Perfdb.best db op.Ops.Op.name
+        end
+
+let repair_pass db cache degraded ?(initial = []) ops =
   let program = Perfdb.program db in
   let constraints = Hashtbl.create 64 in
   List.iter (fun (c, l) -> Hashtbl.replace constraints c l) initial;
@@ -144,11 +240,7 @@ let repair_pass db ?(initial = []) ops =
         let cs =
           Hashtbl.fold (fun c l acc -> (c, l) :: acc) constraints []
         in
-        let measured =
-          match Perfdb.best_matching db op.name ~constraints:cs with
-          | Some m -> m
-          | None -> Perfdb.best db op.name
-        in
+        let measured = pick_measured db cache degraded op cs in
         List.iter
           (fun (c, l) ->
             if not (Hashtbl.mem constraints c) then
@@ -163,13 +255,38 @@ let repair_pass db ?(initial = []) ops =
 let sum_time choices =
   List.fold_left (fun acc c -> acc +. c.measured.Config_space.time) 0.0 choices
 
+let degradation_of degraded =
+  let ops = List.rev degraded in
+  {
+    degraded_ops = ops;
+    time_penalty = List.fold_left (fun a d -> a +. d.d_penalty) 0.0 ops;
+  }
+
+(* [sum_best_forward]: each forward op's unconstrained best; holes fall
+   back to the clean cost-model bound so the figure stays comparable. *)
+let lower_bound db cache fwd =
+  List.fold_left
+    (fun acc (op : Ops.Op.t) ->
+      acc
+      +.
+      match Perfdb.best_opt db op.Ops.Op.name with
+      | Some m -> m.Config_space.time
+      | None -> (estimate_for db cache op).est_best)
+    0.0 fwd
+
 let select db =
   let program = Perfdb.program db in
   let fwd = Ops.Program.forward_ops program in
   let bwd = Ops.Program.backward_ops program in
-  if fwd = [] then invalid_arg "Selector.select: program has no forward ops";
+  if fwd = [] then
+    invalid_arg
+      "Selector.select: program has no forward operators; selection needs at \
+       least one non-backward op (check Ops.Program.forward_ops on your \
+       program)";
   let bs = boundaries program fwd in
   let device = Perfdb.device db in
+  let cache = Hashtbl.create 8 in
+  let degraded = ref [] in
   let graph = Sssp.create () in
   let node_ids =
     Array.map
@@ -182,22 +299,34 @@ let select db =
   List.iter
     (fun (_, id) -> Sssp.add_edge graph ~src:id ~dst 0.0)
     node_ids.(Array.length node_ids - 1);
-  (* operator edges *)
+  (* operator edges; a hole contributes layout-agnostic estimate edges so
+     the layered graph stays connected *)
   List.iteri
     (fun i (op : Ops.Op.t) ->
-      let weights, in_relevant =
-        edge_weights db op ~rep_in:bs.(i).rep ~rep_out:bs.(i + 1).rep
-      in
-      List.iter
-        (fun (li, id_in) ->
-          let li_key = if in_relevant then Layout.to_string li else wildcard in
-          List.iter
-            (fun (lo, id_out) ->
-              match Hashtbl.find_opt weights (li_key, Layout.to_string lo) with
-              | Some w -> Sssp.add_edge graph ~src:id_in ~dst:id_out w
-              | None -> ())
-            node_ids.(i + 1))
-        node_ids.(i))
+      if is_hole db op.name then begin
+        let w = (estimate_for db cache op).est.Config_space.time in
+        List.iter
+          (fun (_, id_in) ->
+            List.iter
+              (fun (_, id_out) -> Sssp.add_edge graph ~src:id_in ~dst:id_out w)
+              node_ids.(i + 1))
+          node_ids.(i)
+      end
+      else begin
+        let weights, in_relevant =
+          edge_weights db op ~rep_in:bs.(i).rep ~rep_out:bs.(i + 1).rep
+        in
+        List.iter
+          (fun (li, id_in) ->
+            let li_key = if in_relevant then Layout.to_string li else wildcard in
+            List.iter
+              (fun (lo, id_out) ->
+                match Hashtbl.find_opt weights (li_key, Layout.to_string lo) with
+                | Some w -> Sssp.add_edge graph ~src:id_in ~dst:id_out w
+                | None -> ())
+              node_ids.(i + 1))
+          node_ids.(i)
+      end)
     fwd;
   (* transpose edges inside interior boundaries *)
   Array.iteri
@@ -217,7 +346,12 @@ let select db =
   let _, path =
     match Sssp.shortest_path graph ~src ~dst with
     | Some r -> r
-    | None -> invalid_arg "Selector.select: no feasible configuration path"
+    | None ->
+        invalid_arg
+          "Selector.select: no feasible configuration path through the \
+           layered boundary graph; the database is likely missing every \
+           entry of some operator (inspect Perfdb.holes / Perfdb.quarantine \
+           and re-sweep, or lower the fault rates)"
   in
   (* Decode boundary layout choices (and transposes) from the path. *)
   let layer_of = Hashtbl.create 64 in
@@ -270,12 +404,12 @@ let select db =
                        layout ))
                  b.containers)
   in
-  let fwd_choices, _ = repair_pass db ~initial fwd in
-  let all_choices, layouts = repair_pass db ~initial (fwd @ bwd) in
+  let all_choices, layouts =
+    repair_pass db cache degraded ~initial (fwd @ bwd)
+  in
   let bwd_choices =
     List.filteri (fun i _ -> i >= List.length fwd) all_choices
   in
-  ignore fwd_choices;
   let fwd_choices =
     List.filteri (fun i _ -> i < List.length fwd) all_choices
   in
@@ -291,10 +425,8 @@ let select db =
     forward_time;
     backward_time;
     total_time = forward_time +. backward_time;
-    sum_best_forward =
-      List.fold_left
-        (fun acc (op : Ops.Op.t) -> acc +. (Perfdb.best db op.name).Config_space.time)
-        0.0 fwd;
+    sum_best_forward = lower_bound db cache fwd;
+    degradation = degradation_of !degraded;
   }
 
 let greedy db =
@@ -302,7 +434,15 @@ let greedy db =
   let fwd = Ops.Program.forward_ops program in
   let bwd = Ops.Program.backward_ops program in
   let device = Perfdb.device db in
-  let pick (op : Ops.Op.t) = { op; measured = Perfdb.best db op.name } in
+  let cache = Hashtbl.create 8 in
+  let degraded = ref [] in
+  let pick (op : Ops.Op.t) =
+    match Perfdb.best_opt db op.Ops.Op.name with
+    | Some m -> { op; measured = m }
+    | None ->
+        degraded := hole_record db cache op :: !degraded;
+        { op; measured = (estimate_for db cache op).est }
+  in
   let fwd_choices = List.map pick fwd in
   let bwd_choices = List.map pick bwd in
   let all = fwd_choices @ bwd_choices in
@@ -348,6 +488,7 @@ let greedy db =
     backward_time;
     total_time = forward_time +. backward_time;
     sum_best_forward = sum_time fwd_choices;
+    degradation = degradation_of !degraded;
   }
 
 let graph_dot ?(max_ops = 2) db =
@@ -395,10 +536,28 @@ let graph_dot ?(max_ops = 2) db =
   pf "}\n";
   Buffer.contents buf
 
+let pp_degradation ppf d =
+  if d.degraded_ops = [] then Format.fprintf ppf "no degradation"
+  else begin
+    Format.fprintf ppf
+      "@[<v>%d operators degraded, +%.1f us estimated penalty:"
+      (List.length d.degraded_ops)
+      (d.time_penalty *. 1e6);
+    List.iter
+      (fun o ->
+        Format.fprintf ppf "@,  %-12s %s -> %s (+%.1f us)" o.d_op o.d_reason
+          o.d_fallback (o.d_penalty *. 1e6))
+      d.degraded_ops;
+    Format.fprintf ppf "@]"
+  end
+
 let pp_selection ppf s =
   Format.fprintf ppf
     "@[<v>forward %.3f ms (%d ops, %d transposes), backward %.3f ms (%d ops), \
-     total %.3f ms; per-op forward lower bound %.3f ms@]"
+     total %.3f ms; per-op forward lower bound %.3f ms%a@]"
     (s.forward_time *. 1e3) (List.length s.forward) (List.length s.transposes)
     (s.backward_time *. 1e3) (List.length s.backward) (s.total_time *. 1e3)
     (s.sum_best_forward *. 1e3)
+    (fun ppf d ->
+      if d.degraded_ops <> [] then Format.fprintf ppf "@,%a" pp_degradation d)
+    s.degradation

@@ -26,6 +26,21 @@ type transpose = {
   cost : float;  (** seconds *)
 }
 
+(** One operator that could not take its exact measured optimum because the
+    database has quarantine holes. *)
+type degraded_op = {
+  d_op : string;
+  d_reason : string;
+  d_fallback : string;
+      (** "nearest-layout surviving entry" or "cost-model estimate of the
+          default configuration" *)
+  d_penalty : float;  (** estimated extra time vs the op's clean best, s *)
+}
+
+type degradation = { degraded_ops : degraded_op list; time_penalty : float }
+
+val no_degradation : degradation
+
 type selection = {
   forward : choice list;
   backward : choice list;
@@ -35,10 +50,20 @@ type selection = {
   backward_time : float;
   total_time : float;
   sum_best_forward : float;  (** per-op unconstrained lower bound *)
+  degradation : degradation;
+      (** empty on a complete database; on a holed database every fallback
+          taken is recorded here instead of raising *)
 }
 
 (** [select db] runs selection over the database's program (which should be
-    the fused program). *)
+    the fused program). On a complete, quarantine-free database this is the
+    exact paper algorithm; when the database has holes (operators whose
+    every configuration was quarantined) or partially quarantined entries,
+    selection degrades instead of raising: holes are priced with a clean
+    cost-model estimate of the default configuration (keeping the layered
+    graph connected), unsatisfiable layout constraints fall back to the
+    nearest-layout surviving entry, and every fallback is reported in
+    [selection.degradation]. *)
 val select : Perfdb.t -> selection
 
 (** [greedy db] is the ablation baseline: each operator takes its
@@ -50,4 +75,5 @@ val greedy : Perfdb.t -> selection
     first [max_ops] operators (default 2: the QKV projection and AIB). *)
 val graph_dot : ?max_ops:int -> Perfdb.t -> string
 
+val pp_degradation : Format.formatter -> degradation -> unit
 val pp_selection : Format.formatter -> selection -> unit

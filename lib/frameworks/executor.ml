@@ -36,7 +36,46 @@ let time_plan device plan =
       +. (plan.dispatch_overhead *. float_of_int (launches plan.kernels_backward));
   }
 
-let run_functional plan inputs = Ops.Program.run plan.program inputs
+type numeric_check = No_check | Check_nan | Check_finite
+
+exception
+  Numerical_fault of { fault_op : string; container : string; value : string }
+
+let () =
+  Printexc.register_printer (function
+    | Numerical_fault { fault_op; container; value } ->
+        Some
+          (Printf.sprintf
+             "Executor.Numerical_fault: operator %s wrote %s into container \
+              %s; inspect that operator's inputs (upstream op or corrupted \
+              input tensor) or rerun with ~check:No_check to bypass the guard"
+             fault_op value container)
+    | _ -> None)
+
+let scan_container ~check env fault_op container =
+  let data = Dense.unsafe_data (Ops.Op.lookup env container) in
+  let n = Array.length data in
+  let i = ref 0 in
+  while !i < n do
+    let v = Array.unsafe_get data !i in
+    if Float.is_nan v then
+      raise (Numerical_fault { fault_op; container; value = "NaN" });
+    if check = Check_finite && not (Float.is_finite v) then
+      raise (Numerical_fault { fault_op; container; value = "Inf" });
+    incr i
+  done
+
+let run_functional ?(check = Check_nan) plan inputs =
+  match check with
+  | No_check -> Ops.Program.run plan.program inputs
+  | _ ->
+      let env = Ops.Op.env_of_list inputs in
+      List.iter
+        (fun (op : Ops.Op.t) ->
+          op.run env;
+          List.iter (scan_container ~check env op.name) op.writes)
+        plan.program.Ops.Program.ops;
+      env
 
 let default_kernels ?quality ~device program ops =
   List.map

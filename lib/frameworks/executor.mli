@@ -28,8 +28,23 @@ val total_time : report -> float
 (** [time_plan device plan] runs the kernel stream through the simulator. *)
 val time_plan : Gpu.Device.t -> plan -> report
 
-(** [run_functional plan inputs] interprets the plan's program. *)
-val run_functional : plan -> (string * Dense.t) list -> Ops.Op.env
+(** Numerical guard level for the functional interpreter. [Check_nan] (the
+    default) flags NaN, which is never legitimate in these programs;
+    [Check_finite] additionally flags infinities (note that masked decoder
+    attention legitimately materializes [-inf] logits, so [Check_finite]
+    is only for programs without additive masks). *)
+type numeric_check = No_check | Check_nan | Check_finite
+
+(** Raised by [run_functional] when an operator writes a non-finite value:
+    names the offending operator, the container, and the value class. *)
+exception
+  Numerical_fault of { fault_op : string; container : string; value : string }
+
+(** [run_functional ?check plan inputs] interprets the plan's program,
+    validating every container an operator writes according to [check]
+    (default [Check_nan]). *)
+val run_functional :
+  ?check:numeric_check -> plan -> (string * Dense.t) list -> Ops.Op.env
 
 (** [default_kernels ?quality program ops ~device] builds one kernel per
     operator using the framework-natural configuration. *)

@@ -1,0 +1,122 @@
+type failure = Crash | Timeout | Nan_measurement | Quarantine
+
+type outcome = Measured of float | Failed of failure
+
+type spec = {
+  seed : int64;
+  noise_sigma : float;
+  transient_rate : float;
+  timeout_rate : float;
+  nan_rate : float;
+  permanent_rate : float;
+  per_op : (string * float) list;
+}
+
+let none =
+  {
+    seed = 0L;
+    noise_sigma = 0.0;
+    transient_rate = 0.0;
+    timeout_rate = 0.0;
+    nan_rate = 0.0;
+    permanent_rate = 0.0;
+    per_op = [];
+  }
+
+let make ?(seed = 0L) ?(noise_sigma = 0.0) ?(transient_rate = 0.0)
+    ?(timeout_rate = 0.0) ?(nan_rate = 0.0) ?(permanent_rate = 0.0)
+    ?(per_op = []) () =
+  let check name r =
+    if r < 0.0 || r > 1.0 then
+      invalid_arg
+        (Printf.sprintf "Faults.make: %s = %g outside [0, 1]" name r)
+  in
+  check "transient_rate" transient_rate;
+  check "timeout_rate" timeout_rate;
+  check "nan_rate" nan_rate;
+  check "permanent_rate" permanent_rate;
+  if noise_sigma < 0.0 then
+    invalid_arg "Faults.make: noise_sigma must be non-negative";
+  { seed; noise_sigma; transient_rate; timeout_rate; nan_rate; permanent_rate;
+    per_op }
+
+(* [uniform_rate rate] splits a single failure budget across the three
+   transient failure kinds in a 60/25/15 ratio and reserves a tenth of it
+   for permanent faults — a convenient one-knob campaign spec. *)
+let uniform_rate ?(seed = 0L) ?(noise_sigma = 0.0) rate =
+  if rate < 0.0 || rate > 1.0 then
+    invalid_arg
+      (Printf.sprintf "Faults.uniform_rate: rate = %g outside [0, 1]" rate);
+  make ~seed ~noise_sigma
+    ~transient_rate:(rate *. 0.60)
+    ~timeout_rate:(rate *. 0.25)
+    ~nan_rate:(rate *. 0.15)
+    ~permanent_rate:(rate *. 0.10)
+    ()
+
+let is_clean s =
+  s.noise_sigma = 0.0 && s.transient_rate = 0.0 && s.timeout_rate = 0.0
+  && s.nan_rate = 0.0 && s.permanent_rate = 0.0
+
+let is_transient = function
+  | Crash | Timeout | Nan_measurement -> true
+  | Quarantine -> false
+
+let failure_to_string = function
+  | Crash -> "kernel crash"
+  | Timeout -> "timeout"
+  | Nan_measurement -> "NaN measurement"
+  | Quarantine -> "permanent failure"
+
+let op_scale spec op =
+  match List.assoc_opt op spec.per_op with Some m -> m | None -> 1.0
+
+let clamp01 x = Float.max 0.0 (Float.min 1.0 x)
+
+let inject spec ~op ~config ~attempt time =
+  if is_clean spec then Measured time
+  else begin
+    let scale = op_scale spec op in
+    (* Permanent faults are a property of the (op, config) pair: keyed
+       without the attempt number so retries can never clear them. *)
+    let perm = Prng.of_key spec.seed ("faults:perm:" ^ op ^ "|" ^ config) in
+    if Prng.float perm < clamp01 (spec.permanent_rate *. scale) then
+      Failed Quarantine
+    else begin
+      let g =
+        Prng.of_key spec.seed
+          (Printf.sprintf "faults:try:%s|%s|%d" op config attempt)
+      in
+      let u = Prng.float g in
+      let crash = clamp01 (spec.transient_rate *. scale) in
+      let tmo = crash +. clamp01 (spec.timeout_rate *. scale) in
+      let nanr = tmo +. clamp01 (spec.nan_rate *. scale) in
+      if u < crash then Failed Crash
+      else if u < tmo then Failed Timeout
+      else if u < nanr then Failed Nan_measurement
+      else if spec.noise_sigma > 0.0 then begin
+        let z = Prng.gaussian g in
+        (* Multiplicative noise, floored so a wild draw can never produce a
+           zero or negative kernel time. *)
+        Measured (Float.max (time *. 1e-3) (time *. (1.0 +. (spec.noise_sigma *. z))))
+      end
+      else Measured time
+    end
+  end
+
+let backoff ?(base = 1e-3) ?(cap = 0.25) attempt =
+  if attempt <= 0 then 0.0
+  else Float.min cap (base *. (2.0 ** float_of_int (attempt - 1)))
+
+let pp ppf s =
+  Format.fprintf ppf
+    "faults{seed=%Ld sigma=%.3f transient=%.3f timeout=%.3f nan=%.3f \
+     permanent=%.3f}"
+    s.seed s.noise_sigma s.transient_rate s.timeout_rate s.nan_rate
+    s.permanent_rate
+
+let fingerprint s =
+  Printf.sprintf "%Ld|%h|%h|%h|%h|%h|%s" s.seed s.noise_sigma s.transient_rate
+    s.timeout_rate s.nan_rate s.permanent_rate
+    (String.concat ";"
+       (List.map (fun (o, m) -> Printf.sprintf "%s=%h" o m) s.per_op))

@@ -1,0 +1,69 @@
+(** Seeded, deterministic measurement-fault model.
+
+    Real autotuning sweeps (the paper's §V exhaustive benchmark) are run on
+    shared clusters where individual measurements crash, hit watchdog
+    timeouts, read back NaN, or are polluted by noise — and some
+    configurations simply never work on a given device. This module injects
+    exactly those failure modes beneath the cost model, keyed entirely by a
+    seed plus the (operator, configuration, attempt) identity, so a fault
+    campaign is reproducible bit-for-bit and a retried measurement sees an
+    independent draw while a permanently broken configuration fails on
+    every retry. *)
+
+type failure =
+  | Crash  (** transient kernel crash *)
+  | Timeout  (** transient watchdog timeout *)
+  | Nan_measurement  (** the timer read back NaN; retryable *)
+  | Quarantine  (** permanent: the configuration never works *)
+
+type outcome = Measured of float  (** possibly noise-perturbed time, s *)
+             | Failed of failure
+
+type spec = {
+  seed : int64;
+  noise_sigma : float;  (** relative gaussian timing noise (0 = exact) *)
+  transient_rate : float;  (** probability of a crash per attempt *)
+  timeout_rate : float;  (** probability of a timeout per attempt *)
+  nan_rate : float;  (** probability of a NaN reading per attempt *)
+  permanent_rate : float;  (** probability a configuration is broken *)
+  per_op : (string * float) list;
+      (** per-operator multiplier on every rate (default 1.0) *)
+}
+
+(** The clean world: every rate and the noise sigma are zero. [inject] is
+    then the identity on times. *)
+val none : spec
+
+val make :
+  ?seed:int64 -> ?noise_sigma:float -> ?transient_rate:float
+  -> ?timeout_rate:float -> ?nan_rate:float -> ?permanent_rate:float
+  -> ?per_op:(string * float) list -> unit -> spec
+
+(** [uniform_rate ?seed ?noise_sigma r] is a one-knob campaign spec: [r] is
+    split 60/25/15 across crash/timeout/NaN and a tenth of it is added as
+    permanent faults. *)
+val uniform_rate : ?seed:int64 -> ?noise_sigma:float -> float -> spec
+
+val is_clean : spec -> bool
+
+(** Transient failures are worth retrying; [Quarantine] is not. *)
+val is_transient : failure -> bool
+
+val failure_to_string : failure -> string
+
+(** [inject spec ~op ~config ~attempt time] decides the fate of one
+    measurement attempt. Deterministic in [(spec.seed, op, config,
+    attempt)]; the permanent-fault draw ignores [attempt] so quarantine is
+    stable under retries. *)
+val inject :
+  spec -> op:string -> config:string -> attempt:int -> float -> outcome
+
+(** [backoff ?base ?cap attempt] is the simulated exponential-backoff delay
+    (s) before retry number [attempt] (1-based): [base * 2^(attempt-1)],
+    capped. Attempt 0 (the first try) waits nothing. *)
+val backoff : ?base:float -> ?cap:float -> int -> float
+
+val pp : Format.formatter -> spec -> unit
+
+(** Canonical string of every knob, for checkpoint compatibility checks. *)
+val fingerprint : spec -> string
