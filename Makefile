@@ -3,9 +3,9 @@
 
 DUNE ?= dune
 
-.PHONY: check build test smoke clean
+.PHONY: check build test smoke bench-smoke clean
 
-check: build test smoke
+check: build test smoke bench-smoke
 
 build:
 	$(DUNE) build
@@ -17,6 +17,12 @@ test:
 # tiny configuration.
 smoke:
 	$(DUNE) exec bin/substation_cli.exe -- faults -c tiny --rates 0.1 --sigmas 0.0 --punch 1
+
+# Quick JSON bench of the CPU numeric backend on small hparams; fails if
+# the fast path is slower than the naive oracle. `-- json` writes the full
+# BENCH_pr3.json instead.
+bench-smoke:
+	$(DUNE) exec bench/main.exe -- smoke
 
 clean:
 	$(DUNE) clean

@@ -217,6 +217,16 @@ let run_bechamel ctx =
 
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  (* The CPU-backend benches don't need the (expensive) evaluation context:
+     dispatch them before the banner. *)
+  (match what with
+  | "json" ->
+      Cpu_bench.run `Json;
+      exit 0
+  | "smoke" ->
+      Cpu_bench.run `Smoke;
+      exit 0
+  | _ -> ());
   Printf.printf
     "substation benchmark harness - reproducing \"Data Movement Is All You \
      Need\" (MLSys 2021)\nworkload: BERT-large encoder layer, device model: \

@@ -233,13 +233,29 @@ let canonical_name name_table members =
   in
   find name_table
 
+(* The fused run body: single-pass compiled kernels when every member
+   carries a semantic descriptor and the fast backend is on; sequential
+   member replay (the naive oracle) otherwise. *)
+let fused_run ~external_writes members =
+  let sequential env = List.iter (fun (o : Ops.Op.t) -> o.run env) members in
+  match Ops.Fastpath.compile_group ~external_writes members with
+  | None -> sequential
+  | Some compiled ->
+      fun env -> if Fastmode.enabled () then compiled env else sequential env
+
 let build_fused name_table program (g : raw_group) =
   match g.ops with
   | [ single ] ->
       (* Singleton non-contraction groups still become one custom kernel and
          may carry a canonical name (BSB, BAOB, BEI). *)
       let name = canonical_name name_table [ single ] in
-      { members = [ single ]; fused = { single with Ops.Op.name = name }; steps = [] }
+      let writes = external_writes program [ single ] in
+      let run = fused_run ~external_writes:writes [ single ] in
+      {
+        members = [ single ];
+        fused = { single with Ops.Op.name = name; run };
+        steps = [];
+      }
   | members ->
       let reads = external_reads program members in
       let writes = external_writes program members in
@@ -255,11 +271,12 @@ let build_fused name_table program (g : raw_group) =
           space = g.space;
           flop = List.fold_left (fun acc (o : Ops.Op.t) -> acc + o.flop) 0 members;
           kind = (if has_red then Ops.Op.Reduce else Ops.Op.Map);
-          run = (fun env -> List.iter (fun (o : Ops.Op.t) -> o.run env) members);
+          run = fused_run ~external_writes:writes members;
           backward = List.for_all (fun (o : Ops.Op.t) -> o.backward) members;
           (* differentiation is defined on the unfused program; fused
              kernels are a performance artifact *)
           vjp = None;
+          sem = None;
         }
       in
       { members; fused; steps = g.steps }

@@ -65,17 +65,20 @@ let scan_container ~check env fault_op container =
     incr i
   done
 
-let run_functional ?(check = Check_nan) plan inputs =
-  match check with
-  | No_check -> Ops.Program.run plan.program inputs
-  | _ ->
-      let env = Ops.Op.env_of_list inputs in
-      List.iter
-        (fun (op : Ops.Op.t) ->
-          op.run env;
-          List.iter (scan_container ~check env op.name) op.writes)
-        plan.program.Ops.Program.ops;
-      env
+let run_functional ?(check = Check_nan) ?fast plan inputs =
+  let go () =
+    match check with
+    | No_check -> Ops.Program.run plan.program inputs
+    | _ ->
+        let env = Ops.Op.env_of_list inputs in
+        List.iter
+          (fun (op : Ops.Op.t) ->
+            op.run env;
+            List.iter (scan_container ~check env op.name) op.writes)
+          plan.program.Ops.Program.ops;
+        env
+  in
+  match fast with None -> go () | Some b -> Fastmode.with_mode b go
 
 let default_kernels ?quality ~device program ops =
   List.map

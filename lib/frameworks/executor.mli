@@ -40,11 +40,18 @@ type numeric_check = No_check | Check_nan | Check_finite
 exception
   Numerical_fault of { fault_op : string; container : string; value : string }
 
-(** [run_functional ?check plan inputs] interprets the plan's program,
-    validating every container an operator writes according to [check]
-    (default [Check_nan]). *)
+(** [run_functional ?check ?fast plan inputs] interprets the plan's
+    program, validating every container an operator writes according to
+    [check] (default [Check_nan]). [fast] pins the numeric backend for the
+    duration of the run ([true] = blocked-GEMM einsum + fused kernels,
+    [false] = the naive oracle); when omitted, the ambient
+    {!Fastmode.enabled} setting applies. *)
 val run_functional :
-  ?check:numeric_check -> plan -> (string * Dense.t) list -> Ops.Op.env
+  ?check:numeric_check ->
+  ?fast:bool ->
+  plan ->
+  (string * Dense.t) list ->
+  Ops.Op.env
 
 (** [default_kernels ?quality program ops ~device] builds one kernel per
     operator using the framework-natural configuration. *)

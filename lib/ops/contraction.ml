@@ -115,6 +115,7 @@ let einsum ~name ?(scale = 1.0) ~dims ?(backward = false) p () =
     run = (fun env -> Op.store env p.output (run_part env ~scale p));
     backward;
     vjp = Some vjp;
+    sem = None;
   }
 
 let grouped ~name ?(scale = 1.0) ~dims ?(backward = false) ~group_role
@@ -181,6 +182,7 @@ let grouped ~name ?(scale = 1.0) ~dims ?(backward = false) ~group_role
     run;
     backward;
     vjp = Some vjp;
+    sem = None;
   }
 
 let gemm_shape_of (op : Op.t) ~dims =

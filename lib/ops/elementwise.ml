@@ -1,6 +1,6 @@
 let points dims = List.fold_left (fun acc (_, d) -> acc * d) 1 dims
 
-let make_map ~name ~reads ~writes ~dims ~flop ~backward ?vjp run =
+let make_map ~name ~reads ~writes ~dims ~flop ~backward ?vjp ?sem run =
   {
     Op.name;
     cls = Sdfg.Opclass.Elementwise;
@@ -12,7 +12,20 @@ let make_map ~name ~reads ~writes ~dims ~flop ~backward ?vjp run =
     run;
     backward;
     vjp;
+    sem;
   }
+
+(* Shorthand for the declarative mirror of an element-wise op. *)
+let elt ?operand ?mask ~x ~out ~dims fn =
+  Op.Elt
+    {
+      Op.e_x = x;
+      e_operand = operand;
+      e_out = out;
+      e_mask = mask;
+      e_dims = dims;
+      e_fn = fn;
+    }
 
 (* The principal-output cotangent, when the caller supplied it. *)
 let cot_of name cotangents = List.assoc_opt name cotangents
@@ -24,7 +37,9 @@ let bias ~name ~x ~bias ~out dims ~bias_axes ?(backward = false) () =
     | Some cot -> [ (x, cot); (bias, Dense.reduce_bcast cot bias_axes) ]
   in
   make_map ~name ~reads:[ x; bias ] ~writes:[ out ] ~dims ~flop:(points dims)
-    ~backward ~vjp (fun env ->
+    ~backward ~vjp
+    ~sem:(elt ~operand:bias ~x ~out ~dims Op.Add2)
+    (fun env ->
       Op.store env out (Dense.add_bcast (Op.lookup env x) (Op.lookup env bias)))
 
 let bias_dw ~name ~dy ~out dims ~bias_axes =
@@ -43,6 +58,7 @@ let bias_dw ~name ~dy ~out dims ~bias_axes =
         Op.store env out (Dense.reduce_bcast (Op.lookup env dy) bias_axes));
     backward = true;
     vjp = None;
+    sem = Some (Op.Red (Op.Bias_dw { bw_dy = dy; bw_out = out; bw_axes = bias_axes }));
   }
 
 let relu ~name ~x ~out dims ?(backward = false) () =
@@ -53,12 +69,12 @@ let relu ~name ~x ~out dims ?(backward = false) () =
         [ (x, Dense.map2 (fun g v -> if v > 0.0 then g else 0.0) cot (Op.lookup env x)) ]
   in
   make_map ~name ~reads:[ x ] ~writes:[ out ] ~dims ~flop:0 ~backward ~vjp
-    (fun env ->
+    ~sem:(elt ~x ~out ~dims Op.Relu) (fun env ->
       Op.store env out (Dense.map (fun v -> Float.max 0.0 v) (Op.lookup env x)))
 
 let relu_dx ~name ~dy ~x ~out dims =
   make_map ~name ~reads:[ dy; x ] ~writes:[ out ] ~dims ~flop:0 ~backward:true
-    (fun env ->
+    ~sem:(elt ~operand:x ~x:dy ~out ~dims Op.Relu_grad) (fun env ->
       let dy = Op.lookup env dy and x = Op.lookup env x in
       Op.store env out
         (Dense.map2 (fun g v -> if v > 0.0 then g else 0.0) dy x))
@@ -83,12 +99,13 @@ let gelu ~name ~x ~out dims ?(backward = false) () =
         [ (x, Dense.map2 (fun g v -> g *. gelu_grad v) cot (Op.lookup env x)) ]
   in
   make_map ~name ~reads:[ x ] ~writes:[ out ] ~dims ~flop:(8 * points dims)
-    ~backward ~vjp (fun env ->
+    ~backward ~vjp ~sem:(elt ~x ~out ~dims Op.Gelu) (fun env ->
       Op.store env out (Dense.map gelu_value (Op.lookup env x)))
 
 let gelu_dx ~name ~dy ~x ~out dims =
   make_map ~name ~reads:[ dy; x ] ~writes:[ out ] ~dims ~flop:(12 * points dims)
-    ~backward:true (fun env ->
+    ~backward:true ~sem:(elt ~operand:x ~x:dy ~out ~dims Op.Gelu_grad)
+    (fun env ->
       let dy = Op.lookup env dy and x = Op.lookup env x in
       Op.store env out (Dense.map2 (fun g v -> g *. gelu_grad v) dy x))
 
@@ -110,7 +127,9 @@ let dropout ~name ~x ~out ~mask dims ~p ~seed ?(backward = false) () =
     | Some cot -> [ (x, Dense.mul cot (Op.lookup env mask)) ]
   in
   make_map ~name ~reads:[ x ] ~writes:[ out; mask ] ~dims ~flop:(points dims)
-    ~backward ~vjp (fun env ->
+    ~backward ~vjp
+    ~sem:(elt ~mask ~x ~out ~dims (Op.Dropout_gen { p; seed }))
+    (fun env ->
       let m = dropout_mask ~seed ~name dims ~p in
       Op.store env mask m;
       Op.store env out (Dense.mul (Op.lookup env x) m))
@@ -118,7 +137,8 @@ let dropout ~name ~x ~out ~mask dims ~p ~seed ?(backward = false) () =
 let dropout_dx ~name ~dy ~mask ~out dims ~p =
   ignore (dropout_keep_scale p);
   make_map ~name ~reads:[ dy; mask ] ~writes:[ out ] ~dims ~flop:(points dims)
-    ~backward:true (fun env ->
+    ~backward:true ~sem:(elt ~operand:mask ~x:dy ~out ~dims Op.Mul2)
+    (fun env ->
       Op.store env out (Dense.mul (Op.lookup env dy) (Op.lookup env mask)))
 
 let sigmoid_value x = 1.0 /. (1.0 +. exp (-.x))
@@ -132,12 +152,13 @@ let sigmoid ~name ~x ~out dims ?(backward = false) () =
         [ (x, Dense.map2 (fun g v -> g *. v *. (1.0 -. v)) cot y) ]
   in
   make_map ~name ~reads:[ x ] ~writes:[ out ] ~dims ~flop:(4 * points dims)
-    ~backward ~vjp (fun env ->
+    ~backward ~vjp ~sem:(elt ~x ~out ~dims Op.Sigmoid) (fun env ->
       Op.store env out (Dense.map sigmoid_value (Op.lookup env x)))
 
 let sigmoid_dx ~name ~dy ~y ~out dims =
   make_map ~name ~reads:[ dy; y ] ~writes:[ out ] ~dims ~flop:(3 * points dims)
-    ~backward:true (fun env ->
+    ~backward:true ~sem:(elt ~operand:y ~x:dy ~out ~dims Op.Sigmoid_grad)
+    (fun env ->
       let dy = Op.lookup env dy and y = Op.lookup env y in
       Op.store env out (Dense.map2 (fun g v -> g *. v *. (1.0 -. v)) dy y))
 
@@ -150,12 +171,13 @@ let tanh_ ~name ~x ~out dims ?(backward = false) () =
         [ (x, Dense.map2 (fun g v -> g *. (1.0 -. (v *. v))) cot y) ]
   in
   make_map ~name ~reads:[ x ] ~writes:[ out ] ~dims ~flop:(4 * points dims)
-    ~backward ~vjp (fun env ->
+    ~backward ~vjp ~sem:(elt ~x ~out ~dims Op.Tanh) (fun env ->
       Op.store env out (Dense.map tanh (Op.lookup env x)))
 
 let tanh_dx ~name ~dy ~y ~out dims =
   make_map ~name ~reads:[ dy; y ] ~writes:[ out ] ~dims ~flop:(3 * points dims)
-    ~backward:true (fun env ->
+    ~backward:true ~sem:(elt ~operand:y ~x:dy ~out ~dims Op.Tanh_grad)
+    (fun env ->
       let dy = Op.lookup env dy and y = Op.lookup env y in
       Op.store env out (Dense.map2 (fun g v -> g *. (1.0 -. (v *. v))) dy y))
 
@@ -170,12 +192,13 @@ let hadamard ~name ~x ~y ~out dims ?(backward = false) () =
         ]
   in
   make_map ~name ~reads:[ x; y ] ~writes:[ out ] ~dims ~flop:(points dims)
-    ~backward ~vjp (fun env ->
+    ~backward ~vjp ~sem:(elt ~operand:y ~x ~out ~dims Op.Mul2) (fun env ->
       Op.store env out (Dense.mul (Op.lookup env x) (Op.lookup env y)))
 
 let hadamard_dx ~name ~dy ~other ~out dims =
   make_map ~name ~reads:[ dy; other ] ~writes:[ out ] ~dims
-    ~flop:(points dims) ~backward:true (fun env ->
+    ~flop:(points dims) ~backward:true
+    ~sem:(elt ~operand:other ~x:dy ~out ~dims Op.Mul2) (fun env ->
       Op.store env out (Dense.mul (Op.lookup env dy) (Op.lookup env other)))
 
 let add ~name ~x ~y ~out dims ?(backward = false) () =
@@ -185,7 +208,7 @@ let add ~name ~x ~y ~out dims ?(backward = false) () =
     | Some cot -> [ (x, cot); (y, cot) ]
   in
   make_map ~name ~reads:[ x; y ] ~writes:[ out ] ~dims ~flop:(points dims)
-    ~backward ~vjp (fun env ->
+    ~backward ~vjp ~sem:(elt ~operand:y ~x ~out ~dims Op.Add2) (fun env ->
       Op.store env out (Dense.add (Op.lookup env x) (Op.lookup env y)))
 
 let copy ~name ~x ~out dims ?(backward = false) () =
@@ -193,4 +216,5 @@ let copy ~name ~x ~out dims ?(backward = false) () =
     match cot_of out cotangents with None -> [] | Some cot -> [ (x, cot) ]
   in
   make_map ~name ~reads:[ x ] ~writes:[ out ] ~dims ~flop:0 ~backward ~vjp
-    (fun env -> Op.store env out (Dense.copy (Op.lookup env x)))
+    ~sem:(elt ~x ~out ~dims Op.Copy) (fun env ->
+      Op.store env out (Dense.copy (Op.lookup env x)))

@@ -39,10 +39,12 @@ val gelu_dx :
   name:string -> dy:string -> x:string -> out:string -> (Axis.t * int) list
   -> Op.t
 
-(** Scalar helpers shared with tests. *)
+(** Scalar helpers shared with tests and the fused kernels ({!Fastpath}). *)
 val gelu_value : float -> float
 
 val gelu_grad : float -> float
+
+val sigmoid_value : float -> float
 
 val dropout :
   name:string -> x:string -> out:string -> mask:string

@@ -9,7 +9,7 @@ let split dims ~axis =
     invalid_arg "Normalization: reduction axis absent from dims";
   Iteration.make ~independent ~reduction
 
-let make ~name ~reads ~writes ~space ~flop ~backward ?vjp run =
+let make ~name ~reads ~writes ~space ~flop ~backward ?vjp ?sem run =
   {
     Op.name;
     cls = Sdfg.Opclass.Normalization;
@@ -21,6 +21,7 @@ let make ~name ~reads ~writes ~space ~flop ~backward ?vjp run =
     run;
     backward;
     vjp;
+    sem;
   }
 
 let causal_mask ~q ~k dims =
@@ -58,12 +59,24 @@ let softmax ~name ~x ~out dims ~axis ?(prescale = 1.0) ?causal
         [ (x, softmax_dx_value ~dy:cot ~y:(Op.lookup env out) ~axis ~prescale) ]
   in
   make ~name ~reads:[ x ] ~writes:[ out ] ~space:(split dims ~axis)
-    ~flop:(6 * points dims) ~backward ~vjp (fun env ->
+    ~flop:(6 * points dims) ~backward ~vjp
+    ~sem:
+      (Op.Red
+         (Op.Softmax
+            { r_x = x; r_out = out; r_axis = axis; r_prescale = prescale;
+              r_causal = causal }))
+    (fun env ->
       Op.store env out (softmax_value ?causal (Op.lookup env x) ~axis ~prescale))
 
 let softmax_dx ~name ~dy ~y ~out dims ~axis ?(prescale = 1.0) () =
   make ~name ~reads:[ dy; y ] ~writes:[ out ] ~space:(split dims ~axis)
-    ~flop:(5 * points dims) ~backward:true (fun env ->
+    ~flop:(5 * points dims) ~backward:true
+    ~sem:
+      (Op.Red
+         (Op.Softmax_dx
+            { sd_dy = dy; sd_y = y; sd_out = out; sd_axis = axis;
+              sd_prescale = prescale }))
+    (fun env ->
       let dy = Op.lookup env dy and y = Op.lookup env y in
       Op.store env out (softmax_dx_value ~dy ~y ~axis ~prescale))
 
@@ -108,7 +121,13 @@ let layernorm ~name ~x ~gamma ~beta ~out ~mean ~istd dims ~axis
   make ~name
     ~reads:[ x; gamma; beta ]
     ~writes:[ out; mean; istd ]
-    ~space:(split dims ~axis) ~flop:(7 * points dims) ~backward ~vjp (fun env ->
+    ~space:(split dims ~axis) ~flop:(7 * points dims) ~backward ~vjp
+    ~sem:
+      (Op.Red
+         (Op.Layernorm
+            { ln_x = x; ln_gamma = gamma; ln_beta = beta; ln_out = out;
+              ln_mean = mean; ln_istd = istd; ln_axis = axis; ln_eps = eps }))
+    (fun env ->
       let xv = Op.lookup env x in
       let m, s = layernorm_stats xv ~axis ~eps in
       let xhat = normalized xv ~mean:m ~istd:s in
@@ -122,7 +141,13 @@ let layernorm_dx ~name ~dy ~x ~gamma ~mean ~istd ~out dims ~axis =
   make ~name
     ~reads:[ dy; x; gamma; mean; istd ]
     ~writes:[ out ] ~space:(split dims ~axis) ~flop:(9 * points dims)
-    ~backward:true (fun env ->
+    ~backward:true
+    ~sem:
+      (Op.Red
+         (Op.Layernorm_dx
+            { ld_dy = dy; ld_x = x; ld_gamma = gamma; ld_mean = mean;
+              ld_istd = istd; ld_out = out; ld_axis = axis }))
+    (fun env ->
       Op.store env out
         (layernorm_dx_value ~dy:(Op.lookup env dy) ~x:(Op.lookup env x)
            ~gamma:(Op.lookup env gamma) ~mean:(Op.lookup env mean)
@@ -140,6 +165,11 @@ let layernorm_dw ~name ~dy ~x ~mean ~istd ~dgamma ~dbeta dims ~axis =
   make ~name
     ~reads:[ dy; x; mean; istd ]
     ~writes:[ dgamma; dbeta ] ~space ~flop:(4 * points dims) ~backward:true
+    ~sem:
+      (Op.Red
+         (Op.Layernorm_dw
+            { lw_dy = dy; lw_x = x; lw_mean = mean; lw_istd = istd;
+              lw_dgamma = dgamma; lw_dbeta = dbeta; lw_axis = axis }))
     (fun env ->
       let dy = Op.lookup env dy in
       let xhat =

@@ -33,6 +33,82 @@ type kind =
   | Map  (** pure element-wise *)
   | Reduce  (** reduction (+ applied map): statistical normalization *)
 
+(** Machine-readable operator semantics. [run] closures are opaque, so the
+    fused-kernel compiler ({!Fastpath}) cannot inspect them; [sem] is the
+    declarative mirror it interprets. Operators without [sem] still run —
+    fused groups containing one fall back to sequential member replay. *)
+
+type elt_fn =
+  | Add2  (** out = x + operand (broadcast) *)
+  | Mul2  (** out = x * operand (broadcast) *)
+  | Relu
+  | Gelu
+  | Sigmoid
+  | Tanh
+  | Copy
+  | Relu_grad  (** out = x * [operand > 0]; operand is the forward input *)
+  | Gelu_grad  (** out = x * gelu'(operand) *)
+  | Sigmoid_grad  (** out = x * y * (1 - y); operand is the forward output *)
+  | Tanh_grad  (** out = x * (1 - y^2) *)
+  | Dropout_gen of { p : float; seed : int64 }
+      (** generates the mask (stored in [e_mask]), out = x * mask *)
+
+type elt_sem = {
+  e_x : string;  (** primary (chained) input *)
+  e_operand : string option;  (** second operand container *)
+  e_out : string;
+  e_mask : string option;  (** dropout: mask container written alongside *)
+  e_dims : (Axis.t * int) list;
+  e_fn : elt_fn;
+}
+
+type red_sem =
+  | Softmax of {
+      r_x : string;
+      r_out : string;
+      r_axis : Axis.t;
+      r_prescale : float;
+      r_causal : (Axis.t * Axis.t) option;  (** (query, key) axes *)
+    }
+  | Softmax_dx of {
+      sd_dy : string;
+      sd_y : string;
+      sd_out : string;
+      sd_axis : Axis.t;
+      sd_prescale : float;
+    }
+  | Layernorm of {
+      ln_x : string;
+      ln_gamma : string;
+      ln_beta : string;
+      ln_out : string;
+      ln_mean : string;
+      ln_istd : string;
+      ln_axis : Axis.t;
+      ln_eps : float;
+    }
+  | Layernorm_dx of {
+      ld_dy : string;
+      ld_x : string;
+      ld_gamma : string;
+      ld_mean : string;
+      ld_istd : string;
+      ld_out : string;
+      ld_axis : Axis.t;
+    }
+  | Layernorm_dw of {
+      lw_dy : string;
+      lw_x : string;
+      lw_mean : string;
+      lw_istd : string;
+      lw_dgamma : string;
+      lw_dbeta : string;
+      lw_axis : Axis.t;
+    }
+  | Bias_dw of { bw_dy : string; bw_out : string; bw_axes : Axis.t list }
+
+type sem = Elt of elt_sem | Red of red_sem
+
 (** A vector-Jacobian-product rule: given the cotangents of (some of) the
     operator's outputs and the forward environment, return the gradient
     contribution to each read container. Containers whose cotangent is not
@@ -51,6 +127,7 @@ type t = {
   run : env -> unit;
   backward : bool;  (** belongs to the backward pass *)
   vjp : vjp option;
+  sem : sem option;
 }
 
 val lookup : env -> string -> Dense.t

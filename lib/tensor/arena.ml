@@ -1,0 +1,41 @@
+(* Scratch-buffer arena: the fused executor kernels and the einsum GEMM
+   packing path run many times over the same shapes, so instead of
+   allocating (and collecting) a fresh float array per call they borrow a
+   buffer of the right size from a small pool keyed by length. Buffers are
+   returned on scope exit, so nested borrows of the same size are safe. *)
+
+type t = { pools : (int, float array list ref) Hashtbl.t }
+
+let create () = { pools = Hashtbl.create 16 }
+
+let pool t n =
+  match Hashtbl.find_opt t.pools n with
+  | Some p -> p
+  | None ->
+      let p = ref [] in
+      Hashtbl.add t.pools n p;
+      p
+
+let borrow t n =
+  let p = pool t n in
+  match !p with
+  | buf :: rest ->
+      p := rest;
+      buf
+  | [] -> Array.make n 0.0
+
+let release t buf =
+  let p = pool t (Array.length buf) in
+  p := buf :: !p
+
+let with_scratch t n f =
+  let buf = borrow t n in
+  Fun.protect ~finally:(fun () -> release t buf) (fun () -> f buf)
+
+(* Buffers are reused dirty; callers that accumulate must clear first. *)
+let with_zeroed t n f =
+  with_scratch t n (fun buf ->
+      Array.fill buf 0 n 0.0;
+      f buf)
+
+let global = create ()

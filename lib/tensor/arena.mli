@@ -1,0 +1,20 @@
+(** Scratch-buffer arena for the fast CPU backend.
+
+    Hot kernels (einsum GEMM packing, fused executor passes) run repeatedly
+    over identical shapes; borrowing scratch from a length-keyed pool avoids
+    a fresh allocation + GC churn per invocation. *)
+
+type t
+
+val create : unit -> t
+
+val with_scratch : t -> int -> (float array -> 'a) -> 'a
+(** [with_scratch t n f] calls [f] with a buffer of exactly [n] floats,
+    returning it to the pool afterwards. Contents are {b dirty} (whatever a
+    previous borrow left); use {!with_zeroed} when accumulating. *)
+
+val with_zeroed : t -> int -> (float array -> 'a) -> 'a
+(** Like {!with_scratch} but the buffer is zero-filled first. *)
+
+val global : t
+(** Shared process-wide arena used by the built-in fast kernels. *)

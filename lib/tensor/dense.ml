@@ -16,9 +16,9 @@ let full dims v =
 let scalar v = { shape = Shape.create []; data = [| v |] }
 let copy t = { t with data = Array.copy t.data }
 
-(* Iterate a multi-index odometer over [dims], calling [f] with the flat
-   index; [idx] is exposed read-only through a callback building the pairs
-   lazily to keep the hot loops allocation-light where possible. *)
+(* Iterate a multi-index odometer over [dims] in row-major order, calling
+   [f] with the current multi-index. The same [idx] array is reused across
+   calls — callers must read it immediately and never retain or mutate it. *)
 let iter_flat dims f =
   let n = Array.length dims in
   if n = 0 then f [||]
@@ -160,6 +160,13 @@ let sub = map2 ( -. )
 let mul = map2 ( *. )
 let scale s t = map (fun v -> s *. v) t
 
+(* Broadcast combine. Two layouts cover almost every use in this repo and
+   admit direct indexed loops instead of a per-element odometer bump:
+   (1) [b]'s axes are exactly the trailing axes of [t] in matching storage
+   order, so the broadcast offset cycles 0..volume b - 1 contiguously;
+   (2) the trailing axes of [t] are absent from [b], so the broadcast
+   offset is constant over a contiguous inner run. Anything else falls
+   back to the general odometer. *)
 let bcast_op op t b =
   if not (Axis.subset (axes b) (axes t)) then
     invalid_arg "Dense.bcast: broadcast axes are not a subset";
@@ -169,28 +176,90 @@ let bcast_op op t b =
         invalid_arg "Dense.bcast: size mismatch on shared axis")
     (axes b);
   let out = copy t in
+  let t_ax = Shape.axes t.shape in
   let dims = Array.of_list (Shape.sizes t.shape) in
-  let b_strides = strides_for b (Shape.axes t.shape) in
   let n = Array.length dims in
-  let idx = Array.make n 0 in
-  let b_off = ref 0 in
   let total = volume t in
-  for pos = 0 to total - 1 do
-    out.data.(pos) <- op t.data.(pos) b.data.(!b_off);
-    let rec bump d =
-      if d >= 0 then begin
-        idx.(d) <- idx.(d) + 1;
-        b_off := !b_off + b_strides.(d);
-        if idx.(d) = dims.(d) then begin
-          idx.(d) <- 0;
-          b_off := !b_off - (b_strides.(d) * dims.(d));
-          bump (d - 1)
-        end
-      end
+  let vol_b = volume b in
+  let b_ax = Shape.axes b.shape in
+  let rb = List.length b_ax in
+  let rec drop k l = if k = 0 then l else drop (k - 1) (List.tl l) in
+  let suffix_matches =
+    rb <= n && List.for_all2 Axis.equal (drop (n - rb) t_ax) b_ax
+  in
+  let td = out.data and bd = b.data in
+  if suffix_matches then begin
+    let pos = ref 0 in
+    while !pos < total do
+      let base = !pos in
+      for q = 0 to vol_b - 1 do
+        Array.unsafe_set td (base + q)
+          (op (Array.unsafe_get td (base + q)) (Array.unsafe_get bd q))
+      done;
+      pos := base + vol_b
+    done;
+    out
+  end
+  else begin
+    let ax_arr = Array.of_list t_ax in
+    let b_strides = strides_for b t_ax in
+    let rec split i =
+      if i >= 0 && not (Shape.mem b.shape ax_arr.(i)) then split (i - 1) else i
     in
-    bump (n - 1)
-  done;
-  out
+    let last_b = split (n - 1) in
+    let inner = ref 1 in
+    for i = last_b + 1 to n - 1 do
+      inner := !inner * dims.(i)
+    done;
+    let inner = !inner in
+    if inner > 1 then begin
+      let outer_n = last_b + 1 in
+      let idx = Array.make (Stdlib.max outer_n 1) 0 in
+      let b_off = ref 0 in
+      let pos = ref 0 in
+      for _ = 1 to total / inner do
+        let base = !pos and boff = !b_off in
+        let bv = Array.unsafe_get bd boff in
+        for q = 0 to inner - 1 do
+          Array.unsafe_set td (base + q) (op (Array.unsafe_get td (base + q)) bv)
+        done;
+        pos := base + inner;
+        let rec bump d =
+          if d >= 0 then begin
+            idx.(d) <- idx.(d) + 1;
+            b_off := !b_off + b_strides.(d);
+            if idx.(d) = dims.(d) then begin
+              idx.(d) <- 0;
+              b_off := !b_off - (b_strides.(d) * dims.(d));
+              bump (d - 1)
+            end
+          end
+        in
+        bump (outer_n - 1)
+      done;
+      out
+    end
+    else begin
+      let idx = Array.make n 0 in
+      let b_off = ref 0 in
+      for pos = 0 to total - 1 do
+        out.data.(pos) <- op t.data.(pos) b.data.(!b_off);
+        let rec bump d =
+          if d >= 0 then begin
+            idx.(d) <- idx.(d) + 1;
+            b_off := !b_off + b_strides.(d);
+            if idx.(d) = dims.(d) then begin
+              idx.(d) <- 0;
+              b_off := !b_off - (b_strides.(d) * dims.(d));
+              bump (d - 1)
+            end
+          end
+        in
+        bump (n - 1)
+      done;
+      out
+    end
+  end
 
 let add_bcast t b = bcast_op ( +. ) t b
 let mul_bcast t b = bcast_op ( *. ) t b

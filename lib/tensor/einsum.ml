@@ -2,7 +2,7 @@ type spec = { operands : Axis.t list list; result : Axis.t list }
 
 let letters s = List.init (String.length s) (fun i -> String.make 1 s.[i])
 
-let parse str =
+let parse_uncached str =
   match String.index_opt str '-' with
   | Some i when i + 1 < String.length str && str.[i + 1] = '>' ->
       let lhs = String.sub str 0 i in
@@ -16,6 +16,19 @@ let parse str =
         (result :: operands);
       { operands; result }
   | _ -> invalid_arg ("Einsum.parse: missing '->' in " ^ str)
+
+(* Specs are parsed on every [eval] in hot loops (each encoder-layer op re-
+   evaluates its spec string per run), so successful parses are memoized. *)
+let parse_cache : (string, spec) Hashtbl.t = Hashtbl.create 64
+
+let parse str =
+  match Hashtbl.find_opt parse_cache str with
+  | Some s -> s
+  | None ->
+      let s = parse_uncached str in
+      if Hashtbl.length parse_cache > 4096 then Hashtbl.reset parse_cache;
+      Hashtbl.add parse_cache str s;
+      s
 
 let spec_to_string { operands; result } =
   String.concat "," (List.map (String.concat "") operands)
@@ -39,28 +52,16 @@ let axis_sizes inputs =
     inputs;
   table
 
-let contract ?(scale = 1.0) inputs ~out =
-  if inputs = [] then invalid_arg "Einsum.contract: no inputs";
-  let sizes = axis_sizes inputs in
-  let size a =
-    match Hashtbl.find_opt sizes a with
-    | Some d -> d
-    | None -> invalid_arg ("Einsum.contract: output axis absent from inputs: " ^ a)
-  in
-  let all_in_axes =
-    List.fold_left (fun acc t -> Axis.union acc (Dense.axes t)) [] inputs
-  in
-  let reduced = Axis.diff all_in_axes out in
-  let loop_axes = out @ reduced in
-  let out_t = Dense.zeros (List.map (fun a -> (a, size a)) out) in
-  let dims = Array.of_list (List.map size loop_axes) in
+(* ------------------------------------------------------------------ *)
+(* Naive reference path: a fully general odometer loop. Stays in-tree   *)
+(* as the oracle every fast path is validated against.                  *)
+(* ------------------------------------------------------------------ *)
+
+(* One multiply-accumulate sweep of the odometer: [dims] is the loop nest
+   (output axes outer, reduced axes inner), [strides] the per-input flat
+   strides aligned with [dims]. *)
+let odometer_contract ~scale ~dims ~strides ~out_strides ~datas ~out_data =
   let n = Array.length dims in
-  let strides =
-    Array.of_list (List.map (fun t -> Dense.strides_for t loop_axes) inputs)
-  in
-  let out_strides = Dense.strides_for out_t loop_axes in
-  let datas = Array.of_list (List.map Dense.unsafe_data inputs) in
-  let out_data = Dense.unsafe_data out_t in
   let k = Array.length datas in
   let offs = Array.make k 0 in
   let out_off = ref 0 in
@@ -90,10 +91,337 @@ let contract ?(scale = 1.0) inputs ~out =
       end
     in
     bump (n - 1)
-  done;
+  done
+
+let contract_naive ~scale inputs ~out =
+  let sizes = axis_sizes inputs in
+  let size a =
+    match Hashtbl.find_opt sizes a with
+    | Some d -> d
+    | None -> invalid_arg ("Einsum.contract: output axis absent from inputs: " ^ a)
+  in
+  let all_in_axes =
+    List.fold_left (fun acc t -> Axis.union acc (Dense.axes t)) [] inputs
+  in
+  let reduced = Axis.diff all_in_axes out in
+  let loop_axes = out @ reduced in
+  let out_t = Dense.zeros (List.map (fun a -> (a, size a)) out) in
+  let dims = Array.of_list (List.map size loop_axes) in
+  let strides =
+    Array.of_list (List.map (fun t -> Dense.strides_for t loop_axes) inputs)
+  in
+  let out_strides = Dense.strides_for out_t loop_axes in
+  let datas = Array.of_list (List.map Dense.unsafe_data inputs) in
+  odometer_contract ~scale ~dims ~strides ~out_strides ~datas
+    ~out_data:(Dense.unsafe_data out_t);
   out_t
 
-let eval ?scale str inputs =
+(* ------------------------------------------------------------------ *)
+(* Fast path: precomputed stride/loop plans, cached per                 *)
+(* (output axes, input shapes+layouts) key, with matmul-shaped          *)
+(* contractions lowered onto the blocked Gemm kernel.                   *)
+(* ------------------------------------------------------------------ *)
+
+(* How one operand is read as a packed row-major matrix for a fixed batch
+   offset: [direct] when its (rows @ cols) strides are already the packed
+   row-major strides, otherwise an odometer copy into arena scratch. *)
+type mat_view = {
+  direct : bool;
+  vdims : int array;
+  vstrides : int array;
+}
+
+type matmul_plan = {
+  row_input : int;  (* operand index providing the GEMM rows *)
+  mm : int;
+  nn : int;
+  kk : int;
+  mp_out_dims : (Axis.t * int) list;
+  batch_dims : int array;
+  row_batch_strides : int array;
+  col_batch_strides : int array;
+  out_batch_strides : int array;
+  row_view : mat_view;  (* [m][k] view of the row provider *)
+  col_view : mat_view;  (* [k][n] view of the column provider *)
+  out_view : mat_view;  (* [m][n] view of the output *)
+}
+
+type general_plan = {
+  gp_out_dims : (Axis.t * int) list;
+  gp_dims : int array;
+  gp_strides : int array array;
+  gp_out_strides : int array;
+}
+
+type plan = Matmul of matmul_plan | General of general_plan
+
+let plan_cache : (string, plan) Hashtbl.t = Hashtbl.create 64
+
+let clear_caches () =
+  Hashtbl.reset plan_cache;
+  Hashtbl.reset parse_cache
+
+(* Axis names are [a-z0-9_]*, so ',' ':' '|' are safe separators. The key
+   captures output axes plus every input's axes-in-storage-order and sizes,
+   i.e. everything the plan depends on. *)
+let plan_key inputs ~out =
+  let buf = Buffer.create 64 in
+  List.iter
+    (fun a ->
+      Buffer.add_string buf a;
+      Buffer.add_char buf ',')
+    out;
+  List.iter
+    (fun t ->
+      Buffer.add_char buf '|';
+      List.iter
+        (fun (a, d) ->
+          Buffer.add_string buf a;
+          Buffer.add_char buf ':';
+          Buffer.add_string buf (string_of_int d);
+          Buffer.add_char buf ',')
+        (Shape.to_list (Dense.shape t)))
+    inputs;
+  Buffer.contents buf
+
+let canonical_strides dims =
+  let n = Array.length dims in
+  let st = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    st.(i) <- st.(i + 1) * dims.(i + 1)
+  done;
+  st
+
+let shape_strides_for sh loop_axes =
+  let strides = Shape.strides sh in
+  Array.of_list
+    (List.map
+       (fun a ->
+         match Shape.index sh a with
+         | p -> strides.(p)
+         | exception Not_found -> 0)
+       loop_axes)
+
+let mat_view_of sh axes =
+  let vdims = Array.of_list (List.map (Shape.size sh) axes) in
+  let vstrides = shape_strides_for sh axes in
+  { direct = vstrides = canonical_strides vdims; vdims; vstrides }
+
+let prod size axes = List.fold_left (fun acc a -> acc * size a) 1 axes
+
+(* Classify a two-operand contraction into batch/m/n/k axis groups. Returns
+   [None] when an axis lives in exactly one operand and not the output
+   (a reduction GEMM cannot express) — those fall back to the general loop. *)
+let build_matmul ta tb ~out ~size =
+  let oa = Dense.axes ta and ob = Dense.axes tb in
+  let inter_ab = Axis.inter oa ob in
+  let batch = List.filter (fun a -> List.mem a inter_ab) out in
+  let kax = Axis.diff inter_ab out in
+  let ma = List.filter (fun a -> List.mem a oa && not (List.mem a ob)) out in
+  let na = List.filter (fun a -> List.mem a ob && not (List.mem a oa)) out in
+  let covered = batch @ kax @ ma @ na in
+  if not (Axis.equal_sets covered (Axis.union oa (Axis.union ob out))) then None
+  else begin
+    (* Prefer the role assignment whose (rows @ cols) order matches the
+       output's trailing axes, enabling a direct (scatter-free) C write. *)
+    let rest = List.filter (fun a -> not (List.mem a batch)) out in
+    let swap = rest = na @ ma && rest <> ma @ na in
+    let rows, cols, row_t, col_t, row_input =
+      if swap then (na, ma, tb, ta, 1) else (ma, na, ta, tb, 0)
+    in
+    let out_dims = List.map (fun a -> (a, size a)) out in
+    let out_sh = Shape.create out_dims in
+    Some
+      {
+        row_input;
+        mm = prod size rows;
+        nn = prod size cols;
+        kk = prod size kax;
+        mp_out_dims = out_dims;
+        batch_dims = Array.of_list (List.map size batch);
+        row_batch_strides = Dense.strides_for row_t batch;
+        col_batch_strides = Dense.strides_for col_t batch;
+        out_batch_strides = shape_strides_for out_sh batch;
+        row_view = mat_view_of (Dense.shape row_t) (rows @ kax);
+        col_view = mat_view_of (Dense.shape col_t) (kax @ cols);
+        out_view = mat_view_of out_sh (rows @ cols);
+      }
+  end
+
+let build_general inputs ~out ~size =
+  let all_in_axes =
+    List.fold_left (fun acc t -> Axis.union acc (Dense.axes t)) [] inputs
+  in
+  let reduced = Axis.diff all_in_axes out in
+  let loop_axes = out @ reduced in
+  let out_dims = List.map (fun a -> (a, size a)) out in
+  let out_sh = Shape.create out_dims in
+  {
+    gp_out_dims = out_dims;
+    gp_dims = Array.of_list (List.map size loop_axes);
+    gp_strides =
+      Array.of_list (List.map (fun t -> Dense.strides_for t loop_axes) inputs);
+    gp_out_strides = shape_strides_for out_sh loop_axes;
+  }
+
+let build_plan inputs ~out =
+  let sizes = axis_sizes inputs in
+  let size a =
+    match Hashtbl.find_opt sizes a with
+    | Some d -> d
+    | None -> invalid_arg ("Einsum.contract: output axis absent from inputs: " ^ a)
+  in
+  match inputs with
+  | [ ta; tb ] -> begin
+      match build_matmul ta tb ~out ~size with
+      | Some p -> Matmul p
+      | None -> General (build_general inputs ~out ~size)
+    end
+  | _ -> General (build_general inputs ~out ~size)
+
+(* Copy a strided matrix view into packed row-major scratch. *)
+let pack src src_off view dst count =
+  let n = Array.length view.vdims in
+  if n = 0 then Array.unsafe_set dst 0 (Array.unsafe_get src src_off)
+  else begin
+    let idx = Array.make n 0 in
+    let off = ref src_off in
+    for pos = 0 to count - 1 do
+      Array.unsafe_set dst pos (Array.unsafe_get src !off);
+      let rec bump d =
+        if d >= 0 then begin
+          idx.(d) <- idx.(d) + 1;
+          off := !off + view.vstrides.(d);
+          if idx.(d) = view.vdims.(d) then begin
+            idx.(d) <- 0;
+            off := !off - (view.vstrides.(d) * view.vdims.(d));
+            bump (d - 1)
+          end
+        end
+      in
+      bump (n - 1)
+    done
+  end
+
+(* Write packed GEMM results out through the output's stride view. *)
+let scatter_scaled buf out_data out_off view count scale =
+  let n = Array.length view.vdims in
+  if n = 0 then out_data.(out_off) <- scale *. Array.unsafe_get buf 0
+  else begin
+    let idx = Array.make n 0 in
+    let off = ref out_off in
+    for pos = 0 to count - 1 do
+      Array.unsafe_set out_data !off (scale *. Array.unsafe_get buf pos);
+      let rec bump d =
+        if d >= 0 then begin
+          idx.(d) <- idx.(d) + 1;
+          off := !off + view.vstrides.(d);
+          if idx.(d) = view.vdims.(d) then begin
+            idx.(d) <- 0;
+            off := !off - (view.vstrides.(d) * view.vdims.(d));
+            bump (d - 1)
+          end
+        end
+      in
+      bump (n - 1)
+    done
+  end
+
+let run_matmul p ~scale inputs =
+  let row_t = List.nth inputs p.row_input
+  and col_t = List.nth inputs (1 - p.row_input) in
+  let out_t = Dense.zeros p.mp_out_dims in
+  let rdata = Dense.unsafe_data row_t
+  and cdata = Dense.unsafe_data col_t
+  and odata = Dense.unsafe_data out_t in
+  let mm = p.mm and nn = p.nn and kk = p.kk in
+  let nb = Array.length p.batch_dims in
+  let nbatches = Array.fold_left ( * ) 1 p.batch_dims in
+  let a_sz = if p.row_view.direct then 0 else mm * kk in
+  let b_sz = if p.col_view.direct then 0 else kk * nn in
+  let c_sz = if p.out_view.direct then 0 else mm * nn in
+  Arena.with_scratch Arena.global a_sz (fun a_buf ->
+      Arena.with_scratch Arena.global b_sz (fun b_buf ->
+          Arena.with_scratch Arena.global c_sz (fun c_buf ->
+              let bidx = Array.make nb 0 in
+              let r_off = ref 0 and c_off = ref 0 and o_off = ref 0 in
+              for _ = 1 to nbatches do
+                let a, a_off =
+                  if p.row_view.direct then (rdata, !r_off)
+                  else begin
+                    pack rdata !r_off p.row_view a_buf (mm * kk);
+                    (a_buf, 0)
+                  end
+                in
+                let b, b_off =
+                  if p.col_view.direct then (cdata, !c_off)
+                  else begin
+                    pack cdata !c_off p.col_view b_buf (kk * nn);
+                    (b_buf, 0)
+                  end
+                in
+                if p.out_view.direct then begin
+                  (* out starts zeroed, so accumulate-in-place is assignment *)
+                  Gemm.gemm ~a_off ~b_off ~c_off:!o_off ~m:mm ~n:nn ~k:kk a b
+                    odata;
+                  if scale <> 1.0 then
+                    for t = !o_off to !o_off + (mm * nn) - 1 do
+                      Array.unsafe_set odata t (scale *. Array.unsafe_get odata t)
+                    done
+                end
+                else begin
+                  Array.fill c_buf 0 (mm * nn) 0.0;
+                  Gemm.gemm ~a_off ~b_off ~c_off:0 ~m:mm ~n:nn ~k:kk a b c_buf;
+                  scatter_scaled c_buf odata !o_off p.out_view (mm * nn) scale
+                end;
+                let rec bump d =
+                  if d >= 0 then begin
+                    bidx.(d) <- bidx.(d) + 1;
+                    r_off := !r_off + p.row_batch_strides.(d);
+                    c_off := !c_off + p.col_batch_strides.(d);
+                    o_off := !o_off + p.out_batch_strides.(d);
+                    if bidx.(d) = p.batch_dims.(d) then begin
+                      bidx.(d) <- 0;
+                      r_off := !r_off - (p.row_batch_strides.(d) * p.batch_dims.(d));
+                      c_off := !c_off - (p.col_batch_strides.(d) * p.batch_dims.(d));
+                      o_off := !o_off - (p.out_batch_strides.(d) * p.batch_dims.(d));
+                      bump (d - 1)
+                    end
+                  end
+                in
+                bump (nb - 1)
+              done)));
+  out_t
+
+let run_general p ~scale inputs =
+  let out_t = Dense.zeros p.gp_out_dims in
+  odometer_contract ~scale ~dims:p.gp_dims ~strides:p.gp_strides
+    ~out_strides:p.gp_out_strides
+    ~datas:(Array.of_list (List.map Dense.unsafe_data inputs))
+    ~out_data:(Dense.unsafe_data out_t);
+  out_t
+
+let contract ?(scale = 1.0) ?fast inputs ~out =
+  if inputs = [] then invalid_arg "Einsum.contract: no inputs";
+  let fast = match fast with Some b -> b | None -> Fastmode.enabled () in
+  if not fast then contract_naive ~scale inputs ~out
+  else begin
+    let key = plan_key inputs ~out in
+    let plan =
+      match Hashtbl.find_opt plan_cache key with
+      | Some p -> p
+      | None ->
+          let p = build_plan inputs ~out in
+          if Hashtbl.length plan_cache > 1024 then Hashtbl.reset plan_cache;
+          Hashtbl.add plan_cache key p;
+          p
+    in
+    match plan with
+    | Matmul p -> run_matmul p ~scale inputs
+    | General p -> run_general p ~scale inputs
+  end
+
+let eval ?scale ?fast str inputs =
   let spec = parse str in
   if List.length spec.operands <> List.length inputs then
     invalid_arg ("Einsum.eval: operand count mismatch for " ^ str);
@@ -105,7 +433,7 @@ let eval ?scale str inputs =
              (String.concat "," (Dense.axes t))
              (String.concat "" op)))
     spec.operands inputs;
-  contract ?scale inputs ~out:spec.result
+  contract ?scale ?fast inputs ~out:spec.result
 
 let loop_axes_of spec =
   let all_in = List.fold_left Axis.union [] spec.operands in

@@ -1,0 +1,19 @@
+(* Global switch between the optimized CPU numeric backend and the naive
+   reference (oracle) implementations. The naive paths stay in-tree as the
+   semantic ground truth; every fast kernel is validated against them. *)
+
+let env_disables () =
+  match Sys.getenv_opt "SUBSTATION_NAIVE" with
+  | Some ("1" | "true" | "yes" | "on") -> true
+  | Some _ | None -> false
+
+let state = ref (not (env_disables ()))
+let enabled () = !state
+let set b = state := b
+
+let with_mode b f =
+  let saved = !state in
+  state := b;
+  Fun.protect ~finally:(fun () -> state := saved) f
+
+let with_naive f = with_mode false f

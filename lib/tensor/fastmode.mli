@@ -1,0 +1,21 @@
+(** Global switch between the optimized CPU numeric backend and the naive
+    reference implementations.
+
+    The fast paths (blocked GEMM einsum lowering, fused executor kernels,
+    stride-plan caching) are on by default; the naive odometer-loop
+    implementations remain in-tree as the oracle. Set the environment
+    variable [SUBSTATION_NAIVE=1] to start with the naive backend, or flip
+    at runtime with {!set} / scope with {!with_mode}. *)
+
+val enabled : unit -> bool
+(** Is the fast backend currently active? *)
+
+val set : bool -> unit
+(** [set true] enables the fast backend, [set false] forces naive. *)
+
+val with_mode : bool -> (unit -> 'a) -> 'a
+(** [with_mode b f] runs [f] with the backend toggled to [b], restoring the
+    previous mode afterwards (exception-safe). *)
+
+val with_naive : (unit -> 'a) -> 'a
+(** [with_naive f] is [with_mode false f]: run [f] on the oracle path. *)

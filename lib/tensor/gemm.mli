@@ -1,0 +1,23 @@
+(** Cache-blocked, register-tiled CPU GEMM kernel.
+
+    [gemm ~m ~n ~k a b c] accumulates [C[m][n] += A[m][k] * B[k][n]] where
+    all three matrices are row-major slices of flat arrays starting at the
+    given offsets (default 0). The caller is responsible for zeroing [c]
+    when plain assignment semantics are wanted.
+
+    Per C element, the k summation runs in strictly increasing order, so
+    results agree with a naive sequential-accumulation triple loop up to
+    the usual floating-point reassociation of the packed operands (none —
+    the order is identical). *)
+
+val gemm :
+  ?a_off:int ->
+  ?b_off:int ->
+  ?c_off:int ->
+  m:int ->
+  n:int ->
+  k:int ->
+  float array ->
+  float array ->
+  float array ->
+  unit
