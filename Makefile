@@ -3,7 +3,7 @@
 
 DUNE ?= dune
 
-.PHONY: check build test smoke bench-smoke clean
+.PHONY: check build test smoke bench-smoke bench-scaling clean
 
 check: build test smoke bench-smoke
 
@@ -19,10 +19,18 @@ smoke:
 	$(DUNE) exec bin/substation_cli.exe -- faults -c tiny --rates 0.1 --sigmas 0.0 --punch 1
 
 # Quick JSON bench of the CPU numeric backend on small hparams; fails if
-# the fast path is slower than the naive oracle. `-- json` writes the full
-# BENCH_pr3.json instead.
+# the fast path is slower than the naive oracle, or if the pooled parallel
+# run regresses past tolerance. Run once pinned serial (the multicore pool
+# disabled end to end) and once with the default domain count, so both
+# dispatch paths stay green. `-- json` writes the full BENCH_pr3.json.
 bench-smoke:
+	SUBSTATION_DOMAINS=1 $(DUNE) exec bench/main.exe -- smoke
 	$(DUNE) exec bench/main.exe -- smoke
+
+# Serial-vs-parallel wall clock of the fast backend at 1/2/N domains;
+# regenerates BENCH_pr4.json.
+bench-scaling:
+	$(DUNE) exec bench/main.exe -- scaling
 
 clean:
 	$(DUNE) clean

@@ -3,12 +3,16 @@
    against the naive odometer oracle, on real transformer-layer programs
    and on the four MHA einsum contractions.
 
-   [run ~mode] implements two CLI entry points:
+   [run ~mode] implements three CLI entry points:
    - [`Json]: full benchmark on GEMM-dominant hparams, writes
      BENCH_pr3.json (schema below) and prints it;
    - [`Smoke]: quick pass on small hparams, prints the JSON and *asserts*
-     the fast path is at least as fast as naive (exit 1 otherwise) — wired
-     into `make bench-smoke` / `make check`. *)
+     the fast path is at least as fast as naive, then that the parallel
+     (multi-domain) run is not meaningfully slower than serial (exit 1
+     otherwise) — wired into `make bench-smoke` / `make check`;
+   - [`Scaling]: serial-vs-parallel wall clock of the fast backend at 1, 2
+     and N domains (speedup + parallel efficiency per row), writes
+     BENCH_pr4.json — wired into `make bench-scaling`. *)
 
 let now = Unix.gettimeofday
 
@@ -104,14 +108,19 @@ let pass_times ~fast plan inputs =
         plan.Frameworks.Executor.program.Ops.Program.ops;
       (!fwd, !bwd))
 
-let bench_workload ~reps ~name ~name_table ~program hp =
+(* Shared workload setup: materialized inputs + fused executor plan, so the
+   fast/naive and serial/parallel benches time the same work. *)
+let workload_plan ~name ~name_table ~program hp =
   let prng = Prng.create 42L in
   let params = Transformer.Params.init hp in
   let x = Transformer.Params.random_input hp prng in
   let d_y = Transformer.Params.random_cotangent hp prng in
   let inputs = ("x", x) :: ("d_y", d_y) :: params in
   let fused = Substation.Fusion.fuse ~name_table program in
-  let plan = plan_of name fused in
+  (plan_of name fused, inputs)
+
+let bench_workload ~reps ~name ~name_table ~program hp =
+  let plan, inputs = workload_plan ~name ~name_table ~program hp in
   let run fast () =
     Frameworks.Executor.run_functional ~check:No_check ~fast plan inputs
   in
@@ -194,6 +203,70 @@ let bench_einsum ~reps hp =
     mha_contractions
 
 (* ------------------------------------------------------------------ *)
+(* Multicore scaling benches: fast backend serial vs parallel           *)
+(* ------------------------------------------------------------------ *)
+
+(* Domain counts to sweep: 1 (serial), 2, and N = the pool's resolved
+   default (SUBSTATION_DOMAINS, else the machine's recommended count).
+   Deduplicated and sorted, so a single-core box still reports [1; 2] —
+   honest timesharing numbers rather than a silently skipped column. *)
+let scaling_domain_counts () =
+  List.sort_uniq compare
+    [ 1; 2; Stdlib.max 1 (Pool.num_domains ()) ]
+
+(* Wall-clock of [run] at each domain count; rows carry speedup vs the
+   1-domain run and parallel efficiency (speedup / domains). *)
+let scaling_rows ~reps counts run =
+  let times =
+    List.map
+      (fun d -> (d, Fastmode.with_domains d (fun () -> best_of ~reps run)))
+      counts
+  in
+  let serial_s = List.assoc 1 times in
+  List.map
+    (fun (d, s) ->
+      Obj
+        [
+          ("domains", Int d);
+          ("wall_s", Num s);
+          ("speedup_vs_serial", Num (serial_s /. s));
+          ("efficiency", Num (serial_s /. s /. float_of_int d));
+        ])
+    times
+
+let bench_scaling_workload ~reps counts ~name ~name_table ~program hp =
+  let plan, inputs = workload_plan ~name ~name_table ~program hp in
+  let run () =
+    Frameworks.Executor.run_functional ~check:No_check ~fast:true plan inputs
+  in
+  Obj [ ("name", Str name); ("scaling", Arr (scaling_rows ~reps counts run)) ]
+
+let bench_scaling_einsum ~reps counts hp =
+  let sizes = Transformer.Hparams.dims hp in
+  let size a = List.assoc a sizes in
+  let prng = Prng.create 7L in
+  List.map
+    (fun (spec_s, operand_axes) ->
+      let spec = Einsum.parse spec_s in
+      let inputs =
+        List.map
+          (fun axes ->
+            Dense.rand prng
+              (List.map (fun a -> (a, size a)) axes)
+              ~lo:(-1.0) ~hi:1.0)
+          operand_axes
+      in
+      let run () =
+        ignore (Einsum.contract ~fast:true inputs ~out:spec.Einsum.result)
+      in
+      Obj
+        [
+          ("spec", Str spec_s);
+          ("scaling", Arr (scaling_rows ~reps counts run));
+        ])
+    mha_contractions
+
+(* ------------------------------------------------------------------ *)
 
 let hp_json (hp : Transformer.Hparams.t) =
   Obj
@@ -231,13 +304,92 @@ let smoke_hp =
     dropout_p = 0.1;
   }
 
+(* Smoke-check the parallel backend on the encoder workload: the pooled
+   run must not be meaningfully slower than serial. On a machine with
+   >= 2 cores we require near-parity or better (0.95, leaving room for
+   timer noise); on a single core the "parallel" domains timeshare one
+   CPU, so only pathological overhead (ratio < 0.4) fails. Bitwise
+   equality of parallel vs serial results is covered by test_pool. *)
+let smoke_parallel hp ~reps =
+  let plan, inputs =
+    workload_plan ~name:"encoder_layer"
+      ~name_table:Transformer.Encoder.kernel_names
+      ~program:(Transformer.Encoder.program hp)
+      hp
+  in
+  let run () =
+    Frameworks.Executor.run_functional ~check:No_check ~fast:true plan inputs
+  in
+  let serial_s = Fastmode.with_domains 1 (fun () -> best_of ~reps run) in
+  let par_d = Stdlib.max 2 (Pool.num_domains ()) in
+  let par_s = Fastmode.with_domains par_d (fun () -> best_of ~reps run) in
+  let ratio = serial_s /. par_s in
+  let cores = Domain.recommended_domain_count () in
+  let floor = if cores >= 2 then 0.95 else 0.4 in
+  if ratio < floor then begin
+    Printf.eprintf
+      "bench-smoke FAILED: parallel encoder run (%d domains) is slower than \
+       serial beyond tolerance (ratio %.2fx < %.2fx, %d core%s)\n"
+      par_d ratio floor cores
+      (if cores = 1 then "" else "s");
+    exit 1
+  end
+  else
+    Printf.printf
+      "bench-smoke OK: parallel encoder run (%d domains) at %.2fx of serial \
+       (floor %.2fx, %d core%s)\n"
+      par_d ratio floor cores
+      (if cores = 1 then "" else "s")
+
 let run mode =
   let hp, reps, out_file =
     match mode with
     | `Json -> (bench_hp, 3, Some "BENCH_pr3.json")
     | `Smoke -> (smoke_hp, 2, None)
+    | `Scaling -> (bench_hp, 3, Some "BENCH_pr4.json")
   in
   Einsum.clear_caches ();
+  match mode with
+  | `Scaling ->
+      let counts = scaling_domain_counts () in
+      let workloads =
+        [
+          bench_scaling_workload ~reps counts ~name:"encoder_layer"
+            ~name_table:Transformer.Encoder.kernel_names
+            ~program:(Transformer.Encoder.program hp)
+            hp;
+          bench_scaling_workload ~reps counts ~name:"decoder_layer"
+            ~name_table:Transformer.Decoder.kernel_names
+            ~program:(Transformer.Decoder.program hp)
+            hp;
+        ]
+      in
+      let einsum = bench_scaling_einsum ~reps counts hp in
+      let doc =
+        Obj
+          [
+            ("bench", Str "cpu_multicore_scaling");
+            ("pr", Int 4);
+            ("cores", Int (Domain.recommended_domain_count ()));
+            ("default_domains", Int (Pool.num_domains ()));
+            ("domain_counts", Arr (List.map (fun d -> Int d) counts));
+            ("hparams", hp_json hp);
+            ("reps", Int reps);
+            ("workloads", Arr workloads);
+            ("einsum_mha", Arr einsum);
+          ]
+      in
+      let text = to_string doc in
+      print_endline text;
+      (match out_file with
+      | Some path ->
+          let oc = open_out path in
+          output_string oc text;
+          output_char oc '\n';
+          close_out oc;
+          Printf.printf "wrote %s\n" path
+      | None -> ())
+  | (`Json | `Smoke) as mode ->
   let encoder, enc_speedup =
     bench_workload ~reps ~name:"encoder_layer"
       ~name_table:Transformer.Encoder.kernel_names
@@ -282,5 +434,9 @@ let run mode =
           enc_speedup;
         exit 1
       end
-      else Printf.printf "bench-smoke OK: encoder speedup %.2fx >= 1.0x\n" enc_speedup
+      else begin
+        Printf.printf "bench-smoke OK: encoder speedup %.2fx >= 1.0x\n"
+          enc_speedup;
+        smoke_parallel hp ~reps
+      end
   | `Json -> ()

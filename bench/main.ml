@@ -226,6 +226,9 @@ let () =
   | "smoke" ->
       Cpu_bench.run `Smoke;
       exit 0
+  | "scaling" ->
+      Cpu_bench.run `Scaling;
+      exit 0
   | _ -> ());
   Printf.printf
     "substation benchmark harness - reproducing \"Data Movement Is All You \

@@ -366,7 +366,26 @@ let faults_campaign hp device mha seed rates sigmas punch =
 
 (* ---------------- command wiring ---------------- *)
 
-let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
+(* --domains is available on every subcommand: the setup term runs (and
+   pins the Pool size) during argument evaluation, before the command
+   body — the standard cmdliner setup-term idiom. *)
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the multicore CPU numeric backend (0 or 1 = \
+           run serial). Overrides $(b,SUBSTATION_DOMAINS); the default is \
+           the machine's recommended domain count.")
+
+let domains_setup =
+  Term.(
+    const (function None -> () | Some n -> Pool.set_domains n)
+    $ domains_arg)
+
+let cmd name doc term =
+  Cmd.v (Cmd.info name ~doc) Term.(const (fun () r -> r) $ domains_setup $ term)
 
 let analyze_cmd =
   cmd "analyze" "Dataflow analysis: flop, data volumes, operator classes."

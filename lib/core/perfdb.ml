@@ -120,16 +120,34 @@ type sweep_state = {
   mutable s_backoff : float;
 }
 
+(* Per-config outcome plus the statistics the serial loop would have
+   folded into [sweep_state] while measuring it. The caller replays these
+   in ascending config order, so the merged stats — including the
+   floating-point [backoff_time] sum, whose increments are re-added one at
+   a time in their original occurrence order — are bitwise identical to a
+   serial sweep at every domain count. *)
+type config_outcome = {
+  co_result : (Config_space.measured, quarantined) result;
+  co_measurements : int;
+  co_retries : int;
+  co_transient : int;
+  co_backoffs : float list;  (* increments, in occurrence order *)
+}
+
 (* Measure one configuration under faults: gather [repeats] successful
    samples, retrying each with exponential backoff for up to [max_retries]
-   consecutive transient failures, then aggregate robustly. [None] means
-   the configuration is quarantined (permanent fault, or retries
-   exhausted before any sample landed). *)
-let measure_config ?quality ~faults ~device ~max_retries ~repeats st program op
+   consecutive transient failures, then aggregate robustly. An [Error]
+   result means the configuration is quarantined (permanent fault, or
+   retries exhausted before any sample landed). Touches no shared state —
+   the fault model draws are deterministic in (op, config, attempt) — so
+   distinct configs can be measured concurrently. *)
+let measure_config ?quality ~faults ~device ~max_retries ~repeats program op
     config =
   let samples = ref [] and proto = ref None in
   let attempt = ref 0 and consecutive = ref 0 in
   let quarantine = ref None in
+  let measurements = ref 0 and retries = ref 0 and transient = ref 0 in
+  let backoffs = ref [] in
   while
     !quarantine = None
     && List.length !samples < repeats
@@ -142,13 +160,13 @@ let measure_config ?quality ~faults ~device ~max_retries ~repeats st program op
     | Ok m ->
         if !proto = None then proto := Some m;
         samples := m.Config_space.time :: !samples;
-        st.s_measurements <- st.s_measurements + 1;
+        incr measurements;
         consecutive := 0
     | Error e when Gpu.Faults.is_transient e.Config_space.failure ->
-        st.s_transient <- st.s_transient + 1;
-        st.s_retries <- st.s_retries + 1;
+        incr transient;
+        incr retries;
         incr consecutive;
-        st.s_backoff <- st.s_backoff +. Gpu.Faults.backoff !consecutive
+        backoffs := Gpu.Faults.backoff !consecutive :: !backoffs
     | Error e ->
         quarantine :=
           Some
@@ -160,43 +178,87 @@ let measure_config ?quality ~faults ~device ~max_retries ~repeats st program op
             });
     incr attempt
   done;
-  match (!quarantine, !proto) with
-  | Some q, _ ->
-      st.s_quarantined <- st.s_quarantined + 1;
-      Error q
-  | None, Some m when !samples <> [] ->
-      Ok { m with Config_space.time = robust_time !samples }
-  | None, _ ->
-      st.s_quarantined <- st.s_quarantined + 1;
-      Error
-        {
-          q_op = op.Ops.Op.name;
-          q_config = Config_space.config_key config;
-          q_reason =
-            Printf.sprintf "%d consecutive transient failures (retries \
-                            exhausted)"
-              !consecutive;
-          q_attempts = !attempt;
-        }
+  let result =
+    match (!quarantine, !proto) with
+    | Some q, _ -> Error q
+    | None, Some m when !samples <> [] ->
+        Ok { m with Config_space.time = robust_time !samples }
+    | None, _ ->
+        Error
+          {
+            q_op = op.Ops.Op.name;
+            q_config = Config_space.config_key config;
+            q_reason =
+              Printf.sprintf "%d consecutive transient failures (retries \
+                              exhausted)"
+                !consecutive;
+            q_attempts = !attempt;
+          }
+  in
+  {
+    co_result = result;
+    co_measurements = !measurements;
+    co_retries = !retries;
+    co_transient = !transient;
+    co_backoffs = List.rev !backoffs;
+  }
+
+let apply_outcome st co =
+  st.s_measurements <- st.s_measurements + co.co_measurements;
+  st.s_retries <- st.s_retries + co.co_retries;
+  st.s_transient <- st.s_transient + co.co_transient;
+  (match co.co_result with
+  | Error _ -> st.s_quarantined <- st.s_quarantined + 1
+  | Ok _ -> ());
+  List.iter (fun b -> st.s_backoff <- st.s_backoff +. b) co.co_backoffs
+
+(* Fan [f] out over the configs on the {!Pool} workers (each config's
+   measurement is independent and side-effect free) and reassemble results
+   in ascending config order. Falls back to an inline loop when the pool
+   is serial or the space is tiny. *)
+let map_configs cfgs f =
+  let ncfg = Array.length cfgs in
+  let out = Array.make ncfg None in
+  let run lo hi =
+    for i = lo to hi - 1 do
+      out.(i) <- Some (f cfgs.(i))
+    done
+  in
+  if ncfg >= 2 && Pool.num_domains () > 1 then
+    Pool.parallel_for ~start:0 ~finish:ncfg run
+  else run 0 ncfg;
+  out
 
 let sweep_op ?quality ~faults ~device ~max_retries ~repeats st program op =
+  let cfgs = Array.of_list (Config_space.configs program op) in
   if Gpu.Faults.is_clean faults then begin
-    let entries = Config_space.measure_all ?quality ~device program op in
+    (* Clean measurements never retry: the parallel map is the same
+       per-config computation [Config_space.measure_all] runs serially. *)
+    let out =
+      map_configs cfgs (Config_space.measure ?quality ~device program op)
+    in
+    let entries = List.filter_map Fun.id (Array.to_list out) in
     st.s_measurements <- st.s_measurements + List.length entries;
     (entries, [])
   end
-  else
+  else begin
+    let out =
+      map_configs cfgs
+        (measure_config ?quality ~faults ~device ~max_retries ~repeats program
+           op)
+    in
     let entries = ref [] and quarantined = ref [] in
-    List.iter
-      (fun config ->
-        match
-          measure_config ?quality ~faults ~device ~max_retries ~repeats st
-            program op config
-        with
-        | Ok m -> entries := m :: !entries
-        | Error q -> quarantined := q :: !quarantined)
-      (Config_space.configs program op);
+    Array.iter
+      (function
+        | None -> ()
+        | Some co -> (
+            apply_outcome st co;
+            match co.co_result with
+            | Ok m -> entries := m :: !entries
+            | Error q -> quarantined := q :: !quarantined))
+      out;
     (List.rev !entries, List.rev !quarantined)
+  end
 
 let build ?quality ?(faults = Gpu.Faults.none) ?repeats ?(max_retries = 4)
     ?checkpoint ?interrupt_after ~device (program : Ops.Program.t) =

@@ -58,6 +58,14 @@ val build :
   -> ?max_retries:int -> ?checkpoint:string -> ?interrupt_after:int
   -> device:Gpu.Device.t -> Ops.Program.t -> t
 
+(** The identity string a checkpoint is validated against: device name,
+    quality, fault-spec fingerprint, and the program's operator list.
+    Exposed so tests can assert that serial and parallel sweeps agree on
+    (and interoperate through) the same checkpoint identity. *)
+val fingerprint :
+  ?quality:float -> faults:Gpu.Faults.spec -> device:Gpu.Device.t
+  -> Ops.Program.t -> string
+
 val device : t -> Gpu.Device.t
 val program : t -> Ops.Program.t
 val op_names : t -> string list

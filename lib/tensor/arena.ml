@@ -2,18 +2,25 @@
    packing path run many times over the same shapes, so instead of
    allocating (and collecting) a fresh float array per call they borrow a
    buffer of the right size from a small pool keyed by length. Buffers are
-   returned on scope exit, so nested borrows of the same size are safe. *)
+   returned on scope exit, so nested borrows of the same size are safe.
 
-type t = { pools : (int, float array list ref) Hashtbl.t }
+   The pools live in domain-local storage: each domain (the main one and
+   every Pool worker) sees its own private length-keyed pool through the
+   same [t], so parallel kernels borrow packing/row scratch without any
+   locking or sharing — a borrow on one domain can never observe, or
+   stomp on, a buffer in flight on another. *)
 
-let create () = { pools = Hashtbl.create 16 }
+type t = { pools : (int, float array list ref) Hashtbl.t Domain.DLS.key }
+
+let create () = { pools = Domain.DLS.new_key (fun () -> Hashtbl.create 16) }
 
 let pool t n =
-  match Hashtbl.find_opt t.pools n with
+  let pools = Domain.DLS.get t.pools in
+  match Hashtbl.find_opt pools n with
   | Some p -> p
   | None ->
       let p = ref [] in
-      Hashtbl.add t.pools n p;
+      Hashtbl.add pools n p;
       p
 
 let borrow t n =

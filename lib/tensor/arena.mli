@@ -2,7 +2,11 @@
 
     Hot kernels (einsum GEMM packing, fused executor passes) run repeatedly
     over identical shapes; borrowing scratch from a length-keyed pool avoids
-    a fresh allocation + GC churn per invocation. *)
+    a fresh allocation + GC churn per invocation.
+
+    Pools are domain-local: every domain sees its own private pool through
+    the same [t], so borrowing from parallel {!Pool} workers is safe and
+    contention-free without locks. *)
 
 type t
 

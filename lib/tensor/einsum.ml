@@ -327,6 +327,29 @@ let scatter_scaled buf out_data out_off view count scale =
     done
   end
 
+(* Decompose a linear batch index (row-major over [batch_dims]) into the
+   per-dimension multi-index, so a worker can start mid-sequence. *)
+let batch_index dims lin =
+  let nb = Array.length dims in
+  let idx = Array.make nb 0 in
+  let rem = ref lin in
+  for d = nb - 1 downto 0 do
+    idx.(d) <- !rem mod dims.(d);
+    rem := !rem / dims.(d)
+  done;
+  idx
+
+let dot idx strides =
+  let acc = ref 0 in
+  for d = 0 to Array.length idx - 1 do
+    acc := !acc + (idx.(d) * strides.(d))
+  done;
+  !acc
+
+(* Below this total multiply-accumulate volume a batch-parallel region is
+   not worth dispatching. *)
+let par_min_work = 8192
+
 let run_matmul p ~scale inputs =
   let row_t = List.nth inputs p.row_input
   and col_t = List.nth inputs (1 - p.row_input) in
@@ -340,57 +363,77 @@ let run_matmul p ~scale inputs =
   let a_sz = if p.row_view.direct then 0 else mm * kk in
   let b_sz = if p.col_view.direct then 0 else kk * nn in
   let c_sz = if p.out_view.direct then 0 else mm * nn in
-  Arena.with_scratch Arena.global a_sz (fun a_buf ->
-      Arena.with_scratch Arena.global b_sz (fun b_buf ->
-          Arena.with_scratch Arena.global c_sz (fun c_buf ->
-              let bidx = Array.make nb 0 in
-              let r_off = ref 0 and c_off = ref 0 and o_off = ref 0 in
-              for _ = 1 to nbatches do
-                let a, a_off =
-                  if p.row_view.direct then (rdata, !r_off)
-                  else begin
-                    pack rdata !r_off p.row_view a_buf (mm * kk);
-                    (a_buf, 0)
-                  end
-                in
-                let b, b_off =
-                  if p.col_view.direct then (cdata, !c_off)
-                  else begin
-                    pack cdata !c_off p.col_view b_buf (kk * nn);
-                    (b_buf, 0)
-                  end
-                in
-                if p.out_view.direct then begin
-                  (* out starts zeroed, so accumulate-in-place is assignment *)
-                  Gemm.gemm ~a_off ~b_off ~c_off:!o_off ~m:mm ~n:nn ~k:kk a b
-                    odata;
-                  if scale <> 1.0 then
-                    for t = !o_off to !o_off + (mm * nn) - 1 do
-                      Array.unsafe_set odata t (scale *. Array.unsafe_get odata t)
-                    done
-                end
-                else begin
-                  Array.fill c_buf 0 (mm * nn) 0.0;
-                  Gemm.gemm ~a_off ~b_off ~c_off:0 ~m:mm ~n:nn ~k:kk a b c_buf;
-                  scatter_scaled c_buf odata !o_off p.out_view (mm * nn) scale
-                end;
-                let rec bump d =
-                  if d >= 0 then begin
-                    bidx.(d) <- bidx.(d) + 1;
-                    r_off := !r_off + p.row_batch_strides.(d);
-                    c_off := !c_off + p.col_batch_strides.(d);
-                    o_off := !o_off + p.out_batch_strides.(d);
-                    if bidx.(d) = p.batch_dims.(d) then begin
-                      bidx.(d) <- 0;
-                      r_off := !r_off - (p.row_batch_strides.(d) * p.batch_dims.(d));
-                      c_off := !c_off - (p.col_batch_strides.(d) * p.batch_dims.(d));
-                      o_off := !o_off - (p.out_batch_strides.(d) * p.batch_dims.(d));
-                      bump (d - 1)
+  (* One worker's batch sub-range [b_lo, b_hi). Offsets start from the
+     decomposed linear index and then bump incrementally exactly as the
+     serial loop does; packing scratch comes from the (domain-local)
+     arena, so parallel workers never contend on buffers. Each batch
+     element writes a disjoint slice of [odata], so any partition of the
+     batch range is bitwise identical to the serial sweep. *)
+  let run_range b_lo b_hi =
+    Arena.with_scratch Arena.global a_sz (fun a_buf ->
+        Arena.with_scratch Arena.global b_sz (fun b_buf ->
+            Arena.with_scratch Arena.global c_sz (fun c_buf ->
+                let bidx = batch_index p.batch_dims b_lo in
+                let r_off = ref (dot bidx p.row_batch_strides)
+                and c_off = ref (dot bidx p.col_batch_strides)
+                and o_off = ref (dot bidx p.out_batch_strides) in
+                for _ = b_lo + 1 to b_hi do
+                  let a, a_off =
+                    if p.row_view.direct then (rdata, !r_off)
+                    else begin
+                      pack rdata !r_off p.row_view a_buf (mm * kk);
+                      (a_buf, 0)
                     end
+                  in
+                  let b, b_off =
+                    if p.col_view.direct then (cdata, !c_off)
+                    else begin
+                      pack cdata !c_off p.col_view b_buf (kk * nn);
+                      (b_buf, 0)
+                    end
+                  in
+                  if p.out_view.direct then begin
+                    (* out starts zeroed, so accumulate-in-place is assignment *)
+                    Gemm.gemm ~a_off ~b_off ~c_off:!o_off ~m:mm ~n:nn ~k:kk a b
+                      odata;
+                    if scale <> 1.0 then
+                      for t = !o_off to !o_off + (mm * nn) - 1 do
+                        Array.unsafe_set odata t (scale *. Array.unsafe_get odata t)
+                      done
                   end
-                in
-                bump (nb - 1)
-              done)));
+                  else begin
+                    Array.fill c_buf 0 (mm * nn) 0.0;
+                    Gemm.gemm ~a_off ~b_off ~c_off:0 ~m:mm ~n:nn ~k:kk a b c_buf;
+                    scatter_scaled c_buf odata !o_off p.out_view (mm * nn) scale
+                  end;
+                  let rec bump d =
+                    if d >= 0 then begin
+                      bidx.(d) <- bidx.(d) + 1;
+                      r_off := !r_off + p.row_batch_strides.(d);
+                      c_off := !c_off + p.col_batch_strides.(d);
+                      o_off := !o_off + p.out_batch_strides.(d);
+                      if bidx.(d) = p.batch_dims.(d) then begin
+                        bidx.(d) <- 0;
+                        r_off := !r_off - (p.row_batch_strides.(d) * p.batch_dims.(d));
+                        c_off := !c_off - (p.col_batch_strides.(d) * p.batch_dims.(d));
+                        o_off := !o_off - (p.out_batch_strides.(d) * p.batch_dims.(d));
+                        bump (d - 1)
+                      end
+                    end
+                  in
+                  bump (nb - 1)
+                done)))
+  in
+  if
+    nbatches >= 2
+    && nbatches * mm * nn * kk >= par_min_work
+    && Pool.num_domains () > 1
+  then
+    (* Shard the batch group; the per-batch GEMMs then run serially inside
+       each worker (Pool suppresses nested regions). With a single batch
+       the row-sharded Gemm kernel parallelizes instead. *)
+    Pool.parallel_for ~start:0 ~finish:nbatches run_range
+  else run_range 0 nbatches;
   out_t
 
 let run_general p ~scale inputs =

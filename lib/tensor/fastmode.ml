@@ -17,3 +17,8 @@ let with_mode b f =
   Fun.protect ~finally:(fun () -> state := saved) f
 
 let with_naive f = with_mode false f
+
+(* Scoped domain-count override for the multicore backend, mirroring
+   [with_naive]: tests and benches pin worker counts without touching the
+   SUBSTATION_DOMAINS environment. *)
+let with_domains n f = Pool.with_domains n f

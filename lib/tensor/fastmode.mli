@@ -19,3 +19,9 @@ val with_mode : bool -> (unit -> 'a) -> 'a
 
 val with_naive : (unit -> 'a) -> 'a
 (** [with_naive f] is [with_mode false f]: run [f] on the oracle path. *)
+
+val with_domains : int -> (unit -> 'a) -> 'a
+(** [with_domains n f] runs [f] with the multicore backend pinned to [n]
+    domains ([0]/[1] = serial), restoring the previous count afterwards —
+    {!Pool.with_domains}, re-exported next to {!with_naive} so tests and
+    benchmarks control both backend switches from one module. *)

@@ -9,12 +9,22 @@
 
    Accumulation into each C element proceeds in strictly increasing k order
    (blocks are ascending, the 4-term unrolled sum associates left-to-right),
-   matching the naive odometer reference summation order. *)
+   matching the naive odometer reference summation order.
+
+   Parallelism shards the M dimension: each Pool worker owns a disjoint
+   row-block [i_lo, i_hi) of C and runs the full kb/jb panel nest over it,
+   so per-element k-order is untouched and the parallel result is bitwise
+   identical to the serial one. A and B are only read; C row-blocks are
+   disjoint; no synchronization is needed inside the kernel. *)
 
 let kc = 128
 let nc = 512
 
-let gemm ?(a_off = 0) ?(b_off = 0) ?(c_off = 0) ~m ~n ~k a b c =
+(* Below this m*n*k volume the dispatch overhead of a parallel region
+   outweighs the work. *)
+let par_min_work = 8192
+
+let gemm_rows ~a_off ~b_off ~c_off ~i_lo ~i_hi ~n ~k a b c =
   let kb = ref 0 in
   while !kb < k do
     let k_hi = Stdlib.min k (!kb + kc) in
@@ -22,7 +32,7 @@ let gemm ?(a_off = 0) ?(b_off = 0) ?(c_off = 0) ~m ~n ~k a b c =
     while !jb < n do
       let j_hi = Stdlib.min n (!jb + nc) in
       let j_lo = !jb in
-      for i = 0 to m - 1 do
+      for i = i_lo to i_hi - 1 do
         let arow = a_off + (i * k) in
         let crow = c_off + (i * n) in
         let p = ref !kb in
@@ -61,3 +71,9 @@ let gemm ?(a_off = 0) ?(b_off = 0) ?(c_off = 0) ~m ~n ~k a b c =
     done;
     kb := k_hi
   done
+
+let gemm ?(a_off = 0) ?(b_off = 0) ?(c_off = 0) ~m ~n ~k a b c =
+  if m >= 2 && m * n * k >= par_min_work && Pool.num_domains () > 1 then
+    Pool.parallel_for ~start:0 ~finish:m (fun i_lo i_hi ->
+        gemm_rows ~a_off ~b_off ~c_off ~i_lo ~i_hi ~n ~k a b c)
+  else gemm_rows ~a_off ~b_off ~c_off ~i_lo:0 ~i_hi:m ~n ~k a b c

@@ -6,9 +6,14 @@
     when plain assignment semantics are wanted.
 
     Per C element, the k summation runs in strictly increasing order, so
-    results agree with a naive sequential-accumulation triple loop up to
-    the usual floating-point reassociation of the packed operands (none —
-    the order is identical). *)
+    results agree with a naive sequential-accumulation triple loop bitwise
+    — no floating-point reassociation is introduced anywhere.
+
+    Large products run in parallel on the {!Pool} workers by sharding the
+    M dimension: each worker owns a disjoint row-block of C and runs the
+    unchanged k-ascending panel nest over it, so the parallel result is
+    bitwise identical to the serial one (and hence to the naive triple
+    loop) at every domain count. *)
 
 val gemm :
   ?a_off:int ->

@@ -1,0 +1,245 @@
+(* Persistent Domain-based worker pool for the fast CPU backend.
+
+   The pool is spawned once (lazily, on the first parallel call that wants
+   more than one domain) and kept alive for the process: worker domains
+   block on a condition variable between jobs, so steady-state dispatch of
+   a parallel region costs one broadcast plus a handful of atomic
+   fetch-and-adds, not a domain spawn.
+
+   A job is a body [f lo hi] over the half-open range [lo, hi) plus a
+   pre-computed array of disjoint chunk ranges covering it. Workers (and
+   the submitting domain, which participates) claim chunk indices from an
+   atomic counter; since every chunk is claimed exactly once and chunks
+   are disjoint, the work itself needs no further synchronization. Results
+   of [parallel_for_reduce] are stored per chunk and combined on the
+   submitting domain in ascending chunk order, so reductions are
+   deterministic regardless of which worker ran which chunk.
+
+   Nested parallel regions run serially inline: a body that itself calls
+   [parallel_for] (e.g. a batched einsum whose per-batch GEMM is also
+   sharded) must not re-enter the pool from a worker, both to avoid
+   deadlock (workers cannot service a job they are part of) and to keep
+   the iteration-order guarantees simple. [running_in_worker] is the
+   domain-local flag that detects this.
+
+   Sizing: [num_domains] is the scoped override (see [with_domains]) when
+   present, else the [SUBSTATION_DOMAINS] environment variable, else
+   [Domain.recommended_domain_count ()]. Values [0] and [1] both mean
+   serial. The pool resizes (tear down + respawn) when the effective count
+   changes between jobs, so scoped overrides in tests are cheap but not
+   free. *)
+
+let env_domains () =
+  match Sys.getenv_opt "SUBSTATION_DOMAINS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 0 -> Some n
+      | Some _ | None -> None)
+
+let override : int option ref = ref None
+
+let num_domains () =
+  let requested =
+    match !override with
+    | Some n -> n
+    | None -> (
+        match env_domains () with
+        | Some n -> n
+        | None -> Domain.recommended_domain_count ())
+  in
+  Stdlib.max 1 requested
+
+let set_domains n =
+  if n < 0 then invalid_arg "Pool.set_domains: negative domain count";
+  override := Some n
+
+let with_domains n f =
+  if n < 0 then invalid_arg "Pool.with_domains: negative domain count";
+  let saved = !override in
+  override := Some n;
+  Fun.protect ~finally:(fun () -> override := saved) f
+
+(* ------------------------------------------------------------------ *)
+(* The pool                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type job = {
+  body : int -> int -> int -> unit;  (* chunk index, lo, hi *)
+  ranges : (int * int) array;
+  next : int Atomic.t;  (* next unclaimed chunk index *)
+  pending : int Atomic.t;  (* chunks not yet completed *)
+  mutable failed : exn option;  (* first exception, under the pool mutex *)
+}
+
+type t = {
+  mutex : Mutex.t;
+  work : Condition.t;  (* workers wait here between jobs *)
+  idle : Condition.t;  (* the submitter waits here for completion *)
+  mutable job : job option;
+  mutable epoch : int;  (* bumped per published job *)
+  mutable shutdown : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let pool =
+  {
+    mutex = Mutex.create ();
+    work = Condition.create ();
+    idle = Condition.create ();
+    job = None;
+    epoch = 0;
+    shutdown = false;
+    workers = [||];
+  }
+
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+(* True while the submitting domain is inside [run_job] (it executes
+   chunks too, and a chunk body may itself reach a parallel entry point).
+   Only the submitting domain reads or writes this. *)
+let submitting = ref false
+
+let running_in_worker () = Domain.DLS.get in_worker || !submitting
+
+(* Claim and run chunks until the job is drained. The last finisher
+   signals the submitter. Exceptions abort the chunk (recorded once) but
+   never the drain, so [pending] always reaches zero. *)
+let drain job =
+  let n = Array.length job.ranges in
+  let rec claim () =
+    let i = Atomic.fetch_and_add job.next 1 in
+    if i < n then begin
+      let lo, hi = job.ranges.(i) in
+      (try job.body i lo hi
+       with e ->
+         Mutex.lock pool.mutex;
+         if job.failed = None then job.failed <- Some e;
+         Mutex.unlock pool.mutex);
+      if Atomic.fetch_and_add job.pending (-1) = 1 then begin
+        Mutex.lock pool.mutex;
+        Condition.broadcast pool.idle;
+        Mutex.unlock pool.mutex
+      end;
+      claim ()
+    end
+  in
+  claim ()
+
+let worker_main () =
+  Domain.DLS.set in_worker true;
+  let seen = ref 0 in
+  let rec loop () =
+    Mutex.lock pool.mutex;
+    while (not pool.shutdown) && (pool.job = None || pool.epoch = !seen) do
+      Condition.wait pool.work pool.mutex
+    done;
+    if pool.shutdown then Mutex.unlock pool.mutex
+    else begin
+      seen := pool.epoch;
+      let job = Option.get pool.job in
+      Mutex.unlock pool.mutex;
+      drain job;
+      loop ()
+    end
+  in
+  loop ()
+
+let shutdown_workers () =
+  if Array.length pool.workers > 0 then begin
+    Mutex.lock pool.mutex;
+    pool.shutdown <- true;
+    Condition.broadcast pool.work;
+    Mutex.unlock pool.mutex;
+    Array.iter Domain.join pool.workers;
+    pool.workers <- [||];
+    pool.shutdown <- false
+  end
+
+(* Make sure exactly [n - 1] workers are alive (the submitter is the
+   n-th). Called only from the submitting (non-worker) domain. *)
+let ensure_workers n =
+  let want = n - 1 in
+  if Array.length pool.workers <> want then begin
+    shutdown_workers ();
+    pool.workers <- Array.init want (fun _ -> Domain.spawn worker_main)
+  end
+
+let split_ranges ~start ~finish chunks =
+  let n = finish - start in
+  let q = n / chunks and r = n mod chunks in
+  Array.init chunks (fun i ->
+      let lo = start + (i * q) + Stdlib.min i r in
+      let hi = lo + q + if i < r then 1 else 0 in
+      (lo, hi))
+
+let run_job ~ranges body =
+  let job =
+    {
+      body;
+      ranges;
+      next = Atomic.make 0;
+      pending = Atomic.make (Array.length ranges);
+      failed = None;
+    }
+  in
+  Mutex.lock pool.mutex;
+  pool.job <- Some job;
+  pool.epoch <- pool.epoch + 1;
+  Condition.broadcast pool.work;
+  Mutex.unlock pool.mutex;
+  (* Participate, then wait for the stragglers. *)
+  submitting := true;
+  Fun.protect
+    ~finally:(fun () -> submitting := false)
+    (fun () -> drain job);
+  Mutex.lock pool.mutex;
+  while Atomic.get job.pending > 0 do
+    Condition.wait pool.idle pool.mutex
+  done;
+  pool.job <- None;
+  Mutex.unlock pool.mutex;
+  match job.failed with None -> () | Some e -> raise e
+
+let parallel_for ?chunks ~start ~finish body =
+  let n = finish - start in
+  if n > 0 then begin
+    let d = if running_in_worker () then 1 else num_domains () in
+    let chunks =
+      match chunks with
+      | Some c -> Stdlib.max 1 (Stdlib.min c n)
+      | None -> Stdlib.min d n
+    in
+    if d <= 1 || chunks <= 1 then body start finish
+    else begin
+      ensure_workers d;
+      run_job
+        ~ranges:(split_ranges ~start ~finish chunks)
+        (fun _i lo hi -> body lo hi)
+    end
+  end
+
+let parallel_for_reduce ?chunks ~start ~finish ~init ~combine body =
+  let n = finish - start in
+  if n <= 0 then init
+  else begin
+    let d = if running_in_worker () then 1 else num_domains () in
+    let chunks =
+      match chunks with
+      | Some c -> Stdlib.max 1 (Stdlib.min c n)
+      | None -> Stdlib.min d n
+    in
+    if d <= 1 || chunks <= 1 then combine init (body start finish)
+    else begin
+      ensure_workers d;
+      let ranges = split_ranges ~start ~finish chunks in
+      let results = Array.make chunks None in
+      run_job ~ranges (fun i lo hi -> results.(i) <- Some (body lo hi));
+      (* Deterministic merge: ascending chunk order, independent of which
+         worker produced which chunk. *)
+      Array.fold_left
+        (fun acc r ->
+          match r with Some v -> combine acc v | None -> acc)
+        init results
+    end
+  end

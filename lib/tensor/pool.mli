@@ -1,0 +1,60 @@
+(** Persistent [Domain]-based worker pool for the fast CPU backend.
+
+    Worker domains are spawned once (lazily) and parked on a condition
+    variable between jobs, so a steady-state parallel region costs a
+    broadcast plus a few atomic increments. Callers split an index range
+    into disjoint chunks; because chunks never overlap and reductions are
+    merged in ascending chunk order on the submitting domain, results are
+    {b bitwise identical} to a serial run whenever per-chunk work only
+    touches chunk-owned data (the contract every caller in this repo
+    honors).
+
+    Sizing: the scoped override ({!with_domains} / {!set_domains}) wins,
+    then the [SUBSTATION_DOMAINS] environment variable, then
+    [Domain.recommended_domain_count ()]. [0] and [1] both mean serial
+    (every region runs inline on the caller). Nested parallel regions —
+    a chunk body reaching another parallel entry point — always run
+    inline serially. *)
+
+val num_domains : unit -> int
+(** Effective domain count for the next parallel region (>= 1). *)
+
+val set_domains : int -> unit
+(** Persistently override the domain count ([0]/[1] = serial). Raises
+    [Invalid_argument] on negative counts. *)
+
+val with_domains : int -> (unit -> 'a) -> 'a
+(** [with_domains n f] runs [f] with the domain count pinned to [n],
+    restoring the previous setting afterwards (exception-safe). Mirrors
+    {!Fastmode.with_naive}; meant for tests and benchmarks. *)
+
+val running_in_worker : unit -> bool
+(** True when called from inside a parallel region (worker domain or the
+    submitting domain executing one of its own chunks). *)
+
+val parallel_for :
+  ?chunks:int -> start:int -> finish:int -> (int -> int -> unit) -> unit
+(** [parallel_for ~start ~finish f] covers the half-open range
+    [\[start, finish)] with disjoint chunks, calling [f lo hi] once per
+    chunk ([lo] inclusive, [hi] exclusive). [chunks] defaults to the
+    effective domain count and is clamped to the range length. Runs [f
+    start finish] inline when serial. The first exception raised by any
+    chunk is re-raised on the caller after all chunks finish. *)
+
+val parallel_for_reduce :
+  ?chunks:int ->
+  start:int ->
+  finish:int ->
+  init:'a ->
+  combine:('a -> 'a -> 'a) ->
+  (int -> int -> 'a) ->
+  'a
+(** Like {!parallel_for} but each chunk returns a value; results are
+    folded as [combine (... (combine init r0) ...) rN] in ascending chunk
+    order regardless of execution order, so order-sensitive [combine]
+    functions are deterministic. *)
+
+val shutdown_workers : unit -> unit
+(** Join and discard all worker domains (they respawn on the next
+    parallel region). Only needed by harnesses that want a clean domain
+    census; safe to call when no workers exist. *)
