@@ -3,9 +3,9 @@
 
 DUNE ?= dune
 
-.PHONY: check build test smoke bench-smoke bench-scaling clean
+.PHONY: check build test smoke resilience-smoke bench-smoke bench-scaling clean
 
-check: build test smoke bench-smoke
+check: build test smoke resilience-smoke bench-smoke
 
 build:
 	$(DUNE) build
@@ -17,6 +17,15 @@ test:
 # tiny configuration.
 smoke:
 	$(DUNE) exec bin/substation_cli.exe -- faults -c tiny --rates 0.1 --sigmas 0.0 --punch 1
+
+# <2 s: fault-injected encoder forward+backward under the supervised pool —
+# every guarded fast kernel crashes/hangs/corrupts, falls back to the naive
+# oracle, and the result is checked bitwise against a clean oracle run
+# (nonzero exit on divergence). Run serial and with the default domain count
+# so chunk-level worker crashes are exercised too.
+resilience-smoke:
+	SUBSTATION_DOMAINS=1 $(DUNE) exec bin/substation_cli.exe -- resilience -c tiny --exec-rate 1.0
+	$(DUNE) exec bin/substation_cli.exe -- resilience -c tiny --exec-rate 1.0 --retries 2
 
 # Quick JSON bench of the CPU numeric backend on small hparams; fails if
 # the fast path is slower than the naive oracle, or if the pooled parallel

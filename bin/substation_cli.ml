@@ -289,15 +289,127 @@ let cost hp device =
   with_context hp device (fun ctx ->
       print_string (Report.Cost.render (Report.Cost.bert_savings ctx)))
 
-let train steps lr =
+let train steps lr checkpoint resume interrupt_after =
   let hp = Transformer.Hparams.tiny in
   let m = Transformer.Model.create ~n_layers:2 ~vocab:8 hp in
   Format.printf "training a %d-parameter toy BERT (%d layers)...@."
     (Transformer.Model.parameter_count m)
     m.Transformer.Model.n_layers;
-  let h = Transformer.Training.train m ~steps ~lr (Prng.create 42L) in
-  Array.iteri (fun i l -> Format.printf "step %3d  loss %.4f@." i l) h.losses;
-  Format.printf "loss: %.4f -> %.4f@." h.initial_loss h.final_loss
+  (match checkpoint with
+  | Some path when Sys.file_exists path && not resume ->
+      invalid_arg
+        (Printf.sprintf
+           "train: checkpoint %s already exists; pass --resume to continue \
+            that run or delete the file to start over"
+           path)
+  | Some path when resume && Sys.file_exists path ->
+      Format.printf "resuming from %s@." path
+  | _ -> ());
+  match
+    Transformer.Training.train ?checkpoint ?interrupt_after m ~steps ~lr
+      (Prng.create 42L)
+  with
+  | h ->
+      Array.iteri (fun i l -> Format.printf "step %3d  loss %.4f@." i l) h.Transformer.Training.losses;
+      Format.printf "loss: %.4f -> %.4f@." h.Transformer.Training.initial_loss
+        h.Transformer.Training.final_loss
+  | exception Transformer.Training.Interrupted path ->
+      Format.printf
+        "interrupted after %d step(s) this run; checkpoint at %s — rerun \
+         with --checkpoint %s --resume to continue@."
+        (Option.value interrupt_after ~default:0)
+        path path
+
+let resilience_demo hp mha exec_rate seed deadline_ms kernel_timeout_ms
+    no_fallback retries =
+  let program =
+    Substation.Fusion.fuse ~name_table:(table_of ~mha) (program_of ~mha hp)
+  in
+  let plan =
+    {
+      Frameworks.Executor.name = "resilience";
+      program;
+      kernels_forward = [];
+      kernels_backward = [];
+      dispatch_overhead = 0.0;
+    }
+  in
+  let prng = Prng.create 12L in
+  let inputs =
+    ("x", Transformer.Params.random_input hp prng)
+    :: ("d_y", Transformer.Params.random_cotangent hp prng)
+    :: Transformer.Params.init hp
+  in
+  (* The oracle run the faulted execution is judged against. *)
+  let clean =
+    Frameworks.Executor.run_functional ~check:Frameworks.Executor.No_check
+      ~fast:false plan inputs
+  in
+  let spec = Gpu.Faults.exec_uniform ~seed:(Int64.of_int seed) exec_rate in
+  (* [--guard off] is honored (demonstrating unguarded failure); otherwise
+     escalate the default exception guard to Finite so injected output
+     corruption is detected, not just crashes. *)
+  let guard =
+    match Guard.current_level () with
+    | Guard.Exceptions -> Guard.Finite
+    | l -> l
+  in
+  let resilience =
+    {
+      Frameworks.Executor.deadline = Option.map (fun ms -> ms /. 1e3) deadline_ms;
+      kernel_timeout = Some (kernel_timeout_ms /. 1e3);
+      retries;
+      guard;
+      fallback = not no_fallback;
+    }
+  in
+  Guard.reset ();
+  Format.printf
+    "fault-injected run: %a, campaign %s, guard %s, fallback %b@."
+    Transformer.Hparams.pp hp
+    (Gpu.Faults.exec_fingerprint spec)
+    (Guard.level_to_string guard) (not no_fallback);
+  let env, report =
+    Gpu.Faults.with_exec_faults spec (fun () ->
+        Frameworks.Executor.run_resilient ~resilience
+          ~check:Frameworks.Executor.No_check ~fast:true plan inputs)
+  in
+  Format.printf "%a@." Frameworks.Executor.pp_run_report report;
+  (match report.Frameworks.Executor.rr_quarantine with
+  | [] -> Format.printf "quarantine: empty@."
+  | q ->
+      Format.printf "quarantine:@.";
+      List.iter
+        (fun (e : Guard.entry) ->
+          Format.printf "  %-16s %-24s x%d@." e.Guard.q_kernel e.Guard.q_reason
+            e.Guard.q_count)
+        q);
+  (match Pool.last_failure () with
+  | Some f ->
+      Format.printf "last worker failure: job %s, chunk %d (%d pool respawns)@."
+        f.Pool.f_label f.Pool.f_chunk (Pool.respawn_count ())
+  | None -> ());
+  (* The fused run materializes only the containers fusion keeps live; the
+     naive oracle run materializes every intermediate. Judge the faulted
+     run on every container it produced. *)
+  let worst = ref 0.0 in
+  let compared = ref 0 in
+  Hashtbl.iter
+    (fun c t ->
+      match Hashtbl.find_opt clean c with
+      | None -> ()
+      | Some oracle ->
+          incr compared;
+          worst := Float.max !worst (Dense.max_abs_diff t oracle))
+    env;
+  if !compared = 0 then invalid_arg "resilience: no containers to compare";
+  Format.printf "max |faulted - clean oracle| over %d shared containers: %g@."
+    !compared !worst;
+  Guard.reset ();
+  if !worst > 1e-9 then begin
+    Format.eprintf "resilience: faulted run diverged from the oracle@.";
+    exit 1
+  end
 
 let faults_campaign hp device mha seed rates sigmas punch =
   let open Substation in
@@ -384,8 +496,33 @@ let domains_setup =
     const (function None -> () | Some n -> Pool.set_domains n)
     $ domains_arg)
 
+let guard_conv =
+  let parse s =
+    match Guard.level_of_string s with
+    | Some l -> Ok l
+    | None ->
+        Error (`Msg (Printf.sprintf "unknown guard level %S (off|exn|nan|finite)" s))
+  in
+  Arg.conv (parse, fun ppf l -> Format.pp_print_string ppf (Guard.level_to_string l))
+
+let guard_arg =
+  Arg.(
+    value
+    & opt (some guard_conv) None
+    & info [ "guard" ] ~docv:"LEVEL"
+        ~doc:
+          "Fast-kernel guard level: $(b,off), $(b,exn) (catch exceptions), \
+           $(b,nan) (also scan outputs for NaN), or $(b,finite) (also \
+           reject Inf). Overrides $(b,SUBSTATION_GUARD).")
+
+let guard_setup =
+  Term.(
+    const (function None -> () | Some l -> Guard.set_level l)
+    $ guard_arg)
+
 let cmd name doc term =
-  Cmd.v (Cmd.info name ~doc) Term.(const (fun () r -> r) $ domains_setup $ term)
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const (fun () () r -> r) $ domains_setup $ guard_setup $ term)
 
 let analyze_cmd =
   cmd "analyze" "Dataflow analysis: flop, data volumes, operator classes."
@@ -529,9 +666,84 @@ let steps_arg =
 let lr_arg =
   Arg.(value & opt float 0.15 & info [ "lr" ] ~docv:"LR" ~doc:"Learning rate.")
 
+let train_checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "Write a crash-safe step checkpoint to FILE after every training \
+           step (removed on completion).")
+
+let resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Resume from an existing $(b,--checkpoint) file; the resumed run \
+           is bitwise identical to an uninterrupted one.")
+
+let interrupt_after_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "interrupt-after" ] ~docv:"N"
+        ~doc:
+          "Simulate a crash after N steps complete in this invocation (the \
+           step's checkpoint is already on disk).")
+
 let train_cmd =
   cmd "train" "Train a toy stacked-encoder model (functional numerics)."
-    Term.(const train $ steps_arg $ lr_arg)
+    Term.(
+      const train $ steps_arg $ lr_arg $ train_checkpoint_arg $ resume_arg
+      $ interrupt_after_arg)
+
+let exec_rate_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "exec-rate" ] ~docv:"R"
+        ~doc:
+          "Execution-fault budget per kernel/chunk, split across injected \
+           crashes, hangs, output corruption, and mid-chunk worker crashes.")
+
+let deadline_ms_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:"Whole-run deadline in milliseconds (cancels in-flight work).")
+
+let kernel_timeout_ms_arg =
+  Arg.(
+    value & opt float 50.0
+    & info [ "kernel-timeout-ms" ] ~docv:"MS"
+        ~doc:
+          "Per-kernel watchdog in milliseconds: a hung fast kernel is cut \
+           short and re-executed via the naive oracle.")
+
+let no_fallback_arg =
+  Arg.(
+    value & flag
+    & info [ "no-fallback" ]
+        ~doc:
+          "Disable the naive-oracle fallback: guarded failures surface as \
+           errors instead of being healed.")
+
+let retries_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "retries" ] ~docv:"N"
+        ~doc:"Whole-op retries (fresh fault draws) before giving up.")
+
+let resilience_cmd =
+  cmd "resilience"
+    "Fault-injected encoder forward+backward under the supervised pool: \
+     guarded kernels fall back to the naive oracle and the result is \
+     checked bitwise against a clean oracle run."
+    Term.(
+      const resilience_demo $ hp_arg $ mha_arg $ exec_rate_arg
+      $ fault_seed_arg $ deadline_ms_arg $ kernel_timeout_ms_arg
+      $ no_fallback_arg $ retries_arg)
 
 let () =
   let info =
@@ -549,6 +761,12 @@ let () =
     | Invalid_argument msg | Failure msg ->
         Printf.eprintf "substation: %s\n" msg;
         Cmd.Exit.some_error
+    | ( Guard.Guard_fault _ | Pool.Deadline_exceeded _
+      | Execfault.Injected_crash _ ) as e ->
+        (* --no-fallback / an expired --deadline-ms surface the underlying
+           fault; registered printers render it. *)
+        Printf.eprintf "substation: %s\n" (Printexc.to_string e);
+        Cmd.Exit.some_error
   in
   exit
     (eval
@@ -556,5 +774,5 @@ let () =
           [
             analyze_cmd; fuse_cmd; tune_cmd; select_cmd; compare_cmd; table_cmd;
             figure_cmd; summary_cmd; train_cmd; memory_cmd; trace_cmd; presets_cmd;
-            kv_fusion_cmd; cost_cmd; faults_cmd;
+            kv_fusion_cmd; cost_cmd; faults_cmd; resilience_cmd;
           ]))

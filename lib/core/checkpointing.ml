@@ -1,0 +1,53 @@
+(* Crash-safe checkpoint files, shared by the perfdb sweep and training.
+
+   The format is the perfdb checkpoint idiom promoted to a helper: a magic
+   header line naming the format, a fingerprint line binding the file to
+   the exact computation that wrote it, then a Marshal payload. Writes go
+   through a temp file that is flushed, fsynced, and atomically renamed
+   over the target, so a crash at any instant leaves either the previous
+   complete checkpoint or the new one — never a torn file. (The bare
+   open_out/rename sequence the sweep used before this helper was atomic
+   against process crashes but not against power loss: the rename could
+   land before the data blocks did.) *)
+
+let atomic_write path writer =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (match writer oc with
+  | () ->
+      flush oc;
+      Unix.fsync (Unix.descr_of_out_channel oc);
+      close_out oc
+  | exception e ->
+      close_out_noerr oc;
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e);
+  Sys.rename tmp path
+
+let save ~path ~magic ~fingerprint payload =
+  atomic_write path (fun oc ->
+      output_string oc (magic ^ "\n");
+      output_string oc (fingerprint ^ "\n");
+      Marshal.to_channel oc payload [])
+
+let load ?(run = "run") ~path ~magic ~fingerprint ~what () =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let header = try input_line ic with End_of_file -> "" in
+      if header <> magic then
+        invalid_arg
+          (Printf.sprintf
+             "%s: %s is not a checkpoint of the expected format (expected \
+              header %s); delete the file or point at a fresh path"
+             what path magic);
+      let stored = try input_line ic with End_of_file -> "" in
+      if stored <> fingerprint then
+        invalid_arg
+          (Printf.sprintf
+             "%s: checkpoint %s was written by a different %s (its \
+              fingerprint does not match); delete the file or use a fresh \
+              path to start over"
+             what path run);
+      Marshal.from_channel ic)

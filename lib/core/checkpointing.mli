@@ -1,0 +1,32 @@
+(** Crash-safe checkpoint files (fsync-then-rename), shared by the perfdb
+    sweep and training-step checkpoints.
+
+    Format: a magic header line, a fingerprint line binding the file to
+    the computation that wrote it, then a [Marshal] payload. A write is
+    atomic against both process crashes and power loss: the temp file is
+    flushed and fsynced before being renamed over the target, so readers
+    only ever observe a complete previous or complete new checkpoint. *)
+
+val atomic_write : string -> (out_channel -> unit) -> unit
+(** [atomic_write path writer] runs [writer] on a temp channel, then
+    flush + fsync + rename onto [path]. On exception the temp file is
+    removed and [path] is untouched. *)
+
+val save : path:string -> magic:string -> fingerprint:string -> 'a -> unit
+(** Write a [magic]/[fingerprint]/payload checkpoint atomically. *)
+
+val load :
+  ?run:string ->
+  path:string ->
+  magic:string ->
+  fingerprint:string ->
+  what:string ->
+  unit ->
+  'a
+(** Read a checkpoint back, validating header and fingerprint; [what]
+    names the consumer in error messages and [run] (default ["run"])
+    names the kind of computation a mismatched fingerprint belongs to
+    (e.g. ["sweep"]). Raises [Invalid_argument] when the file is not of
+    this format or was written by a different run (mismatched
+    fingerprint). Unsafe like [Marshal.from_channel]: only load paths
+    you wrote. *)

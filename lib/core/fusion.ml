@@ -235,13 +235,28 @@ let canonical_name name_table members =
 
 (* The fused run body: single-pass compiled kernels when every member
    carries a semantic descriptor and the fast backend is on; sequential
-   member replay (the naive oracle) otherwise. *)
-let fused_run ~external_writes members =
+   member replay (the naive oracle) otherwise. The compiled path runs
+   under the kernel guard: a crash, kernel timeout, or (at Nan/Finite
+   level) non-finite external output re-executes the whole group through
+   sequential replay — safe after a partial compiled run because every
+   member stores its outputs as it goes, recomputing any intermediate the
+   compiled kernel elided. *)
+let fused_run ~kernel ~external_writes members =
   let sequential env = List.iter (fun (o : Ops.Op.t) -> o.run env) members in
   match Ops.Fastpath.compile_group ~external_writes members with
   | None -> sequential
   | Some compiled ->
-      fun env -> if Fastmode.enabled () then compiled env else sequential env
+      fun env ->
+        if Fastmode.enabled () then
+          Guard.protected ~kernel
+            ~outputs:(fun () ->
+              List.filter_map
+                (fun c ->
+                  Option.map Dense.unsafe_data (Hashtbl.find_opt env c))
+                external_writes)
+            ~fallback:(fun () -> sequential env)
+            (fun () -> compiled env)
+        else sequential env
 
 let build_fused name_table program (g : raw_group) =
   match g.ops with
@@ -250,7 +265,7 @@ let build_fused name_table program (g : raw_group) =
          may carry a canonical name (BSB, BAOB, BEI). *)
       let name = canonical_name name_table [ single ] in
       let writes = external_writes program [ single ] in
-      let run = fused_run ~external_writes:writes [ single ] in
+      let run = fused_run ~kernel:("fused." ^ name) ~external_writes:writes [ single ] in
       {
         members = [ single ];
         fused = { single with Ops.Op.name = name; run };
@@ -260,9 +275,10 @@ let build_fused name_table program (g : raw_group) =
       let reads = external_reads program members in
       let writes = external_writes program members in
       let has_red = Ops.Iteration.has_reduction g.space in
+      let name = canonical_name name_table members in
       let fused =
         {
-          Ops.Op.name = canonical_name name_table members;
+          Ops.Op.name;
           cls =
             (if has_red then Sdfg.Opclass.Normalization
              else Sdfg.Opclass.Elementwise);
@@ -271,7 +287,7 @@ let build_fused name_table program (g : raw_group) =
           space = g.space;
           flop = List.fold_left (fun acc (o : Ops.Op.t) -> acc + o.flop) 0 members;
           kind = (if has_red then Ops.Op.Reduce else Ops.Op.Map);
-          run = fused_run ~external_writes:writes members;
+          run = fused_run ~kernel:("fused." ^ name) ~external_writes:writes members;
           backward = List.for_all (fun (o : Ops.Op.t) -> o.backward) members;
           (* differentiation is defined on the unfused program; fused
              kernels are a performance artifact *)

@@ -78,35 +78,11 @@ let fingerprint ?quality ~faults ~device (program : Ops.Program.t) =
        (List.map (fun (o : Ops.Op.t) -> o.Ops.Op.name) program.Ops.Program.ops))
 
 let save_checkpoint path fp (payload : checkpoint_payload) =
-  let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  output_string oc (checkpoint_magic ^ "\n");
-  output_string oc (fp ^ "\n");
-  Marshal.to_channel oc payload [];
-  close_out oc;
-  Sys.rename tmp path
+  Checkpointing.save ~path ~magic:checkpoint_magic ~fingerprint:fp payload
 
 let load_checkpoint path fp : checkpoint_payload =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      let magic = try input_line ic with End_of_file -> "" in
-      if magic <> checkpoint_magic then
-        invalid_arg
-          (Printf.sprintf
-             "Perfdb.build: %s is not a perfdb checkpoint (expected header \
-              %s); delete the file or point ~checkpoint at a fresh path"
-             path checkpoint_magic);
-      let stored = try input_line ic with End_of_file -> "" in
-      if stored <> fp then
-        invalid_arg
-          (Printf.sprintf
-             "Perfdb.build: checkpoint %s was written by a different sweep \
-              (device, program, quality or fault spec differ); delete the \
-              file or use a fresh path to start over"
-             path);
-      (Marshal.from_channel ic : checkpoint_payload))
+  Checkpointing.load ~run:"sweep" ~path ~magic:checkpoint_magic ~fingerprint:fp
+    ~what:"Perfdb.build" ()
 
 (* ------------------------------------------------------------------ *)
 (* The sweep                                                            *)

@@ -65,20 +65,125 @@ let scan_container ~check env fault_op container =
     incr i
   done
 
-let run_functional ?(check = Check_nan) ?fast plan inputs =
-  let go () =
-    match check with
-    | No_check -> Ops.Program.run plan.program inputs
-    | _ ->
-        let env = Ops.Op.env_of_list inputs in
-        List.iter
-          (fun (op : Ops.Op.t) ->
+(* ------------------------------------------------------------------ *)
+(* Resilience policy                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type resilience = {
+  deadline : float option;  (* whole-run wall-clock budget, s *)
+  kernel_timeout : float option;  (* per guarded kernel launch, s *)
+  retries : int;  (* op-level re-attempts on recoverable failure *)
+  guard : Guard.level;  (* kernel-guard level for the run *)
+  fallback : bool;  (* naive-oracle fallback on guarded failures *)
+}
+
+let default_resilience =
+  {
+    deadline = None;
+    kernel_timeout = None;
+    retries = 1;
+    guard = Guard.Nan;
+    fallback = true;
+  }
+
+type run_report = {
+  rr_fallbacks : Guard.event list;
+  rr_retried : (string * int) list;
+  rr_quarantine : Guard.entry list;
+  rr_elapsed : float;
+}
+
+let pp_run_report ppf r =
+  Format.fprintf ppf "run-report{elapsed=%.3fs" r.rr_elapsed;
+  if r.rr_fallbacks = [] && r.rr_retried = [] then
+    Format.fprintf ppf " clean}"
+  else begin
+    List.iter
+      (fun (e : Guard.event) ->
+        Format.fprintf ppf "@ fallback:%s(%s)" e.Guard.e_kernel e.Guard.e_reason)
+      r.rr_fallbacks;
+    List.iter
+      (fun (op, n) -> Format.fprintf ppf "@ retried:%s(x%d)" op n)
+      r.rr_retried;
+    Format.fprintf ppf "}"
+  end
+
+let run_with_policy ~resilience ~check plan inputs =
+  let retried : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let interpret () =
+    let env = Ops.Op.env_of_list inputs in
+    List.iter
+      (fun (op : Ops.Op.t) ->
+        let rec attempt n =
+          match
             op.run env;
-            List.iter (scan_container ~check env op.name) op.writes)
-          plan.program.Ops.Program.ops;
-        env
+            if check <> No_check then
+              List.iter (scan_container ~check env op.name) op.writes
+          with
+          | () -> ()
+          | exception Pool.Cancelled -> raise Pool.Cancelled
+          | exception (Pool.Deadline_exceeded _ as e) ->
+              (* The kernel guard already absorbed per-kernel timeouts;
+                 one that reaches the op loop is the run deadline. *)
+              raise e
+          | exception _ when n < resilience.retries ->
+              (* A fresh attempt sees fresh fault draws (the injector's
+                 per-kernel instance counters advance), so transient
+                 failures clear on retry exactly as real ones would. *)
+              Hashtbl.replace retried op.name (n + 1);
+              attempt (n + 1)
+        in
+        attempt 0)
+      plan.program.Ops.Program.ops;
+    env
   in
+  let under_deadline f =
+    match resilience.deadline with
+    | None -> f ()
+    | Some d -> Pool.with_deadline ~scope:("run:" ^ plan.name) d f
+  in
+  let t0 = Pool.now () in
+  let env, fallbacks =
+    Guard.with_recording (fun () ->
+        Guard.with_level resilience.guard (fun () ->
+            Guard.with_fallback resilience.fallback (fun () ->
+                Guard.with_kernel_timeout resilience.kernel_timeout (fun () ->
+                    under_deadline interpret))))
+  in
+  let report =
+    {
+      rr_fallbacks = fallbacks;
+      rr_retried =
+        List.sort compare
+          (Hashtbl.fold (fun op n acc -> (op, n) :: acc) retried []);
+      rr_quarantine = Guard.quarantine ();
+      rr_elapsed = Pool.now () -. t0;
+    }
+  in
+  (env, report)
+
+let run_resilient ?(resilience = default_resilience) ?(check = Check_nan) ?fast
+    plan inputs =
+  let go () = run_with_policy ~resilience ~check plan inputs in
   match fast with None -> go () | Some b -> Fastmode.with_mode b go
+
+let run_functional ?(check = Check_nan) ?resilience ?fast plan inputs =
+  match resilience with
+  | Some r -> fst (run_resilient ~resilience:r ~check ?fast plan inputs)
+  | None -> (
+      let go () =
+        match check with
+        | No_check -> Ops.Program.run plan.program inputs
+        | _ ->
+            let env = Ops.Op.env_of_list inputs in
+            List.iter
+              (fun (op : Ops.Op.t) ->
+                op.run env;
+                List.iter (scan_container ~check env op.name) op.writes)
+              plan.program.Ops.Program.ops;
+            env
+      in
+      match fast with None -> go () | Some b -> Fastmode.with_mode b go)
 
 let default_kernels ?quality ~device program ops =
   List.map

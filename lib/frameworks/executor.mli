@@ -40,14 +40,60 @@ type numeric_check = No_check | Check_nan | Check_finite
 exception
   Numerical_fault of { fault_op : string; container : string; value : string }
 
-(** [run_functional ?check ?fast plan inputs] interprets the plan's
-    program, validating every container an operator writes according to
-    [check] (default [Check_nan]). [fast] pins the numeric backend for the
-    duration of the run ([true] = blocked-GEMM einsum + fused kernels,
-    [false] = the naive oracle); when omitted, the ambient
-    {!Fastmode.enabled} setting applies. *)
+(** {1 Resilient execution}
+
+    A {!resilience} policy bounds and supervises a functional run: a
+    whole-run deadline, a per-kernel time budget, op-level retries, the
+    kernel-guard level, and whether guarded failures fall back to the
+    naive oracle. {!run_resilient} additionally returns a structured
+    {!run_report} listing every fallback the guard engaged, every
+    operator that needed a retry, and the quarantine state — so a run
+    that survived injected faults is distinguishable from one that never
+    saw any. *)
+
+type resilience = {
+  deadline : float option;  (** whole-run wall-clock budget, seconds *)
+  kernel_timeout : float option;  (** per guarded kernel launch, seconds *)
+  retries : int;  (** op-level re-attempts on recoverable failure *)
+  guard : Guard.level;  (** kernel-guard level for the run *)
+  fallback : bool;  (** naive-oracle fallback on guarded failures *)
+}
+
+(** No deadline, no kernel budget, one retry, [Guard.Nan], fallback on. *)
+val default_resilience : resilience
+
+type run_report = {
+  rr_fallbacks : Guard.event list;  (** every fallback, execution order *)
+  rr_retried : (string * int) list;  (** op name, retries it consumed *)
+  rr_quarantine : Guard.entry list;  (** quarantine state after the run *)
+  rr_elapsed : float;  (** wall-clock seconds *)
+}
+
+val pp_run_report : Format.formatter -> run_report -> unit
+
+(** [run_resilient ?resilience ?check ?fast plan inputs] interprets the
+    plan's program under the policy and reports what resilience machinery
+    engaged. [Pool.Cancelled] and a blown {e run} deadline
+    ([Pool.Deadline_exceeded]) propagate; kernel-level failures are
+    absorbed per policy. *)
+val run_resilient :
+  ?resilience:resilience ->
+  ?check:numeric_check ->
+  ?fast:bool ->
+  plan ->
+  (string * Dense.t) list ->
+  Ops.Op.env * run_report
+
+(** [run_functional ?check ?resilience ?fast plan inputs] interprets the
+    plan's program, validating every container an operator writes
+    according to [check] (default [Check_nan]). [resilience] routes the
+    run through {!run_resilient} (dropping the report). [fast] pins the
+    numeric backend for the duration of the run ([true] = blocked-GEMM
+    einsum + fused kernels, [false] = the naive oracle); when omitted,
+    the ambient {!Fastmode.enabled} setting applies. *)
 val run_functional :
   ?check:numeric_check ->
+  ?resilience:resilience ->
   ?fast:bool ->
   plan ->
   (string * Dense.t) list ->

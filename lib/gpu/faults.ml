@@ -120,3 +120,148 @@ let fingerprint s =
     s.timeout_rate s.nan_rate s.permanent_rate
     (String.concat ";"
        (List.map (fun (o, m) -> Printf.sprintf "%s=%h" o m) s.per_op))
+
+(* ------------------------------------------------------------------ *)
+(* Execution faults: crash/hang/corruption beneath the worker pool      *)
+(* ------------------------------------------------------------------ *)
+
+(* Where the measurement model above perturbs *times*, this one perturbs
+   *execution*: it installs hooks into the tensor layer's {!Execfault}
+   registry so guarded kernel launches can crash, hang (cooperatively:
+   the sleep polls [Pool.check_cancel], so a deadline turns the hang into
+   a timeout — without one it merely stalls, as real hangs do), or have
+   their freshly computed outputs poisoned with NaN/Inf, and pool workers
+   can crash while running a claimed chunk.
+
+   Determinism: kernel-level draws are keyed by (seed, kernel, launch
+   instance) — the instance counter lives in [Execfault] and resets on
+   install, so a campaign replays identically. Chunk-level draws are
+   keyed by (seed, region label, chunk index) only, because workers claim
+   chunks in nondeterministic order and an order-dependent key would
+   break reproducibility; the consequence, documented in the interface,
+   is that a given (region, chunk) either always or never faults under a
+   given seed — vary the seed to vary the victims. *)
+
+type exec_spec = {
+  e_seed : int64;
+  crash_rate : float;
+  hang_rate : float;
+  corrupt_rate : float;
+  chunk_crash_rate : float;
+  hang_seconds : float;
+  per_kernel : (string * float) list;
+}
+
+let exec_none =
+  {
+    e_seed = 0L;
+    crash_rate = 0.0;
+    hang_rate = 0.0;
+    corrupt_rate = 0.0;
+    chunk_crash_rate = 0.0;
+    hang_seconds = 0.05;
+    per_kernel = [];
+  }
+
+let make_exec ?(seed = 0L) ?(crash_rate = 0.0) ?(hang_rate = 0.0)
+    ?(corrupt_rate = 0.0) ?(chunk_crash_rate = 0.0) ?(hang_seconds = 0.05)
+    ?(per_kernel = []) () =
+  let check name r =
+    if r < 0.0 || r > 1.0 then
+      invalid_arg
+        (Printf.sprintf "Faults.make_exec: %s = %g outside [0, 1]" name r)
+  in
+  check "crash_rate" crash_rate;
+  check "hang_rate" hang_rate;
+  check "corrupt_rate" corrupt_rate;
+  check "chunk_crash_rate" chunk_crash_rate;
+  if hang_seconds < 0.0 then
+    invalid_arg "Faults.make_exec: hang_seconds must be non-negative";
+  { e_seed = seed; crash_rate; hang_rate; corrupt_rate; chunk_crash_rate;
+    hang_seconds; per_kernel }
+
+let exec_uniform ?(seed = 0L) ?(hang_seconds = 0.05) rate =
+  if rate < 0.0 || rate > 1.0 then
+    invalid_arg
+      (Printf.sprintf "Faults.exec_uniform: rate = %g outside [0, 1]" rate);
+  make_exec ~seed ~hang_seconds
+    ~crash_rate:(rate *. 0.45)
+    ~hang_rate:(rate *. 0.15)
+    ~corrupt_rate:(rate *. 0.25)
+    ~chunk_crash_rate:(rate *. 0.15)
+    ()
+
+let exec_is_clean s =
+  s.crash_rate = 0.0 && s.hang_rate = 0.0 && s.corrupt_rate = 0.0
+  && s.chunk_crash_rate = 0.0
+
+let exec_fingerprint s =
+  Printf.sprintf "exec|%Ld|%h|%h|%h|%h|%h|%s" s.e_seed s.crash_rate s.hang_rate
+    s.corrupt_rate s.chunk_crash_rate s.hang_seconds
+    (String.concat ";"
+       (List.map (fun (o, m) -> Printf.sprintf "%s=%h" o m) s.per_kernel))
+
+let kernel_scale spec k =
+  match List.assoc_opt k spec.per_kernel with Some m -> m | None -> 1.0
+
+(* A hang is a stall, not a crash: sleep in short slices so that an
+   ambient deadline or cancellation token (polled via [Pool.check_cancel])
+   can cut it short. Without either, the stall simply runs its course. *)
+let cooperative_hang seconds =
+  let slice = 0.002 in
+  let stop = Pool.now () +. seconds in
+  let rec loop () =
+    Pool.check_cancel ();
+    let left = stop -. Pool.now () in
+    if left > 0.0 then begin
+      Unix.sleepf (Float.min slice left);
+      loop ()
+    end
+  in
+  loop ()
+
+let exec_hooks spec : Execfault.hooks =
+  let on_kernel ~kernel ~instance =
+    let scale = kernel_scale spec kernel in
+    let g =
+      Prng.of_key spec.e_seed
+        (Printf.sprintf "exec:kernel:%s|%d" kernel instance)
+    in
+    let u = Prng.float g in
+    let crash = clamp01 (spec.crash_rate *. scale) in
+    let hang = crash +. clamp01 (spec.hang_rate *. scale) in
+    if u < crash then
+      raise (Execfault.Injected_crash { kernel; instance; chunk = -1 })
+    else if u < hang then cooperative_hang spec.hang_seconds
+  in
+  let on_chunk ~label ~chunk =
+    let scale = kernel_scale spec label in
+    if clamp01 (spec.chunk_crash_rate *. scale) > 0.0 then begin
+      let g =
+        Prng.of_key spec.e_seed (Printf.sprintf "exec:chunk:%s|%d" label chunk)
+      in
+      if Prng.float g < clamp01 (spec.chunk_crash_rate *. scale) then
+        raise (Execfault.Injected_crash { kernel = label; instance = -1; chunk })
+    end
+  in
+  let corrupt ~kernel ~instance data =
+    let scale = kernel_scale spec kernel in
+    let n = Array.length data in
+    if n > 0 && clamp01 (spec.corrupt_rate *. scale) > 0.0 then begin
+      let g =
+        Prng.of_key spec.e_seed
+          (Printf.sprintf "exec:corrupt:%s|%d" kernel instance)
+      in
+      if Prng.float g < clamp01 (spec.corrupt_rate *. scale) then begin
+        let i = Prng.int g ~bound:n in
+        (* Two poison flavors so both the Nan and Finite guard levels get
+           exercised by one campaign. *)
+        data.(i) <- (if Prng.float g < 0.67 then Float.nan else Float.infinity)
+      end
+    end
+  in
+  { on_kernel; on_chunk; corrupt }
+
+let with_exec_faults spec f =
+  if exec_is_clean spec then f ()
+  else Execfault.with_hooks (exec_hooks spec) f

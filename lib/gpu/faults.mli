@@ -67,3 +67,56 @@ val pp : Format.formatter -> spec -> unit
 
 (** Canonical string of every knob, for checkpoint compatibility checks. *)
 val fingerprint : spec -> string
+
+(** {1 Execution faults}
+
+    Where {!inject} perturbs measured {e times}, the execution-fault mode
+    perturbs {e execution}: it installs hooks into the tensor layer's
+    [Execfault] registry so that guarded fast-kernel launches crash, hang
+    cooperatively, or have an output element poisoned with NaN/Inf, and
+    pool workers crash while running a claimed chunk. The kernel guard
+    and supervised pool above then demonstrate recovery (oracle fallback,
+    structured failure capture, pool respawn).
+
+    Determinism: kernel-level draws are keyed by [(seed, kernel, launch
+    instance)]; chunk-level draws by [(seed, region label, chunk index)]
+    only — workers claim chunks in nondeterministic order, so an
+    order-dependent key would break reproducibility. Consequently a given
+    (region, chunk) either always or never faults under a given seed. *)
+
+type exec_spec = {
+  e_seed : int64;
+  crash_rate : float;  (** probability a guarded kernel launch raises *)
+  hang_rate : float;  (** probability a launch stalls [hang_seconds] *)
+  corrupt_rate : float;
+      (** probability one element of a launch's output becomes NaN/Inf *)
+  chunk_crash_rate : float;  (** probability a claimed pool chunk raises *)
+  hang_seconds : float;  (** stall length; polls [Pool.check_cancel] *)
+  per_kernel : (string * float) list;
+      (** per-kernel (and per-region-label) rate multiplier *)
+}
+
+val exec_none : exec_spec
+
+val make_exec :
+  ?seed:int64 -> ?crash_rate:float -> ?hang_rate:float -> ?corrupt_rate:float
+  -> ?chunk_crash_rate:float -> ?hang_seconds:float
+  -> ?per_kernel:(string * float) list -> unit -> exec_spec
+
+(** [exec_uniform ?seed ?hang_seconds r] splits one failure budget
+    45/15/25/15 across crash/hang/corrupt/chunk-crash. *)
+val exec_uniform : ?seed:int64 -> ?hang_seconds:float -> float -> exec_spec
+
+val exec_is_clean : exec_spec -> bool
+
+(** Canonical string of every knob, for run reports and checkpoints. *)
+val exec_fingerprint : exec_spec -> string
+
+(** Build the hook set [with_exec_faults] installs; exposed for harnesses
+    that want to compose their own hooks. *)
+val exec_hooks : exec_spec -> Execfault.hooks
+
+(** [with_exec_faults spec f] runs [f] with the execution-fault campaign
+    installed process-wide (removed afterwards, exception-safe). A clean
+    spec installs nothing. *)
+val with_exec_faults : exec_spec -> (unit -> 'a) -> 'a

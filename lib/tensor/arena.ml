@@ -31,9 +31,13 @@ let borrow t n =
       buf
   | [] -> Array.make n 0.0
 
+(* Idempotent: releasing a buffer already in the pool (a double release
+   from convoluted unwind paths) must not create aliased borrows. Pools
+   are a handful of entries deep, so the physical-membership scan is
+   cheap. *)
 let release t buf =
   let p = pool t (Array.length buf) in
-  p := buf :: !p
+  if not (List.memq buf !p) then p := buf :: !p
 
 let with_scratch t n f =
   let buf = borrow t n in
@@ -44,5 +48,12 @@ let with_zeroed t n f =
   with_scratch t n (fun buf ->
       Array.fill buf 0 n 0.0;
       f buf)
+
+(* Drop every pooled buffer on the calling domain. Used by the kernel
+   guard before an oracle fallback re-run: a fast kernel that crashed
+   mid-pack has returned its scratch (borrows are [Fun.protect]ed), but
+   discarding the pools guarantees the oracle starts from fresh
+   allocations rather than inheriting any in-flight aliasing. *)
+let reset t = Hashtbl.reset (Domain.DLS.get t.pools)
 
 let global = create ()

@@ -20,5 +20,11 @@ val with_scratch : t -> int -> (float array -> 'a) -> 'a
 val with_zeroed : t -> int -> (float array -> 'a) -> 'a
 (** Like {!with_scratch} but the buffer is zero-filled first. *)
 
+val reset : t -> unit
+(** Drop every pooled buffer on the calling domain (they become garbage;
+    subsequent borrows allocate fresh). The kernel guard calls this
+    before an oracle fallback re-run so the oracle can never inherit
+    scratch a crashed kernel had in flight. *)
+
 val global : t
 (** Shared process-wide arena used by the built-in fast kernels. *)

@@ -432,7 +432,7 @@ let run_matmul p ~scale inputs =
     (* Shard the batch group; the per-batch GEMMs then run serially inside
        each worker (Pool suppresses nested regions). With a single batch
        the row-sharded Gemm kernel parallelizes instead. *)
-    Pool.parallel_for ~start:0 ~finish:nbatches run_range
+    Pool.parallel_for ~label:"einsum.matmul" ~start:0 ~finish:nbatches run_range
   else run_range 0 nbatches;
   out_t
 
@@ -459,9 +459,20 @@ let contract ?(scale = 1.0) ?fast inputs ~out =
           Hashtbl.add plan_cache key p;
           p
     in
+    (* Both fast paths run under the kernel guard: a crash, kernel
+       timeout, or (at Nan/Finite level) non-finite output re-executes the
+       contraction through the naive odometer oracle. Each attempt writes
+       a fresh output tensor, so the fallback starts clean. *)
+    let guarded kernel run =
+      Guard.protected ~kernel
+        ~outputs:(fun t -> [ Dense.unsafe_data t ])
+        ~fallback:(fun () -> contract_naive ~scale inputs ~out)
+        run
+    in
     match plan with
-    | Matmul p -> run_matmul p ~scale inputs
-    | General p -> run_general p ~scale inputs
+    | Matmul p -> guarded "einsum.matmul" (fun () -> run_matmul p ~scale inputs)
+    | General p ->
+        guarded "einsum.general" (fun () -> run_general p ~scale inputs)
   end
 
 let eval ?scale ?fast str inputs =

@@ -15,6 +15,26 @@
    submitting domain in ascending chunk order, so reductions are
    deterministic regardless of which worker ran which chunk.
 
+   Supervision. Each job carries the cancellation context (token +
+   deadline) that was ambient at submit time; every chunk claim checks it
+   before running the body, so an expired deadline or a cancelled token
+   stops the job at the next chunk boundary — remaining chunks are claimed
+   and skipped, which drains [pending] and wakes the submitter without
+   waiting for the skipped work. A chunk body that raises (including an
+   injected {!Execfault} crash) is captured as a structured failure —
+   exception, raw backtrace, chunk id, job label — recorded once, and
+   re-raised on the submitting domain after the job drains. A job that
+   failed or was cancelled is considered poisoned: the pool tears its
+   workers down and respawns them on the next parallel region, so no state
+   a crashing body left behind (locks it held, domain-local scratch it was
+   mutating) can leak into later jobs.
+
+   Hangs are handled cooperatively: long-running bodies (and the injected
+   hang fault) poll [check_cancel] and abort once the deadline passes. A
+   body that never polls and never returns cannot be interrupted — OCaml
+   domains are not killable — which is exactly why the injected hang is
+   built as a bounded sleep loop around [check_cancel].
+
    Nested parallel regions run serially inline: a body that itself calls
    [parallel_for] (e.g. a batched einsum whose per-batch GEMM is also
    sharded) must not re-enter the pool from a worker, both to avoid
@@ -61,15 +81,101 @@ let with_domains n f =
   Fun.protect ~finally:(fun () -> override := saved) f
 
 (* ------------------------------------------------------------------ *)
+(* Cancellation tokens and deadlines                                   *)
+(* ------------------------------------------------------------------ *)
+
+let now () = Unix.gettimeofday ()
+
+type token = { mutable cancelled : bool }
+
+let create_token () = { cancelled = false }
+let cancel t = t.cancelled <- true
+let cancelled t = t.cancelled
+
+exception Cancelled
+
+exception Deadline_exceeded of { label : string; overrun : float }
+
+let () =
+  Printexc.register_printer (function
+    | Cancelled -> Some "Pool.Cancelled: cooperative cancellation requested"
+    | Deadline_exceeded { label; overrun } ->
+        Some
+          (Printf.sprintf
+             "Pool.Deadline_exceeded: %s ran %.3f s past its deadline" label
+             overrun)
+    | _ -> None)
+
+(* The cancellation context that [check_cancel] consults. The ambient ref
+   belongs to the submitting domain (like [submitting] below); workers see
+   the context of the job they are draining through domain-local storage,
+   set for the duration of [drain]. *)
+type ctx = { deadline : float option; token : token option; scope : string }
+
+let root_ctx = { deadline = None; token = None; scope = "run" }
+let ambient = ref root_ctx
+
+let worker_ctx : ctx option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let current_ctx () =
+  match Domain.DLS.get worker_ctx with Some c -> c | None -> !ambient
+
+let with_ctx c f =
+  let saved = !ambient in
+  ambient := c;
+  Fun.protect ~finally:(fun () -> ambient := saved) f
+
+let with_deadline ?(scope = "deadline scope") seconds f =
+  if seconds <= 0.0 then
+    invalid_arg "Pool.with_deadline: budget must be positive";
+  let d = now () +. seconds in
+  let c = !ambient in
+  let deadline =
+    match c.deadline with Some d0 -> Some (Float.min d0 d) | None -> Some d
+  in
+  with_ctx { c with deadline; scope } f
+
+let with_token ?(scope = "cancel scope") token f =
+  with_ctx { !ambient with token = Some token; scope } f
+
+let deadline_left () =
+  match (current_ctx ()).deadline with
+  | None -> None
+  | Some d -> Some (d -. now ())
+
+let check_ctx c =
+  (match c.token with
+  | Some t when t.cancelled -> raise Cancelled
+  | _ -> ());
+  match c.deadline with
+  | Some d ->
+      let t = now () in
+      if t > d then
+        raise (Deadline_exceeded { label = c.scope; overrun = t -. d })
+  | None -> ()
+
+let check_cancel () = check_ctx (current_ctx ())
+
+(* ------------------------------------------------------------------ *)
 (* The pool                                                            *)
 (* ------------------------------------------------------------------ *)
+
+type failure = {
+  f_label : string;
+  f_chunk : int;
+  f_exn : exn;
+  f_backtrace : string;
+}
 
 type job = {
   body : int -> int -> int -> unit;  (* chunk index, lo, hi *)
   ranges : (int * int) array;
+  label : string;
+  ctx : ctx;  (* cancellation context captured at submit *)
   next : int Atomic.t;  (* next unclaimed chunk index *)
   pending : int Atomic.t;  (* chunks not yet completed *)
-  mutable failed : exn option;  (* first exception, under the pool mutex *)
+  mutable failed : failure option;  (* first failure, under the pool mutex *)
+  mutable failed_bt : Printexc.raw_backtrace option;
 }
 
 type t = {
@@ -102,20 +208,52 @@ let submitting = ref false
 
 let running_in_worker () = Domain.DLS.get in_worker || !submitting
 
+(* Structured record of the most recent poisoned job, for diagnostics and
+   the resilience run report. Written by the submitting domain only. *)
+let last_failure_ref : failure option ref = ref None
+let last_failure () = !last_failure_ref
+
+let respawns = ref 0
+let respawn_count () = !respawns
+
 (* Claim and run chunks until the job is drained. The last finisher
-   signals the submitter. Exceptions abort the chunk (recorded once) but
-   never the drain, so [pending] always reaches zero. *)
+   signals the submitter. Before each body the job's cancellation context
+   is checked and the execution-fault hook fires, so cancellation,
+   deadlines, and injected worker crashes all take effect at chunk
+   boundaries. Failures abort the chunk (recorded once, with backtrace and
+   chunk id) but never the drain, so [pending] always reaches zero — once
+   a failure or cancellation is recorded, remaining chunks are claimed and
+   skipped rather than run. *)
 let drain job =
+  let saved_ctx = Domain.DLS.get worker_ctx in
+  Domain.DLS.set worker_ctx (Some job.ctx);
   let n = Array.length job.ranges in
+  let record i e bt =
+    Mutex.lock pool.mutex;
+    if job.failed = None then begin
+      job.failed <-
+        Some
+          {
+            f_label = job.label;
+            f_chunk = i;
+            f_exn = e;
+            f_backtrace = Printexc.raw_backtrace_to_string bt;
+          };
+      job.failed_bt <- Some bt
+    end;
+    Mutex.unlock pool.mutex
+  in
   let rec claim () =
     let i = Atomic.fetch_and_add job.next 1 in
     if i < n then begin
       let lo, hi = job.ranges.(i) in
-      (try job.body i lo hi
-       with e ->
-         Mutex.lock pool.mutex;
-         if job.failed = None then job.failed <- Some e;
-         Mutex.unlock pool.mutex);
+      (try
+         if job.failed = None then begin
+           check_ctx job.ctx;
+           Execfault.on_chunk ~label:job.label ~chunk:i;
+           job.body i lo hi
+         end
+       with e -> record i e (Printexc.get_raw_backtrace ()));
       if Atomic.fetch_and_add job.pending (-1) = 1 then begin
         Mutex.lock pool.mutex;
         Condition.broadcast pool.idle;
@@ -124,7 +262,8 @@ let drain job =
       claim ()
     end
   in
-  claim ()
+  claim ();
+  Domain.DLS.set worker_ctx saved_ctx
 
 let worker_main () =
   Domain.DLS.set in_worker true;
@@ -173,14 +312,17 @@ let split_ranges ~start ~finish chunks =
       let hi = lo + q + if i < r then 1 else 0 in
       (lo, hi))
 
-let run_job ~ranges body =
+let run_job ~label ~ranges body =
   let job =
     {
       body;
       ranges;
+      label;
+      ctx = !ambient;
       next = Atomic.make 0;
       pending = Atomic.make (Array.length ranges);
       failed = None;
+      failed_bt = None;
     }
   in
   Mutex.lock pool.mutex;
@@ -199,11 +341,23 @@ let run_job ~ranges body =
   done;
   pool.job <- None;
   Mutex.unlock pool.mutex;
-  match job.failed with None -> () | Some e -> raise e
+  match job.failed with
+  | None -> ()
+  | Some f ->
+      (* The job is poisoned: record it, tear the workers down so the next
+         region starts from freshly spawned domains, and re-raise the
+         original exception with the failing chunk's backtrace. *)
+      last_failure_ref := Some f;
+      shutdown_workers ();
+      incr respawns;
+      (match job.failed_bt with
+      | Some bt -> Printexc.raise_with_backtrace f.f_exn bt
+      | None -> raise f.f_exn)
 
-let parallel_for ?chunks ~start ~finish body =
+let parallel_for ?(label = "region") ?chunks ~start ~finish body =
   let n = finish - start in
   if n > 0 then begin
+    check_cancel ();
     let d = if running_in_worker () then 1 else num_domains () in
     let chunks =
       match chunks with
@@ -213,16 +367,18 @@ let parallel_for ?chunks ~start ~finish body =
     if d <= 1 || chunks <= 1 then body start finish
     else begin
       ensure_workers d;
-      run_job
+      run_job ~label
         ~ranges:(split_ranges ~start ~finish chunks)
         (fun _i lo hi -> body lo hi)
     end
   end
 
-let parallel_for_reduce ?chunks ~start ~finish ~init ~combine body =
+let parallel_for_reduce ?(label = "region") ?chunks ~start ~finish ~init
+    ~combine body =
   let n = finish - start in
   if n <= 0 then init
   else begin
+    check_cancel ();
     let d = if running_in_worker () then 1 else num_domains () in
     let chunks =
       match chunks with
@@ -234,7 +390,7 @@ let parallel_for_reduce ?chunks ~start ~finish ~init ~combine body =
       ensure_workers d;
       let ranges = split_ranges ~start ~finish chunks in
       let results = Array.make chunks None in
-      run_job ~ranges (fun i lo hi -> results.(i) <- Some (body lo hi));
+      run_job ~label ~ranges (fun i lo hi -> results.(i) <- Some (body lo hi));
       (* Deterministic merge: ascending chunk order, independent of which
          worker produced which chunk. *)
       Array.fold_left

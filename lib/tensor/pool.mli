@@ -1,4 +1,5 @@
-(** Persistent [Domain]-based worker pool for the fast CPU backend.
+(** Persistent [Domain]-based worker pool for the fast CPU backend, with
+    job supervision.
 
     Worker domains are spawned once (lazily) and parked on a condition
     variable between jobs, so a steady-state parallel region costs a
@@ -8,6 +9,15 @@
     {b bitwise identical} to a serial run whenever per-chunk work only
     touches chunk-owned data (the contract every caller in this repo
     honors).
+
+    Supervision: every job carries the cancellation context (token and/or
+    deadline, see {!with_token} / {!with_deadline}) ambient at submit
+    time, checked before each chunk body runs. A chunk that raises —
+    including an injected {!Execfault} worker crash — is captured as a
+    structured {!failure} (exception, backtrace, chunk id, job label),
+    recorded once, and re-raised on the submitting domain after the job
+    drains; the poisoned pool is torn down and respawned on the next
+    region. Hangs are cooperative: long bodies poll {!check_cancel}.
 
     Sizing: the scoped override ({!with_domains} / {!set_domains}) wins,
     then the [SUBSTATION_DOMAINS] environment variable, then
@@ -32,16 +42,88 @@ val running_in_worker : unit -> bool
 (** True when called from inside a parallel region (worker domain or the
     submitting domain executing one of its own chunks). *)
 
+(** {1 Cancellation and deadlines} *)
+
+val now : unit -> float
+(** Wall-clock seconds ([Unix.gettimeofday]); the clock every deadline in
+    this module is measured against. *)
+
+type token
+(** A cooperative cancellation token: set once, observed at chunk
+    boundaries and wherever {!check_cancel} is polled. *)
+
+val create_token : unit -> token
+val cancel : token -> unit
+val cancelled : token -> bool
+
+exception Cancelled
+(** Raised by {!check_cancel} when the ambient token is cancelled. *)
+
+exception Deadline_exceeded of { label : string; overrun : float }
+(** Raised by {!check_cancel} when the ambient deadline has passed;
+    [label] names the scope that set the deadline, [overrun] is seconds
+    past it. *)
+
+val with_deadline : ?scope:string -> float -> (unit -> 'a) -> 'a
+(** [with_deadline seconds f] runs [f] under a wall-clock budget. Nested
+    deadlines take the minimum. Enforcement is cooperative: the budget is
+    checked at parallel-region entry, before every pool chunk, and at
+    every explicit {!check_cancel} poll. Submitting-domain use only.
+    Raises [Invalid_argument] on non-positive budgets. *)
+
+val with_token : ?scope:string -> token -> (unit -> 'a) -> 'a
+(** [with_token t f] makes [t] the ambient cancellation token inside [f]:
+    cancelling it aborts parallel work at the next chunk boundary. *)
+
+val deadline_left : unit -> float option
+(** Seconds until the ambient deadline (negative once past), or [None]
+    when no deadline is set. *)
+
+val check_cancel : unit -> unit
+(** Poll the ambient cancellation context: raises {!Cancelled} or
+    {!Deadline_exceeded} when cancelled or past deadline. Callable from
+    chunk bodies (workers observe the job's context) and from serial
+    code; long-running kernels should poll at natural boundaries. *)
+
+(** {1 Failure capture} *)
+
+type failure = {
+  f_label : string;  (** the job's [?label] *)
+  f_chunk : int;  (** chunk index whose body failed *)
+  f_exn : exn;
+  f_backtrace : string;
+}
+
+val last_failure : unit -> failure option
+(** Structured record of the most recent poisoned job (its first failing
+    chunk). The original exception is still re-raised on the submitter;
+    this preserves the chunk id and worker-side backtrace that the bare
+    exception loses. *)
+
+val respawn_count : unit -> int
+(** Number of times the pool was torn down and respawned after a poisoned
+    job (diagnostic). *)
+
+(** {1 Parallel regions} *)
+
 val parallel_for :
-  ?chunks:int -> start:int -> finish:int -> (int -> int -> unit) -> unit
+  ?label:string ->
+  ?chunks:int ->
+  start:int ->
+  finish:int ->
+  (int -> int -> unit) ->
+  unit
 (** [parallel_for ~start ~finish f] covers the half-open range
     [\[start, finish)] with disjoint chunks, calling [f lo hi] once per
     chunk ([lo] inclusive, [hi] exclusive). [chunks] defaults to the
-    effective domain count and is clamped to the range length. Runs [f
+    effective domain count and is clamped to the range length. [label]
+    names the job in failure records and execution-fault draws. Runs [f
     start finish] inline when serial. The first exception raised by any
-    chunk is re-raised on the caller after all chunks finish. *)
+    chunk is re-raised on the caller after all chunks finish (remaining
+    chunks are skipped, and the pool respawns its workers). *)
 
 val parallel_for_reduce :
+  ?label:string ->
   ?chunks:int ->
   start:int ->
   finish:int ->

@@ -48,3 +48,6 @@ let int t ~bound =
   Int64.to_int (Int64.rem mask (Int64.of_int bound))
 
 let split t = create (next_int64 t)
+
+let state t = t.state
+let set_state t s = t.state <- s

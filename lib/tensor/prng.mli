@@ -39,3 +39,9 @@ val split : t -> t
 (** [hash64 key] hashes a string to 64 bits (FNV-1a), used for deterministic
     per-configuration perturbations in the cost model. *)
 val hash64 : string -> int64
+
+(** [state t] / [set_state t s] expose the raw splitmix64 counter so
+    checkpoints can save and bitwise-restore a generator mid-stream. *)
+val state : t -> int64
+
+val set_state : t -> int64 -> unit

@@ -191,6 +191,92 @@ let adam_step ?(beta1 = 0.9) ?(beta2 = 0.999) ?(eps = 1e-8) m state grads ~lr =
         params)
     m.layer_params
 
+(* --- snapshot / restore (training checkpoints) ---------------------- *)
+
+(* Plain-data copies of every parameter (and, for Adam, moment) buffer:
+   marshalable, and restored by blitting back into the live tensors so
+   aliases (the weight-tied output head reads [embedding] itself) stay
+   intact. *)
+
+type snapshot = {
+  s_embedding : float array;
+  s_layers : (string * float array) list array;
+}
+
+let snapshot m =
+  {
+    s_embedding = Array.copy (Dense.unsafe_data m.embedding);
+    s_layers =
+      Array.map
+        (List.map (fun (n, p) -> (n, Array.copy (Dense.unsafe_data p))))
+        m.layer_params;
+  }
+
+let blit_into ~what src dst =
+  if Array.length src <> Array.length dst then
+    invalid_arg
+      (Printf.sprintf
+         "Model.restore: snapshot buffer %s has %d elements, model has %d \
+          (snapshot from a different model?)"
+         what (Array.length src) (Array.length dst));
+  Array.blit src 0 dst 0 (Array.length src)
+
+let restore m s =
+  blit_into ~what:"embedding" s.s_embedding (Dense.unsafe_data m.embedding);
+  if Array.length s.s_layers <> Array.length m.layer_params then
+    invalid_arg "Model.restore: snapshot layer count differs from model";
+  Array.iteri
+    (fun layer params ->
+      List.iter
+        (fun (name, p) ->
+          match List.assoc_opt name s.s_layers.(layer) with
+          | Some buf -> blit_into ~what:name buf (Dense.unsafe_data p)
+          | None ->
+              invalid_arg
+                ("Model.restore: snapshot is missing parameter " ^ name))
+        params)
+    m.layer_params
+
+type adam_snapshot = {
+  a_step : int;
+  a_m_embedding : float array;
+  a_v_embedding : float array;
+  a_m_layers : (string * float array) list array;
+  a_v_layers : (string * float array) list array;
+}
+
+let adam_snapshot st =
+  let copy_layers = Array.map (List.map (fun (n, p) -> (n, Array.copy (Dense.unsafe_data p)))) in
+  {
+    a_step = st.step;
+    a_m_embedding = Array.copy (Dense.unsafe_data st.m_embedding);
+    a_v_embedding = Array.copy (Dense.unsafe_data st.v_embedding);
+    a_m_layers = copy_layers st.m_layers;
+    a_v_layers = copy_layers st.v_layers;
+  }
+
+let adam_restore st s =
+  st.step <- s.a_step;
+  blit_into ~what:"adam.m_embedding" s.a_m_embedding
+    (Dense.unsafe_data st.m_embedding);
+  blit_into ~what:"adam.v_embedding" s.a_v_embedding
+    (Dense.unsafe_data st.v_embedding);
+  let restore_layers snap live =
+    Array.iteri
+      (fun layer params ->
+        List.iter
+          (fun (name, p) ->
+            match List.assoc_opt name snap.(layer) with
+            | Some buf -> blit_into ~what:("adam." ^ name) buf (Dense.unsafe_data p)
+            | None ->
+                invalid_arg
+                  ("Model.restore: adam snapshot is missing moment " ^ name))
+          params)
+      live
+  in
+  restore_layers s.a_m_layers st.m_layers;
+  restore_layers s.a_v_layers st.v_layers
+
 let parameter_count m =
   Dense.volume m.embedding
   + Array.fold_left

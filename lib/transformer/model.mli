@@ -55,5 +55,26 @@ val adam_step :
   ?beta1:float -> ?beta2:float -> ?eps:float -> t -> adam_state -> grads
   -> lr:float -> unit
 
+(** {1 Snapshot / restore}
+
+    Plain-data, marshalable copies of every parameter (and Adam moment)
+    buffer, used by the training loop's crash-safe step checkpoints.
+    Restoring blits into the live tensors in place, so aliases — the
+    weight-tied output head reads [embedding] itself — stay intact, and a
+    restored model is bitwise identical to the one snapshotted. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> unit
+(** Raises [Invalid_argument] when the snapshot's buffer sizes or layer
+    structure do not match the model. *)
+
+type adam_snapshot
+
+val adam_snapshot : adam_state -> adam_snapshot
+val adam_restore : adam_state -> adam_snapshot -> unit
+
 (** [parameter_count m] counts learnable scalars. *)
 val parameter_count : t -> int

@@ -11,6 +11,10 @@ type history = {
 
 type optimizer = Sgd | Adam
 
+exception Interrupted of string
+(** Raised by the [?interrupt_after] simulated crash; carries the
+    checkpoint path (mirrors [Perfdb.Interrupted]). *)
+
 (** [random_batch prng ~vocab ~batch ~seq] draws token sequences. *)
 val random_batch :
   Prng.t -> vocab:int -> batch:int -> seq:int -> int array array
@@ -21,7 +25,26 @@ val step :
   Model.t -> tokens:int array array -> targets:int array array -> lr:float
   -> float
 
-(** [train ?optimizer m ~steps ~lr prng] trains on the reconstruction task
-    (targets = inputs) with fresh batches each step; [Sgd] by default. *)
+(** [train ?optimizer ?checkpoint ?interrupt_after m ~steps ~lr prng]
+    trains on the reconstruction task (targets = inputs) with fresh
+    batches each step; [Sgd] by default.
+
+    With [?checkpoint:path], every completed step writes a crash-safe
+    (fsync-then-rename) checkpoint holding the step count, losses, PRNG
+    counter, and bitwise copies of all parameters and Adam moments,
+    fingerprint-bound to the run shape (model geometry, optimizer,
+    [steps], [lr]). If [path] exists when [train] starts, the run resumes
+    from it — model, optimizer state, and PRNG restored in place — and
+    produces a final model bitwise identical to an uninterrupted run. The
+    file is removed on completion. [?interrupt_after:n] raises
+    {!Interrupted} after [n] steps complete in this invocation (after
+    their checkpoint is on disk), simulating a crash for tests. *)
 val train :
-  ?optimizer:optimizer -> Model.t -> steps:int -> lr:float -> Prng.t -> history
+  ?optimizer:optimizer ->
+  ?checkpoint:string ->
+  ?interrupt_after:int ->
+  Model.t ->
+  steps:int ->
+  lr:float ->
+  Prng.t ->
+  history
