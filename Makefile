@@ -3,9 +3,10 @@
 
 DUNE ?= dune
 
-.PHONY: check build test smoke resilience-smoke bench-smoke bench-scaling clean
+.PHONY: check build test smoke resilience-smoke bench-smoke bench-scaling \
+	serve-smoke bench-serve clean
 
-check: build test smoke resilience-smoke bench-smoke
+check: build test smoke resilience-smoke bench-smoke serve-smoke
 
 build:
 	$(DUNE) build
@@ -40,6 +41,18 @@ bench-smoke:
 # regenerates BENCH_pr4.json.
 bench-scaling:
 	$(DUNE) exec bench/main.exe -- scaling
+
+# <2 s: KV-cached decode checked bitwise against the full-recompute
+# oracle, plus a low-load simulated trace that must serve every request
+# with zero sheds/rejections (nonzero exit otherwise).
+serve-smoke:
+	$(DUNE) exec bench/main.exe -- serve-smoke
+
+# Cached-vs-recompute decode throughput (asserts >=5x at L=64) and the
+# latency/throughput curve across batching policies; regenerates
+# BENCH_pr7.json.
+bench-serve:
+	$(DUNE) exec bench/main.exe -- serve-json
 
 clean:
 	$(DUNE) clean

@@ -229,6 +229,12 @@ let () =
   | "scaling" ->
       Cpu_bench.run `Scaling;
       exit 0
+  | "serve-json" ->
+      Serve_bench.run `Json;
+      exit 0
+  | "serve-smoke" ->
+      Serve_bench.run `Smoke;
+      exit 0
   | _ -> ());
   Printf.printf
     "substation benchmark harness - reproducing \"Data Movement Is All You \

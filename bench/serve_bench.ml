@@ -1,0 +1,256 @@
+(* Serving benchmark: the inference-side face of the data-movement
+   argument. Incremental KV-cached decoding moves O(L) bytes per token
+   where full recompute moves O(L^2); this file measures that as
+   tokens/s, plus a latency/throughput curve across batching policies on
+   the deterministic simulated clock.
+
+   [run ~mode]:
+   - [`Json]: wall-clock cached-vs-recompute decode at L=64 (asserting
+     the >=5x speedup and bitwise agreement), then the policy curve;
+     writes BENCH_pr7.json and prints it.
+   - [`Smoke]: <2 s — bitwise KV-decode check at L=16 plus a low-load
+     simulated trace that must finish with zero sheds/rejections (exit 1
+     otherwise) — wired into `make serve-smoke` / `make check`. *)
+
+open Cpu_bench
+
+module M = Transformer.Model
+module H = Transformer.Hparams
+
+(* Decode-bench configuration: big enough that einsum work (not dispatch
+   overhead) dominates, small enough that 64 full-prefix recomputes stay
+   in seconds. batch/seq are per-call; decode derives them. *)
+let decode_hp =
+  {
+    H.tiny with
+    H.batch = 1;
+    seq = 1;
+    embed = 128;
+    heads = 8;
+    proj = 16;
+    ff = 512;
+    dropout_p = 0.0;
+    seed = 0xBEEFL;
+  }
+
+let decode_vocab = 32
+let decode_layers = 2
+
+(* Greedy decode [steps] tokens from a 1-token prompt, full recompute:
+   every step re-runs the causal forward over the whole prefix. Returns
+   the logits column per step and the token stream. *)
+let recompute_decode m ~steps =
+  let prefix = Array.make (steps + 1) 1 in
+  let cols = Array.make steps [||] in
+  for step = 0 to steps - 1 do
+    let col = M.decode_oracle m ~prompt:(Array.sub prefix 0 (step + 1)) in
+    cols.(step) <- col;
+    prefix.(step + 1) <- M.argmax col
+  done;
+  cols
+
+(* Same generation through a KV-cache session: one column per step. *)
+let cached_decode m ~steps =
+  let sess = M.new_session m in
+  let tok = ref 1 in
+  let cols = Array.make steps [||] in
+  for step = 0 to steps - 1 do
+    let logits = M.decode_batch m [| sess |] ~tokens:[| !tok |] in
+    let col = M.logits_column logits ~b:0 in
+    cols.(step) <- col;
+    tok := M.argmax col
+  done;
+  cols
+
+let bitwise_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> Float.equal x y) a b
+
+let all_bitwise cols_a cols_b =
+  Array.for_all2 bitwise_equal cols_a cols_b
+
+(* --- cached vs recompute tokens/s ---------------------------------- *)
+
+let bench_kv_cache ~steps ~reps =
+  let m = M.create ~n_layers:decode_layers ~vocab:decode_vocab decode_hp in
+  let oracle_cols = ref [||] and cached_cols = ref [||] in
+  let t_recompute =
+    best_of ~reps (fun () -> oracle_cols := recompute_decode m ~steps)
+  in
+  let t_cached =
+    best_of ~reps (fun () -> cached_cols := cached_decode m ~steps)
+  in
+  let bitwise = all_bitwise !oracle_cols !cached_cols in
+  let tps t = float_of_int steps /. t in
+  let speedup = t_recompute /. t_cached in
+  let json =
+    Obj
+      [
+        ("seq_len", Int steps);
+        ("embed", Int decode_hp.H.embed);
+        ("layers", Int decode_layers);
+        ("cached_tokens_per_sec", Num (tps t_cached));
+        ("recompute_tokens_per_sec", Num (tps t_recompute));
+        ("speedup", Num speedup);
+        ("bitwise_equal", Str (if bitwise then "true" else "false"));
+      ]
+  in
+  (json, speedup, bitwise)
+
+(* --- latency/throughput across batching policies -------------------- *)
+
+(* All curve runs share one trace (same seed) and the simulated clock
+   with the default step-cost model, so the numbers in BENCH_pr7.json
+   replay exactly. The arrival rate is set past the unbatched service
+   capacity (~1/step_cost steps/s), so the curve shows the trade-off:
+   bigger batches buy throughput, queueing buys latency. *)
+let curve_spec =
+  {
+    Serve.Loadgen.default_spec with
+    Serve.Loadgen.n = 64;
+    pattern = Serve.Loadgen.Poisson { rate = 2000.0 };
+    prompt_lo = 2;
+    prompt_hi = 6;
+    max_new = 8;
+    vocab = 16;
+    seed = 7L;
+  }
+
+let curve_policies =
+  [
+    ("no-batching", 1, 0.0);
+    ("batch4-2ms", 4, 2e-3);
+    ("batch8-5ms", 8, 5e-3);
+  ]
+
+let bench_policy m arrivals (name, max_batch, max_queue_delay) =
+  let clock = Serve.Clock.sim () in
+  let policy =
+    {
+      Serve.Scheduler.default_policy with
+      Serve.Scheduler.max_batch;
+      max_queue_delay;
+      queue_capacity = 128;
+    }
+  in
+  let sched = Serve.Scheduler.create ~policy ~clock m in
+  Serve.Loadgen.run sched clock arrivals;
+  let mt = Serve.Scheduler.metrics sched in
+  let q h p = Serve.Metrics.quantile h p in
+  Obj
+    [
+      ("policy", Str name);
+      ("max_batch", Int max_batch);
+      ("max_queue_delay_ms", Num (max_queue_delay *. 1e3));
+      ("completed", Int mt.Serve.Metrics.completed);
+      ("tokens_per_sec", Num (Serve.Metrics.tokens_per_sec mt));
+      ("mean_occupancy", Num (Serve.Metrics.mean_occupancy mt));
+      ("p50_latency_ms", Num (q mt.Serve.Metrics.latency 0.5 *. 1e3));
+      ("p95_latency_ms", Num (q mt.Serve.Metrics.latency 0.95 *. 1e3));
+      ("p99_latency_ms", Num (q mt.Serve.Metrics.latency 0.99 *. 1e3));
+      ("span_s", Num (Serve.Metrics.span mt));
+    ]
+
+let bench_curve () =
+  let m = M.create ~n_layers:2 ~vocab:curve_spec.Serve.Loadgen.vocab decode_hp in
+  let arrivals = Serve.Loadgen.trace curve_spec in
+  List.map (bench_policy m arrivals) curve_policies
+
+(* --- smoke ----------------------------------------------------------- *)
+
+let smoke_hp = { decode_hp with H.embed = 16; heads = 2; proj = 8; ff = 64 }
+
+let smoke () =
+  let ok = ref true in
+  let m = M.create ~n_layers:2 ~vocab:8 smoke_hp in
+  let steps = 16 in
+  let bitwise = all_bitwise (recompute_decode m ~steps) (cached_decode m ~steps) in
+  if bitwise then
+    Printf.printf "serve-smoke OK: KV-cached decode bitwise-equal to full \
+                   recompute over %d steps\n" steps
+  else begin
+    Printf.eprintf "serve-smoke FAILED: KV-cached decode diverged from the \
+                    full-recompute oracle\n";
+    ok := false
+  end;
+  (* Low load with slack deadlines: everything must be served, on time. *)
+  let spec =
+    {
+      Serve.Loadgen.default_spec with
+      Serve.Loadgen.n = 12;
+      pattern = Serve.Loadgen.Uniform { gap = 0.01 };
+      max_new = 4;
+      deadline = Some 0.5;
+      vocab = 8;
+      seed = 5L;
+    }
+  in
+  let clock = Serve.Clock.sim () in
+  let sched = Serve.Scheduler.create ~clock m in
+  Serve.Loadgen.run sched clock (Serve.Loadgen.trace spec);
+  let mt = Serve.Scheduler.metrics sched in
+  let shed = mt.Serve.Metrics.shed
+  and rejected = mt.Serve.Metrics.rejected
+  and late = mt.Serve.Metrics.late in
+  if
+    mt.Serve.Metrics.completed = spec.Serve.Loadgen.n
+    && shed = 0 && rejected = 0 && late = 0
+  then
+    Printf.printf
+      "serve-smoke OK: %d/%d low-load requests served, zero shed/rejected/late \
+       (%.1f tokens/s simulated)\n"
+      mt.Serve.Metrics.completed spec.Serve.Loadgen.n
+      (Serve.Metrics.tokens_per_sec mt)
+  else begin
+    Printf.eprintf
+      "serve-smoke FAILED: low-load trace not cleanly served (completed \
+       %d/%d, shed %d, rejected %d, late %d)\n"
+      mt.Serve.Metrics.completed spec.Serve.Loadgen.n shed rejected late;
+    ok := false
+  end;
+  if not !ok then exit 1
+
+(* --------------------------------------------------------------------- *)
+
+let run mode =
+  Einsum.clear_caches ();
+  match mode with
+  | `Smoke -> smoke ()
+  | `Json ->
+      let steps = 64 in
+      let kv, speedup, bitwise = bench_kv_cache ~steps ~reps:2 in
+      let curve = bench_curve () in
+      let doc =
+        Obj
+          [
+            ("bench", Str "serving");
+            ("pr", Int 7);
+            ("layers", Int decode_layers);
+            ("vocab", Int decode_vocab);
+            ("kv_cache", kv);
+            ("policy_curve", Arr curve);
+          ]
+      in
+      let text = to_string doc in
+      print_endline text;
+      let oc = open_out "BENCH_pr7.json" in
+      output_string oc text;
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote BENCH_pr7.json\n";
+      if not bitwise then begin
+        Printf.eprintf
+          "serve bench FAILED: cached decode diverged from recompute\n";
+        exit 1
+      end;
+      if speedup < 5.0 then begin
+        Printf.eprintf
+          "serve bench FAILED: cached decode only %.2fx over recompute at \
+           L=%d (want >=5x)\n"
+          speedup steps;
+        exit 1
+      end;
+      Printf.printf
+        "serve bench OK: cached decode %.1fx over full recompute at L=%d, \
+         bitwise-equal\n"
+        speedup steps

@@ -6,12 +6,17 @@ open Cmdliner
 
 (* ---------------- shared options ---------------- *)
 
+(* The single hparams-parsing term every subcommand shares; the name
+   table lives in [Hparams.of_name], not here. *)
 let hparams_conv =
-  let parse = function
-    | "bert-large" | "bert" -> Ok Transformer.Hparams.bert_large
-    | "b96" -> Ok Transformer.Hparams.bert_large_b96
-    | "tiny" -> Ok Transformer.Hparams.tiny
-    | s -> Error (`Msg ("unknown configuration: " ^ s))
+  let parse s =
+    match Transformer.Hparams.of_name s with
+    | Some hp -> Ok hp
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown configuration %S (expected one of %s)" s
+                (String.concat ", " Transformer.Hparams.known_names)))
   in
   let print ppf hp = Transformer.Hparams.pp ppf hp in
   Arg.conv (parse, print)
@@ -21,7 +26,9 @@ let hp_arg =
     value
     & opt hparams_conv Transformer.Hparams.bert_large
     & info [ "c"; "config" ] ~docv:"CONFIG"
-        ~doc:"Model configuration: bert-large (default), b96, or tiny.")
+        ~doc:
+          (Printf.sprintf "Model configuration: one of %s (default bert-large)."
+             (String.concat ", " Transformer.Hparams.known_names)))
 
 let device_conv =
   let parse = function
@@ -411,6 +418,61 @@ let resilience_demo hp mha exec_rate seed deadline_ms kernel_timeout_ms
     exit 1
   end
 
+let serve hp trace_spec max_batch max_delay_ms queue_cap deadline_ms real
+    layers out =
+  let spec =
+    match Serve.Loadgen.parse_spec trace_spec with
+    | Ok s -> s
+    | Error msg -> invalid_arg msg
+  in
+  (* --deadline-ms overrides the trace's own deadline (0 clears it). *)
+  let spec =
+    match deadline_ms with
+    | None -> spec
+    | Some ms ->
+        {
+          spec with
+          Serve.Loadgen.deadline =
+            (if ms > 0.0 then Some (ms /. 1000.0) else None);
+        }
+  in
+  let hp = Transformer.Hparams.with_dropout hp 0.0 in
+  let m =
+    Transformer.Model.create ~n_layers:layers ~vocab:spec.Serve.Loadgen.vocab hp
+  in
+  let clock = if real then Serve.Clock.real else Serve.Clock.sim () in
+  let policy =
+    {
+      Serve.Scheduler.default_policy with
+      Serve.Scheduler.max_batch;
+      max_queue_delay = max_delay_ms /. 1000.0;
+      queue_capacity = queue_cap;
+    }
+  in
+  let sched = Serve.Scheduler.create ~policy ~clock m in
+  let arrivals = Serve.Loadgen.trace spec in
+  Serve.Loadgen.run sched clock arrivals;
+  let mt = Serve.Scheduler.metrics sched in
+  let json = Serve.Metrics.to_json mt in
+  (match out with
+  | None -> print_endline json
+  | Some path ->
+      let oc = open_out path in
+      output_string oc json;
+      output_char oc '\n';
+      close_out oc;
+      Format.printf "wrote serving metrics to %s@." path);
+  Format.printf
+    "served %d/%d requests (%d rejected, %d shed, %d late) in %.3f s %s— \
+     %.1f tokens/s, p50 %.2f ms, p99 %.2f ms@."
+    mt.Serve.Metrics.completed (Array.length arrivals)
+    mt.Serve.Metrics.rejected mt.Serve.Metrics.shed mt.Serve.Metrics.late
+    (Serve.Metrics.span mt)
+    (if real then "wall-clock " else "simulated ")
+    (Serve.Metrics.tokens_per_sec mt)
+    (Serve.Metrics.quantile mt.Serve.Metrics.latency 0.5 *. 1e3)
+    (Serve.Metrics.quantile mt.Serve.Metrics.latency 0.99 *. 1e3)
+
 let faults_campaign hp device mha seed rates sigmas punch =
   let open Substation in
   let program =
@@ -735,6 +797,64 @@ let retries_arg =
     & info [ "retries" ] ~docv:"N"
         ~doc:"Whole-op retries (fresh fault draws) before giving up.")
 
+let trace_spec_arg =
+  Arg.(
+    value
+    & opt string "poisson:n=32,rate=200,prompt=2-6,gen=8,seed=1"
+    & info [ "trace" ] ~docv:"SPEC"
+        ~doc:
+          "Load trace: $(b,uniform:gap-ms=..), $(b,poisson:rate=..), or \
+           $(b,bursty:burst=..,period-ms=..), each with \
+           n=,prompt=LO-HI,gen=,deadline-ms=,vocab=,seed=.")
+
+let max_batch_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "max-batch" ] ~docv:"N" ~doc:"Micro-batch size cap.")
+
+let max_delay_ms_arg =
+  Arg.(
+    value & opt float 2.0
+    & info [ "max-delay-ms" ] ~docv:"MS"
+        ~doc:"How long a cold batch may wait to fill before launching.")
+
+let queue_cap_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "queue-cap" ] ~docv:"N"
+        ~doc:"Admission queue bound; arrivals beyond it are rejected.")
+
+let serve_deadline_ms_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Per-request deadline, overriding the trace's (0 disables). \
+           Lapsed requests are shed; repeated misses shrink the batch cap.")
+
+let real_clock_arg =
+  Arg.(
+    value & flag
+    & info [ "real-clock" ]
+        ~doc:
+          "Serve on the wall clock (decode steps run under a deadline \
+           guard) instead of the deterministic simulated clock.")
+
+let layers_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "layers" ] ~docv:"N" ~doc:"Decoder layers in the served model.")
+
+let serve_cmd =
+  cmd "serve"
+    "Serve generation requests: KV-cached incremental decoding under a \
+     dynamic micro-batching scheduler, driven by a deterministic load trace."
+    Term.(
+      const serve $ hp_arg $ trace_spec_arg $ max_batch_arg $ max_delay_ms_arg
+      $ queue_cap_arg $ serve_deadline_ms_arg $ real_clock_arg $ layers_arg
+      $ out_arg)
+
 let resilience_cmd =
   cmd "resilience"
     "Fault-injected encoder forward+backward under the supervised pool: \
@@ -774,5 +894,5 @@ let () =
           [
             analyze_cmd; fuse_cmd; tune_cmd; select_cmd; compare_cmd; table_cmd;
             figure_cmd; summary_cmd; train_cmd; memory_cmd; trace_cmd; presets_cmd;
-            kv_fusion_cmd; cost_cmd; faults_cmd; resilience_cmd;
+            kv_fusion_cmd; cost_cmd; faults_cmd; resilience_cmd; serve_cmd;
           ]))

@@ -29,6 +29,15 @@ let causal_mask ~q ~k dims =
   Dense.init mask_dims (fun idx ->
       if List.assoc k idx > List.assoc q idx then neg_infinity else 0.0)
 
+(* Stabilized core shared by every softmax entry point: max subtraction,
+   exp, sum, divide. The decode-time masked softmax routes through the same
+   code so incremental and full-recompute attention stay bitwise equal. *)
+let softmax_core xs ~axis =
+  let mx = Dense.max_over xs [ axis ] in
+  let e = Dense.map exp (Dense.add_bcast xs (Dense.scale (-1.0) mx)) in
+  let s = Dense.sum_over e [ axis ] in
+  Dense.mul_bcast e (Dense.map (fun v -> 1.0 /. v) s)
+
 (* softmax(s*x) along [axis], stabilized by max subtraction. *)
 let softmax_value ?causal x ~axis ~prescale =
   let xs = if prescale = 1.0 then x else Dense.scale prescale x in
@@ -39,10 +48,15 @@ let softmax_value ?causal x ~axis ~prescale =
         let dims = Shape.to_list (Dense.shape xs) in
         Dense.add_bcast xs (causal_mask ~q ~k dims)
   in
-  let mx = Dense.max_over xs [ axis ] in
-  let e = Dense.map exp (Dense.add_bcast xs (Dense.scale (-1.0) mx)) in
-  let s = Dense.sum_over e [ axis ] in
-  Dense.mul_bcast e (Dense.map (fun v -> 1.0 /. v) s)
+  softmax_core xs ~axis
+
+(* softmax(prescale*x + mask) along [axis]: the additive mask lands after
+   the prescale, exactly where [softmax_value] adds its causal mask, so a
+   0/-inf padding mask reproduces the causal path bit for bit. *)
+let softmax_masked ?mask x ~axis ~prescale =
+  let xs = if prescale = 1.0 then x else Dense.scale prescale x in
+  let xs = match mask with None -> xs | Some m -> Dense.add_bcast xs m in
+  softmax_core xs ~axis
 
 let softmax_dx_value ~dy ~y ~axis ~prescale =
   let inner = Dense.sum_over (Dense.mul dy y) [ axis ] in
@@ -89,6 +103,13 @@ let layernorm_stats x ~axis ~eps =
   let var = Dense.mean_over (Dense.mul diff diff) [ axis ] in
   let istd = Dense.map (fun v -> 1.0 /. sqrt (v +. eps)) var in
   (mean, istd)
+
+(* The full layernorm value in one call — the same stats/normalize/affine
+   sequence the [layernorm] op runs, shared with the incremental decode
+   path. *)
+let layernorm_value x ~gamma ~beta ~axis ~eps =
+  let mean, istd = layernorm_stats x ~axis ~eps in
+  Dense.add_bcast (Dense.mul_bcast (normalized x ~mean ~istd) gamma) beta
 
 let layernorm_dx_value ~dy ~x ~gamma ~mean ~istd ~axis =
   let xhat = normalized x ~mean ~istd in

@@ -20,6 +20,21 @@ val softmax :
 (** [causal_mask ~q ~k dims] is 0 where key <= query and -inf elsewhere. *)
 val causal_mask : q:Axis.t -> k:Axis.t -> (Axis.t * int) list -> Dense.t
 
+(** [softmax_masked ?mask x ~axis ~prescale] is
+    [softmax(prescale * x + mask)] along [axis], sharing the stabilized
+    core of the {!softmax} op. A broadcastable 0/-inf [mask] pads ragged
+    decode batches with exactly the arithmetic of the causal path, which
+    keeps KV-cached decoding bitwise equal to the recompute oracle. *)
+val softmax_masked :
+  ?mask:Dense.t -> Dense.t -> axis:Axis.t -> prescale:float -> Dense.t
+
+(** [layernorm_value x ~gamma ~beta ~axis ~eps] is the forward layernorm
+    value — the exact stats/normalize/affine sequence of the {!layernorm}
+    op, exposed for the incremental decode path. *)
+val layernorm_value :
+  Dense.t -> gamma:Dense.t -> beta:Dense.t -> axis:Axis.t -> eps:float
+  -> Dense.t
+
 (** [softmax_dx ~name ~dy ~y ~out dims ~axis ?prescale] uses the saved
     forward output [y]: [dx = prescale * y * (dy - sum_axis(dy * y))]. *)
 val softmax_dx :

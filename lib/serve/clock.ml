@@ -1,0 +1,29 @@
+(* The scheduler's notion of time. [Real] reads the wall clock (the same
+   one Pool deadlines are measured against); [Sim] is a logical clock that
+   only moves when told to, so a whole serving run — arrivals, batching
+   decisions, deadline sheds — replays deterministically from a trace
+   seed, which is what makes the scheduler testable at all. *)
+
+type sim = { mutable now : float }
+
+type t =
+  | Real
+  | Sim of sim
+
+let real = Real
+let sim ?(start = 0.0) () = Sim { now = start }
+
+let is_sim = function Real -> false | Sim _ -> true
+
+let now = function Real -> Pool.now () | Sim s -> s.now
+
+(* Move the clock forward to [target] (never backward). In real mode this
+   sleeps the wall clock. *)
+let advance_to c target =
+  match c with
+  | Sim s -> if target > s.now then s.now <- target
+  | Real ->
+      let dt = target -. Pool.now () in
+      if dt > 0.0 then Unix.sleepf dt
+
+let advance c dt = if dt > 0.0 then advance_to c (now c +. dt)

@@ -1,0 +1,21 @@
+(** Scheduler time source: real wall clock, or a simulated clock that
+    advances only on request so serving runs replay deterministically. *)
+
+type t
+
+val real : t
+
+(** [sim ?start ()] is a fresh logical clock (default origin 0). *)
+val sim : ?start:float -> unit -> t
+
+val is_sim : t -> bool
+
+(** Current time in seconds ([Pool.now] in real mode). *)
+val now : t -> float
+
+(** Move forward to an absolute time (never backward; sleeps in real
+    mode). *)
+val advance_to : t -> float -> unit
+
+(** Move forward by [dt >= 0] seconds. *)
+val advance : t -> float -> unit

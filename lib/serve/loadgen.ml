@@ -1,0 +1,198 @@
+(* Deterministic load generation: seeded arrival traces (uniform, Poisson,
+   bursty) materialized up front, then replayed against a scheduler. All
+   randomness flows through [Prng] from the trace seed, so a simulated run
+   — arrivals, prompts, batching decisions, sheds — replays exactly. *)
+
+type pattern =
+  | Uniform of { gap : float }  (* fixed inter-arrival gap, s *)
+  | Poisson of { rate : float }  (* mean arrivals per second *)
+  | Bursty of { burst : int; period : float }
+      (* [burst] simultaneous arrivals every [period] seconds *)
+
+type spec = {
+  n : int;  (* total requests *)
+  pattern : pattern;
+  prompt_lo : int;  (* prompt length range, inclusive *)
+  prompt_hi : int;
+  max_new : int;  (* tokens to generate per request *)
+  deadline : float option;  (* relative deadline, s *)
+  vocab : int;
+  seed : int64;
+}
+
+let default_spec =
+  {
+    n = 16;
+    pattern = Poisson { rate = 200.0 };
+    prompt_lo = 2;
+    prompt_hi = 6;
+    max_new = 4;
+    deadline = None;
+    vocab = 16;
+    seed = 1L;
+  }
+
+type arrival = {
+  at : float;
+  prompt : int array;
+  a_max_new : int;
+  a_deadline : float option;
+}
+
+(* Materialize the whole trace: arrival times from the pattern, prompt
+   tokens from the same PRNG stream. *)
+let trace spec =
+  if spec.n < 1 then invalid_arg "Loadgen.trace: n >= 1";
+  if spec.prompt_lo < 1 || spec.prompt_hi < spec.prompt_lo then
+    invalid_arg "Loadgen.trace: bad prompt length range";
+  let prng = Prng.of_key spec.seed "loadgen" in
+  let t = ref 0.0 in
+  Array.init spec.n (fun i ->
+      (match spec.pattern with
+      | Uniform { gap } -> if i > 0 then t := !t +. gap
+      | Poisson { rate } ->
+          if rate <= 0.0 then invalid_arg "Loadgen.trace: rate > 0";
+          let u = Prng.float prng in
+          t := !t +. (-.log (1.0 -. u) /. rate)
+      | Bursty { burst; period } ->
+          if burst < 1 || period <= 0.0 then
+            invalid_arg "Loadgen.trace: bad burst/period";
+          t := float_of_int (i / burst) *. period);
+      let len =
+        spec.prompt_lo
+        + Prng.int prng ~bound:(spec.prompt_hi - spec.prompt_lo + 1)
+      in
+      let prompt =
+        Array.init len (fun _ -> Prng.int prng ~bound:spec.vocab)
+      in
+      { at = !t; prompt; a_max_new = spec.max_new; a_deadline = spec.deadline })
+
+(* Replay a trace: submit each arrival at its timestamp, ticking the
+   scheduler whenever it has work due before the next arrival, then drain.
+   In sim mode the clock jumps over idle gaps; in real mode it sleeps. *)
+let run sched clock arrivals =
+  let n = Array.length arrivals in
+  (* Trace timestamps are relative to replay start; the real clock is a
+     monotonic absolute time, so anchor them to [now] at entry (the sim
+     clock starts at 0, where this is the identity). *)
+  let base = Clock.now clock in
+  let due i = base +. arrivals.(i).at in
+  let i = ref 0 in
+  let rec go () =
+    if !i < n && Clock.now clock >= due !i then begin
+      let a = arrivals.(!i) in
+      incr i;
+      ignore
+        (Scheduler.submit sched ~prompt:a.prompt ~max_new:a.a_max_new
+           ?deadline_in:a.a_deadline ());
+      go ()
+    end
+    else
+      match Scheduler.tick sched with
+      | `Stepped -> go ()
+      | `Idle_until ts ->
+          let target = if !i < n then Float.min ts (due !i) else ts in
+          Clock.advance_to clock
+            (Float.max target (Clock.now clock +. 1e-6));
+          go ()
+      | `Drained ->
+          if !i < n then begin
+            Clock.advance_to clock (due !i);
+            go ()
+          end
+  in
+  go ()
+
+(* --- spec parsing (CLI): "poisson:n=40,rate=200,prompt=4-8,gen=8,
+   deadline-ms=50,seed=7,vocab=16"; patterns uniform | poisson | bursty
+   with gap-ms= / rate= / burst=,period-ms= . *)
+
+let parse_spec s =
+  let fail msg = Error (Printf.sprintf "trace spec %S: %s" s msg) in
+  match String.split_on_char ':' (String.trim s) with
+  | [] | [ "" ] -> fail "empty"
+  | name :: rest -> (
+      let kvs =
+        match rest with
+        | [] -> []
+        | [ body ] when String.trim body = "" -> []
+        | [ body ] ->
+            List.filter_map
+              (fun kv ->
+                let kv = String.trim kv in
+                if kv = "" then None
+                else
+                  match String.index_opt kv '=' with
+                  | None -> Some (kv, "")
+                  | Some i ->
+                      Some
+                        ( String.sub kv 0 i,
+                          String.sub kv (i + 1) (String.length kv - i - 1) ))
+              (String.split_on_char ',' body)
+        | _ -> [ ("", "") ]
+      in
+      if List.mem_assoc "" kvs then fail "malformed key=value list"
+      else
+        let find k = List.assoc_opt k kvs in
+        let int_of k default =
+          match find k with
+          | None -> Ok default
+          | Some v -> (
+              match int_of_string_opt v with
+              | Some i -> Ok i
+              | None -> Error (k ^ " wants an integer"))
+        in
+        let float_of k default =
+          match find k with
+          | None -> Ok default
+          | Some v -> (
+              match float_of_string_opt v with
+              | Some f -> Ok f
+              | None -> Error (k ^ " wants a number"))
+        in
+        let ( let* ) r f = match r with Ok v -> f v | Error e -> fail e in
+        let* n = int_of "n" default_spec.n in
+        let* gen = int_of "gen" default_spec.max_new in
+        let* vocab = int_of "vocab" default_spec.vocab in
+        let* seed = int_of "seed" 1 in
+        let* dl_ms = float_of "deadline-ms" 0.0 in
+        let* prompt_lo, prompt_hi =
+          match find "prompt" with
+          | None -> Ok (default_spec.prompt_lo, default_spec.prompt_hi)
+          | Some v -> (
+              match String.split_on_char '-' v with
+              | [ a ] | [ a; "" ] -> (
+                  match int_of_string_opt a with
+                  | Some i -> Ok (i, i)
+                  | None -> Error "prompt wants INT or LO-HI")
+              | [ a; b ] -> (
+                  match (int_of_string_opt a, int_of_string_opt b) with
+                  | Some lo, Some hi -> Ok (lo, hi)
+                  | _ -> Error "prompt wants INT or LO-HI")
+              | _ -> Error "prompt wants INT or LO-HI")
+        in
+        let* pattern =
+          match String.trim name with
+          | "uniform" ->
+              let* gap_ms = float_of "gap-ms" 5.0 in
+              Ok (Uniform { gap = gap_ms /. 1000.0 })
+          | "poisson" ->
+              let* rate = float_of "rate" 200.0 in
+              Ok (Poisson { rate })
+          | "bursty" ->
+              let* burst = int_of "burst" 4 in
+              let* period_ms = float_of "period-ms" 20.0 in
+              Ok (Bursty { burst; period = period_ms /. 1000.0 })
+          | other -> Error ("unknown pattern " ^ other)
+        in
+        Ok
+          {
+            n;
+            pattern;
+            prompt_lo;
+            prompt_hi;
+            max_new = gen;
+            deadline = (if dl_ms > 0.0 then Some (dl_ms /. 1000.0) else None);
+            vocab;
+            seed = Int64.of_int seed;
+          })

@@ -1,0 +1,42 @@
+(** Deterministic load generation: seeded arrival traces replayed against
+    the scheduler. All randomness flows through {!Prng} from the trace
+    seed, so simulated runs replay exactly. *)
+
+type pattern =
+  | Uniform of { gap : float }  (** fixed inter-arrival gap, seconds *)
+  | Poisson of { rate : float }  (** mean arrivals per second *)
+  | Bursty of { burst : int; period : float }
+      (** [burst] simultaneous arrivals every [period] seconds *)
+
+type spec = {
+  n : int;
+  pattern : pattern;
+  prompt_lo : int;
+  prompt_hi : int;
+  max_new : int;
+  deadline : float option;  (** relative, seconds *)
+  vocab : int;
+  seed : int64;
+}
+
+val default_spec : spec
+
+type arrival = {
+  at : float;
+  prompt : int array;
+  a_max_new : int;
+  a_deadline : float option;
+}
+
+(** Materialize the whole trace (arrival times and prompts). *)
+val trace : spec -> arrival array
+
+(** Replay: submit each arrival at its timestamp, tick the scheduler in
+    between, then drain. The clock must be the scheduler's. *)
+val run : Scheduler.t -> Clock.t -> arrival array -> unit
+
+(** Parse a CLI trace spec like
+    ["poisson:n=40,rate=200,prompt=4-8,gen=8,deadline-ms=50,seed=7"]
+    (patterns: [uniform] with [gap-ms], [poisson] with [rate], [bursty]
+    with [burst]/[period-ms]). *)
+val parse_spec : string -> (spec, string) result

@@ -1,0 +1,48 @@
+(** Serving metrics: latency/queue-wait histograms (p50/p95/p99),
+    throughput, batch occupancy, queue depth, shed/rejection counters —
+    snapshotted as one JSON object that also reports the einsum
+    plan-cache and arena retention counters. *)
+
+type hist
+
+val hist : unit -> hist
+val observe : hist -> float -> unit
+val hist_count : hist -> int
+val hist_mean : hist -> float
+
+(** [quantile h q] is a conservative (bucket upper bound) estimate of the
+    [q]-quantile; monotone in [q]. *)
+val quantile : hist -> float -> float
+
+type t = {
+  latency : hist;
+  queue_wait : hist;
+  mutable completed : int;
+  mutable rejected : int;
+  mutable shed : int;
+  mutable late : int;
+  mutable tokens_out : int;
+  mutable steps : int;
+  mutable aborted_steps : int;
+  mutable occupancy_sum : int;
+  mutable queue_depth_sum : int;
+  mutable max_queue_depth : int;
+  mutable degraded : int;
+  mutable batch_floor : int;
+  mutable started : float option;
+  mutable finished : float;
+}
+
+val create : unit -> t
+
+(** [mark t now] extends the observed time span (first call sets the
+    origin). *)
+val mark : t -> float -> unit
+
+val span : t -> float
+val tokens_per_sec : t -> float
+val mean_occupancy : t -> float
+val mean_queue_depth : t -> float
+
+(** One-line JSON snapshot. *)
+val to_json : t -> string

@@ -1,0 +1,61 @@
+(* Bounded FIFO admission queue — a plain ring buffer. Requests the
+   scheduler has not yet batched wait here; when the ring is full the
+   submitter is refused immediately (backpressure) rather than queued
+   into unbounded memory. Also supports removing expired entries in
+   place, preserving arrival order of the survivors. *)
+
+type 'a t = {
+  buf : 'a option array;
+  capacity : int;
+  mutable head : int;  (* index of the oldest element *)
+  mutable len : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Queue.create: capacity must be >= 1";
+  { buf = Array.make capacity None; capacity; head = 0; len = 0 }
+
+let capacity q = q.capacity
+let length q = q.len
+let is_empty q = q.len = 0
+let is_full q = q.len = q.capacity
+
+(* [push q x] is false (and a no-op) when the queue is full. *)
+let push q x =
+  if is_full q then false
+  else begin
+    q.buf.((q.head + q.len) mod q.capacity) <- Some x;
+    q.len <- q.len + 1;
+    true
+  end
+
+let peek q = if q.len = 0 then None else q.buf.(q.head)
+
+let pop q =
+  if q.len = 0 then None
+  else begin
+    let x = q.buf.(q.head) in
+    q.buf.(q.head) <- None;
+    q.head <- (q.head + 1) mod q.capacity;
+    q.len <- q.len - 1;
+    x
+  end
+
+let to_list q =
+  List.init q.len (fun i ->
+      match q.buf.((q.head + i) mod q.capacity) with
+      | Some x -> x
+      | None -> assert false)
+
+(* [drain_if pred q] removes and returns (in arrival order) every element
+   satisfying [pred]; survivors keep their relative order. *)
+let drain_if pred q =
+  let all = to_list q in
+  let gone, kept = List.partition pred all in
+  if gone <> [] then begin
+    Array.fill q.buf 0 q.capacity None;
+    q.head <- 0;
+    q.len <- 0;
+    List.iter (fun x -> ignore (push q x)) kept
+  end;
+  gone

@@ -1,0 +1,24 @@
+(** Bounded FIFO admission queue (ring buffer). A full queue refuses the
+    push — the scheduler turns that into a structured rejection — instead
+    of growing without limit. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+val capacity : 'a t -> int
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val is_full : 'a t -> bool
+
+(** [push q x] enqueues [x], or returns [false] when full. *)
+val push : 'a t -> 'a -> bool
+
+val peek : 'a t -> 'a option
+val pop : 'a t -> 'a option
+
+(** Oldest first. *)
+val to_list : 'a t -> 'a list
+
+(** [drain_if pred q] removes and returns every element satisfying [pred]
+    (oldest first); survivors keep their order. *)
+val drain_if : ('a -> bool) -> 'a t -> 'a list

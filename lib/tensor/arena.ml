@@ -8,26 +8,94 @@
    every Pool worker) sees its own private length-keyed pool through the
    same [t], so parallel kernels borrow packing/row scratch without any
    locking or sharing — a borrow on one domain can never observe, or
-   stomp on, a buffer in flight on another. *)
+   stomp on, a buffer in flight on another.
 
-type t = { pools : (int, float array list ref) Hashtbl.t Domain.DLS.key }
+   Retention is bounded: serving workloads present many distinct shapes
+   (one per ragged batch geometry), so parked buffers are capped per
+   domain and least-recently-used length classes are dropped first. *)
 
-let create () = { pools = Domain.DLS.new_key (fun () -> Hashtbl.create 16) }
+type entry = { mutable bufs : float array list; mutable last_use : int }
 
-let pool t n =
-  let pools = Domain.DLS.get t.pools in
-  match Hashtbl.find_opt pools n with
-  | Some p -> p
+type dpool = {
+  table : (int, entry) Hashtbl.t;
+  mutable retained : int;  (* floats parked across all classes *)
+  mutable tick : int;
+  mutable evictions : int;  (* length classes dropped by the cap *)
+}
+
+type t = { pools : dpool Domain.DLS.key }
+
+(* Per-domain retention cap, in floats (default 4 M = 32 MB). *)
+let max_retained = ref (1 lsl 22)
+
+let set_max_retained n =
+  if n < 0 then invalid_arg "Arena.set_max_retained: need >= 0";
+  max_retained := n
+
+type stats = {
+  retained_floats : int;
+  classes : int;
+  evictions : int;
+  capacity_floats : int;
+}
+
+let create () =
+  {
+    pools =
+      Domain.DLS.new_key (fun () ->
+          { table = Hashtbl.create 16; retained = 0; tick = 0; evictions = 0 });
+  }
+
+let stats t =
+  let d = Domain.DLS.get t.pools in
+  {
+    retained_floats = d.retained;
+    classes = Hashtbl.length d.table;
+    evictions = d.evictions;
+    capacity_floats = !max_retained;
+  }
+
+let entry d n =
+  match Hashtbl.find_opt d.table n with
+  | Some e -> e
   | None ->
-      let p = ref [] in
-      Hashtbl.add pools n p;
-      p
+      let e = { bufs = []; last_use = d.tick } in
+      Hashtbl.add d.table n e;
+      e
+
+let class_floats n e = n * List.length e.bufs
+
+(* Drop least-recently-used length classes (sparing [keep]) until the
+   retained total fits under the cap. *)
+let evict_until_fits d ~keep =
+  let continue_ = ref true in
+  while d.retained > !max_retained && !continue_ do
+    let victim = ref None in
+    Hashtbl.iter
+      (fun n e ->
+        if n <> keep && e.bufs <> [] then
+          match !victim with
+          | Some (_, _, stalest) when e.last_use >= stalest -> ()
+          | _ -> victim := Some (n, e, e.last_use))
+      d.table;
+    match !victim with
+    | Some (n, e, _) ->
+        d.retained <- d.retained - class_floats n e;
+        e.bufs <- [];
+        Hashtbl.remove d.table n;
+        d.evictions <- d.evictions + 1
+    | None -> continue_ := false
+  done
 
 let borrow t n =
-  let p = pool t n in
-  match !p with
+  let d = Domain.DLS.get t.pools in
+  d.tick <- d.tick + 1;
+  let e = entry d n in
+  e.last_use <- d.tick;
+  match e.bufs with
   | buf :: rest ->
-      p := rest;
+      e.bufs <- rest;
+      d.retained <- d.retained - n;
       buf
   | [] -> Array.make n 0.0
 
@@ -36,8 +104,17 @@ let borrow t n =
    are a handful of entries deep, so the physical-membership scan is
    cheap. *)
 let release t buf =
-  let p = pool t (Array.length buf) in
-  if not (List.memq buf !p) then p := buf :: !p
+  let d = Domain.DLS.get t.pools in
+  let n = Array.length buf in
+  d.tick <- d.tick + 1;
+  let e = entry d n in
+  e.last_use <- d.tick;
+  if (not (List.memq buf e.bufs)) && n <= !max_retained then begin
+    (* a buffer alone above the cap is simply left to the collector *)
+    e.bufs <- buf :: e.bufs;
+    d.retained <- d.retained + n;
+    if d.retained > !max_retained then evict_until_fits d ~keep:n
+  end
 
 let with_scratch t n f =
   let buf = borrow t n in
@@ -54,6 +131,9 @@ let with_zeroed t n f =
    mid-pack has returned its scratch (borrows are [Fun.protect]ed), but
    discarding the pools guarantees the oracle starts from fresh
    allocations rather than inheriting any in-flight aliasing. *)
-let reset t = Hashtbl.reset (Domain.DLS.get t.pools)
+let reset t =
+  let d = Domain.DLS.get t.pools in
+  Hashtbl.reset d.table;
+  d.retained <- 0
 
 let global = create ()

@@ -6,7 +6,12 @@
 
     Pools are domain-local: every domain sees its own private pool through
     the same [t], so borrowing from parallel {!Pool} workers is safe and
-    contention-free without locks. *)
+    contention-free without locks.
+
+    Retention is bounded per domain (default 4 M floats = 32 MB): when the
+    cap is exceeded, least-recently-used length classes are dropped first.
+    Serving workloads present many distinct scratch shapes — one per
+    ragged batch geometry — so an unbounded pool would be a slow leak. *)
 
 type t
 
@@ -28,3 +33,19 @@ val reset : t -> unit
 
 val global : t
 (** Shared process-wide arena used by the built-in fast kernels. *)
+
+(** {1 Retention accounting} *)
+
+type stats = {
+  retained_floats : int;  (** floats parked on the calling domain *)
+  classes : int;  (** distinct buffer lengths pooled *)
+  evictions : int;  (** length classes dropped by the cap *)
+  capacity_floats : int;  (** current per-domain cap *)
+}
+
+val stats : t -> stats
+(** Retention counters for the calling domain's pool. *)
+
+val set_max_retained : int -> unit
+(** Set the per-domain retention cap, in floats ([>= 0]; 0 disables
+    pooling entirely). Applies to all arenas. *)

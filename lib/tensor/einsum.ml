@@ -155,11 +155,76 @@ type general_plan = {
 
 type plan = Matmul of matmul_plan | General of general_plan
 
-let plan_cache : (string, plan) Hashtbl.t = Hashtbl.create 64
+(* Compiled-plan cache, bounded by an LRU cap: serving workloads present
+   many distinct shapes (one per ragged batch geometry), so unbounded
+   growth would be a slow leak. Each entry carries its last-use tick; on
+   insertion past capacity the stalest entry is evicted (an O(entries)
+   scan, paid only on a miss with a full cache). *)
+type cache_stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  capacity : int;
+}
+
+let plan_cache : (string, plan * int ref) Hashtbl.t = Hashtbl.create 64
+let plan_capacity = ref 512
+let plan_tick = ref 0
+let plan_hits = ref 0
+let plan_misses = ref 0
+let plan_evictions = ref 0
+
+let set_plan_cache_capacity n =
+  if n < 1 then invalid_arg "Einsum.set_plan_cache_capacity: need >= 1";
+  plan_capacity := n
+
+let cache_stats () =
+  {
+    hits = !plan_hits;
+    misses = !plan_misses;
+    evictions = !plan_evictions;
+    entries = Hashtbl.length plan_cache;
+    capacity = !plan_capacity;
+  }
+
+let evict_lru () =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun key (_, last) ->
+      match !victim with
+      | Some (_, stalest) when !last >= stalest -> ()
+      | _ -> victim := Some (key, !last))
+    plan_cache;
+  match !victim with
+  | Some (key, _) ->
+      Hashtbl.remove plan_cache key;
+      incr plan_evictions
+  | None -> ()
+
+let plan_lookup key build =
+  incr plan_tick;
+  match Hashtbl.find_opt plan_cache key with
+  | Some (p, last) ->
+      incr plan_hits;
+      last := !plan_tick;
+      p
+  | None ->
+      incr plan_misses;
+      let p = build () in
+      while Hashtbl.length plan_cache >= !plan_capacity do
+        evict_lru ()
+      done;
+      Hashtbl.add plan_cache key (p, ref !plan_tick);
+      p
 
 let clear_caches () =
   Hashtbl.reset plan_cache;
-  Hashtbl.reset parse_cache
+  Hashtbl.reset parse_cache;
+  plan_tick := 0;
+  plan_hits := 0;
+  plan_misses := 0;
+  plan_evictions := 0
 
 (* Axis names are [a-z0-9_]*, so ',' ':' '|' are safe separators. The key
    captures output axes plus every input's axes-in-storage-order and sizes,
@@ -450,15 +515,7 @@ let contract ?(scale = 1.0) ?fast inputs ~out =
   if not fast then contract_naive ~scale inputs ~out
   else begin
     let key = plan_key inputs ~out in
-    let plan =
-      match Hashtbl.find_opt plan_cache key with
-      | Some p -> p
-      | None ->
-          let p = build_plan inputs ~out in
-          if Hashtbl.length plan_cache > 1024 then Hashtbl.reset plan_cache;
-          Hashtbl.add plan_cache key p;
-          p
-    in
+    let plan = plan_lookup key (fun () -> build_plan inputs ~out) in
     (* Both fast paths run under the kernel guard: a crash, kernel
        timeout, or (at Nan/Finite level) non-finite output re-executes the
        contraction through the naive odometer oracle. Each attempt writes

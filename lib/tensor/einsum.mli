@@ -35,9 +35,30 @@ val contract :
     contracts. *)
 val eval : ?scale:float -> ?fast:bool -> string -> Dense.t list -> Dense.t
 
-(** Drop the memoized parse results and stride/loop plans (mainly for
-    benchmarks that want cold-cache numbers). *)
+(** Drop the memoized parse results and stride/loop plans and reset the
+    plan-cache counters (mainly for benchmarks that want cold-cache
+    numbers). *)
 val clear_caches : unit -> unit
+
+(** {1 Plan-cache accounting}
+
+    The compiled-plan cache is bounded by an LRU cap (default 512 plans):
+    serving traffic presents one plan per ragged batch geometry, so the
+    cache would otherwise grow without limit. *)
+
+type cache_stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  capacity : int;
+}
+
+val cache_stats : unit -> cache_stats
+
+(** [set_plan_cache_capacity n] bounds the plan cache to [n >= 1] entries,
+    evicting least-recently-used plans first. *)
+val set_plan_cache_capacity : int -> unit
 
 (** [flops spec ~size] is the number of floating-point operations (2 x the
     loop volume: one multiply and one accumulate) for the contraction when

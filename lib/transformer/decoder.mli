@@ -16,3 +16,11 @@ val run :
 
 (** Kernel-name table for the decoder's fused groups (BGD replaces BRD). *)
 val kernel_names : (string list * string) list
+
+(** [cached_step hp ~params ~caches x] is one KV-cached incremental decode
+    step through the block for a ragged batch (see {!Mha.attend}): returns
+    [(y, new K column, new V column)]. Requires [dropout_p = 0]; bitwise
+    equal per column to running {!program} over the full prefix. *)
+val cached_step :
+  Hparams.t -> params:(string * Dense.t) list -> caches:Mha.cache array
+  -> Dense.t -> Dense.t * Dense.t * Dense.t

@@ -59,6 +59,13 @@ let presets =
     ("gpt3-13b", preset ~batch:1 ~seq:2048 ~embed:5120 ~heads:40);
   ]
 
+(* The one place a configuration name becomes an [t]: presets plus the
+   historical CLI aliases. *)
+let aliases =
+  [ ("bert", bert_large); ("b96", bert_large_b96); ("tiny", tiny) ]
+
+let of_name s = List.assoc_opt s (presets @ aliases)
+let known_names = List.map fst (presets @ aliases)
 let with_batch_seq t ~batch ~seq = { t with batch; seq }
 let with_dropout t p = { t with dropout_p = p }
 let scaler t = 1.0 /. sqrt (float_of_int t.proj)

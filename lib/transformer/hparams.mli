@@ -32,6 +32,14 @@ val tiny : t
     V100. *)
 val presets : (string * t) list
 
+(** Resolve a configuration name: any entry of {!presets} plus the
+    aliases [bert] (bert-large), [b96], and [tiny]. The single parsing
+    point shared by every CLI subcommand and benchmark. *)
+val of_name : string -> t option
+
+(** The names {!of_name} accepts, for help strings. *)
+val known_names : string list
+
 val with_batch_seq : t -> batch:int -> seq:int -> t
 val with_dropout : t -> float -> t
 

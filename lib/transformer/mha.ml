@@ -38,3 +38,131 @@ let kernel_names =
     (fun (members, _) ->
       List.for_all (fun m -> List.mem m (forward_names @ backward_names)) members)
     Encoder.kernel_names
+
+(* --- KV cache: incremental decoding (serving path) ------------------- *)
+
+(* Per-session, per-layer store of the biased K/V projections of every
+   token decoded so far. Step t recomputes only the new token's
+   projections — O(L) bytes moved per token instead of the O(L^2) a full
+   recompute re-streams (the serving-side face of the paper's
+   data-movement argument). Rows are (p*heads + h); columns are token
+   positions, capacity-doubling and zero-padded so freshly exposed tail
+   columns are exact 0.0 contributions. *)
+type cache = {
+  ph : int;  (* proj *)
+  hh : int;  (* heads *)
+  mutable cap : int;
+  mutable len : int;
+  mutable ck : float array;  (* (ph*hh) rows x cap columns, row-major *)
+  mutable cv : float array;
+}
+
+let cache_create (hp : Hparams.t) =
+  let ph = hp.proj and hh = hp.heads in
+  let cap = 16 in
+  {
+    ph;
+    hh;
+    cap;
+    len = 0;
+    ck = Array.make (ph * hh * cap) 0.0;
+    cv = Array.make (ph * hh * cap) 0.0;
+  }
+
+let cache_len c = c.len
+
+(* Floats resident in this cache's buffers (metrics / memory accounting). *)
+let cache_floats c = 2 * c.ph * c.hh * c.cap
+
+let grow c =
+  let cap' = 2 * c.cap in
+  let regrow old =
+    let nu = Array.make (c.ph * c.hh * cap') 0.0 in
+    for r = 0 to (c.ph * c.hh) - 1 do
+      Array.blit old (r * c.cap) nu (r * cap') c.len
+    done;
+    nu
+  in
+  c.ck <- regrow c.ck;
+  c.cv <- regrow c.cv;
+  c.cap <- cap'
+
+(* [cache_append c ~k ~v ~b] pushes slot b's column of a step's biased K/V
+   projections (dims (p,h,b,k=1) / (w,h,b,k=1)) onto the cache. *)
+let cache_append c ~k ~v ~b =
+  if c.len = c.cap then grow c;
+  for pi = 0 to c.ph - 1 do
+    for hi = 0 to c.hh - 1 do
+      let r = (pi * c.hh) + hi in
+      c.ck.((r * c.cap) + c.len) <-
+        Dense.get k [ ("p", pi); ("h", hi); ("b", b); ("k", 0) ];
+      c.cv.((r * c.cap) + c.len) <-
+        Dense.get v [ ("w", pi); ("h", hi); ("b", b); ("k", 0) ]
+    done
+  done;
+  c.len <- c.len + 1
+
+(* One incremental attention step for a ragged batch of sessions. [x] is
+   the new-token hidden column, dims (i, b, j=1), slot b paired with
+   caches.(b). Computes only the new token's Q/K/V projections, attends
+   against cached keys/values padded to the longest session, and returns
+   (attn_b, new K column, new V column). The caller commits the K/V
+   columns with [cache_append] once the whole layer stack has succeeded,
+   so an aborted step leaves every session untouched.
+
+   Bitwise parity with the oracle rests on: padded tail columns being
+   exact zeros (their products contribute +0.0 at the tail of the
+   ascending-k reduction), and the -inf pad mask entering the softmax at
+   the same point as the oracle's additive causal mask. *)
+let attend (hp : Hparams.t) ~params ~caches x =
+  let p n =
+    match List.assoc_opt n params with
+    | Some t -> t
+    | None -> invalid_arg ("Mha.attend: missing parameter " ^ n)
+  in
+  let nb = Array.length caches in
+  if nb = 0 then invalid_arg "Mha.attend: empty batch";
+  let qq = Einsum.eval "phi,ibj->phbj" [ p "wq"; x ] in
+  let xk = Dense.rename_axes x [ ("j", "k") ] in
+  let kk = Einsum.eval "phi,ibk->phbk" [ p "wk"; xk ] in
+  let vv = Einsum.eval "whi,ibk->whbk" [ p "wv"; xk ] in
+  let qqb = Dense.add_bcast qq (p "bq") in
+  let kkb = Dense.add_bcast kk (p "bk") in
+  let vvb = Dense.add_bcast vv (p "bv") in
+  let lmax = 1 + Array.fold_left (fun acc c -> max acc c.len) 0 caches in
+  let ph = hp.proj and hh = hp.heads in
+  let assemble axis0 cache_of newcol =
+    let t = Dense.zeros [ (axis0, ph); ("h", hh); ("b", nb); ("k", lmax) ] in
+    let data = Dense.unsafe_data t in
+    for pi = 0 to ph - 1 do
+      for hi = 0 to hh - 1 do
+        let r = (pi * hh) + hi in
+        for b = 0 to nb - 1 do
+          let c = caches.(b) in
+          let base = ((r * nb) + b) * lmax in
+          Array.blit (cache_of c) (r * c.cap) data base c.len;
+          data.(base + c.len) <-
+            Dense.get newcol [ (axis0, pi); ("h", hi); ("b", b); ("k", 0) ]
+        done
+      done
+    done;
+    t
+  in
+  let kkb_pad = assemble "p" (fun c -> c.ck) kkb in
+  let vvb_pad = assemble "w" (fun c -> c.cv) vvb in
+  let beta = Einsum.eval "phbk,phbj->hbjk" [ kkb_pad; qqb ] in
+  (* Column k of slot b is valid when k <= len_b (cached prefix plus the
+     new token); -inf past the end is the oracle's causal mask restricted
+     to the padded tail. *)
+  let mask =
+    Dense.init [ ("b", nb); ("k", lmax) ] (fun idx ->
+        if List.assoc "k" idx <= caches.(List.assoc "b" idx).len then 0.0
+        else neg_infinity)
+  in
+  let alpha =
+    Ops.Normalization.softmax_masked ~mask beta ~axis:"k"
+      ~prescale:(Hparams.scaler hp)
+  in
+  let gam = Einsum.eval "whbk,hbjk->whbj" [ vvb_pad; alpha ] in
+  let attn = Einsum.eval "whi,whbj->ibj" [ p "wo"; gam ] in
+  (Dense.add_bcast attn (p "bo"), kkb, vvb)

@@ -30,22 +30,28 @@ type cache = {
   logits : Dense.t;
 }
 
-let embed m tokens =
-  let hp = m.hp in
+let embed_with m hp tokens =
   Dense.init (Hparams.dims_x hp) (fun idx ->
       let b = List.assoc "b" idx
       and j = List.assoc "j" idx
       and i = List.assoc "i" idx in
       Dense.get m.embedding [ ("v", tokens.(b).(j)); ("i", i) ])
 
-let forward m ~tokens =
-  let hp = m.hp in
-  let x0 = embed m tokens in
+(* Like [forward], but batch/seq follow the token array and the layer
+   program can be the causal decoder block ([forward] is the training
+   special case). Serves as the full-recompute decoding oracle. *)
+let forward_with ?(causal = false) ?(activation = `Relu) m ~tokens =
+  let b = Array.length tokens in
+  if b = 0 then invalid_arg "Model.forward_with: empty batch";
+  let hp =
+    { m.hp with Hparams.batch = b; seq = Array.length tokens.(0) }
+  in
+  let x0 = embed_with m hp tokens in
   let x = ref x0 in
   let layer_envs =
     Array.init m.n_layers (fun layer ->
         let fwd = Ops.Program.make ~containers:(Encoder.containers hp)
-            (Encoder.forward_ops hp)
+            (Encoder.forward_ops ~activation ~causal hp)
         in
         let env =
           Ops.Program.run fwd (("x", !x) :: m.layer_params.(layer))
@@ -56,6 +62,8 @@ let forward m ~tokens =
   let y = !x in
   let logits = Einsum.eval "vi,ibj->vbj" [ m.embedding; y ] in
   { tokens; x0; layer_envs; y; logits }
+
+let forward m ~tokens = forward_with m ~tokens
 
 type grads = {
   d_embedding : Dense.t;
@@ -283,3 +291,86 @@ let parameter_count m =
       (fun acc params ->
         List.fold_left (fun acc (_, p) -> acc + Dense.volume p) acc params)
       0 m.layer_params
+
+(* --- inference: KV-cached incremental decoding ----------------------- *)
+
+type session = {
+  sess_model : t;
+  kv : Mha.cache array;  (* one per layer *)
+}
+
+let new_session m =
+  {
+    sess_model = m;
+    kv = Array.init m.n_layers (fun _ -> Mha.cache_create m.hp);
+  }
+
+let session_len s = if Array.length s.kv = 0 then 0 else Mha.cache_len s.kv.(0)
+
+let session_floats s =
+  Array.fold_left (fun acc c -> acc + Mha.cache_floats c) 0 s.kv
+
+(* One incremental decode step for a ragged batch of sessions: feeds token
+   [tokens.(b)] to [sessions.(b)] and returns the logits column, dims
+   (v, b, j=1). New K/V columns are staged per layer and committed only
+   after every layer has succeeded, so a mid-step crash or deadline abort
+   leaves the sessions exactly as they were. *)
+let decode_batch m sessions ~tokens =
+  let nb = Array.length sessions in
+  if nb = 0 then invalid_arg "Model.decode_batch: empty batch";
+  if Array.length tokens <> nb then
+    invalid_arg "Model.decode_batch: sessions/tokens length mismatch";
+  Array.iter
+    (fun s ->
+      if s.sess_model != m then
+        invalid_arg "Model.decode_batch: session belongs to a different model")
+    sessions;
+  if m.hp.Hparams.dropout_p <> 0.0 then
+    invalid_arg "Model.decode_batch: requires dropout_p = 0 (inference)";
+  let hp = { m.hp with Hparams.batch = nb; seq = 1 } in
+  let x0 =
+    Dense.init (Hparams.dims_x hp) (fun idx ->
+        let b = List.assoc "b" idx and i = List.assoc "i" idx in
+        Dense.get m.embedding [ ("v", tokens.(b)); ("i", i) ])
+  in
+  let x = ref x0 in
+  let staged =
+    Array.init m.n_layers (fun layer ->
+        let caches = Array.map (fun s -> s.kv.(layer)) sessions in
+        let y, knew, vnew =
+          Decoder.cached_step hp ~params:m.layer_params.(layer) ~caches !x
+        in
+        x := y;
+        (knew, vnew))
+  in
+  Array.iteri
+    (fun layer (knew, vnew) ->
+      Array.iteri
+        (fun b s -> Mha.cache_append s.kv.(layer) ~k:knew ~v:vnew ~b)
+        sessions)
+    staged;
+  Einsum.eval "vi,ibj->vbj" [ m.embedding; !x ]
+
+(* Slot b's vocabulary column at the last position of a logits tensor. *)
+let logits_column logits ~b =
+  let shape = Dense.shape logits in
+  let v = Shape.size shape "v" and j = Shape.size shape "j" in
+  Array.init v (fun vi -> Dense.get logits [ ("v", vi); ("b", b); ("j", j - 1) ])
+
+(* Full-recompute oracle: run the causal decoder stack over the whole
+   prefix and return the final position's vocabulary column. The KV-cached
+   path must reproduce this bitwise (test_serve checks it). *)
+let decode_oracle m ~prompt =
+  if Array.length prompt = 0 then
+    invalid_arg "Model.decode_oracle: empty prompt";
+  if m.hp.Hparams.dropout_p <> 0.0 then
+    invalid_arg "Model.decode_oracle: requires dropout_p = 0 (inference)";
+  let cache = forward_with ~causal:true ~activation:`Gelu m ~tokens:[| prompt |] in
+  logits_column cache.logits ~b:0
+
+(* Greedy sampling: lowest index wins ties, so generation is deterministic
+   on both the cached and the oracle path. *)
+let argmax col =
+  let best = ref 0 in
+  Array.iteri (fun i v -> if v > col.(!best) then best := i) col;
+  !best

@@ -78,3 +78,45 @@ val adam_restore : adam_state -> adam_snapshot -> unit
 
 (** [parameter_count m] counts learnable scalars. *)
 val parameter_count : t -> int
+
+(** {1 Inference: KV-cached incremental decoding}
+
+    A [session] holds one sequence's per-layer K/V caches. [decode_batch]
+    advances a ragged batch of sessions one token each; per-layer cache
+    appends are committed only after the whole stack succeeds, so an
+    aborted step (crash, deadline) leaves sessions untouched. Decoding
+    requires [dropout_p = 0] and is bitwise equal, per column, to
+    [forward_with ~causal:true ~activation:`Gelu] over the full prefix. *)
+
+(** [forward_with ?causal ?activation m ~tokens] generalizes {!forward}:
+    batch/seq follow the token array and the layer program can be the
+    causal (decoder) block. [forward] is [forward_with] at the defaults. *)
+val forward_with :
+  ?causal:bool -> ?activation:[ `Gelu | `Relu ] -> t
+  -> tokens:int array array -> cache
+
+type session
+
+val new_session : t -> session
+
+(** Tokens decoded into the session so far. *)
+val session_len : session -> int
+
+(** Floats resident in the session's K/V cache buffers. *)
+val session_floats : session -> int
+
+(** [decode_batch m sessions ~tokens] feeds [tokens.(b)] to
+    [sessions.(b)]; returns logits, dims [(v, b, j=1)]. *)
+val decode_batch : t -> session array -> tokens:int array -> Dense.t
+
+(** [logits_column logits ~b] is slot [b]'s vocabulary column at the last
+    position. *)
+val logits_column : Dense.t -> b:int -> float array
+
+(** [decode_oracle m ~prompt] recomputes the whole causal prefix and
+    returns the final position's vocabulary column — the oracle the cached
+    path must match bitwise. *)
+val decode_oracle : t -> prompt:int array -> float array
+
+(** Greedy next-token choice; ties break to the lowest index. *)
+val argmax : float array -> int
