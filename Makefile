@@ -4,9 +4,9 @@
 DUNE ?= dune
 
 .PHONY: check build test smoke resilience-smoke bench-smoke bench-scaling \
-	serve-smoke bench-serve clean
+	serve-smoke bench-serve attn-smoke bench-attn clean
 
-check: build test smoke resilience-smoke bench-smoke serve-smoke
+check: build test smoke resilience-smoke bench-smoke serve-smoke attn-smoke
 
 build:
 	$(DUNE) build
@@ -53,6 +53,18 @@ serve-smoke:
 # BENCH_pr7.json.
 bench-serve:
 	$(DUNE) exec bench/main.exe -- serve-json
+
+# <1 s: streaming tiled attention (exact mode) checked bitwise against the
+# naive QK^T -> softmax -> dropout -> V chain at L=64, causal + dropout,
+# forward and backward (nonzero exit on divergence).
+attn-smoke:
+	$(DUNE) exec bench/main.exe -- attn-smoke
+
+# Fused-vs-unfused attention wall clock up to L=2048 plus the KV-cached
+# decode point; asserts the fused fwd+bwd is >=3x the unfused chain and
+# that scratch stays O(L * d_head); regenerates BENCH_pr8.json.
+bench-attn:
+	$(DUNE) exec bench/main.exe -- attn-json
 
 clean:
 	$(DUNE) clean

@@ -235,6 +235,12 @@ let () =
   | "serve-smoke" ->
       Serve_bench.run `Smoke;
       exit 0
+  | "attn-json" ->
+      Attn_bench.run `Json;
+      exit 0
+  | "attn-smoke" ->
+      Attn_bench.run `Smoke;
+      exit 0
   | _ -> ());
   Printf.printf
     "substation benchmark harness - reproducing \"Data Movement Is All You \

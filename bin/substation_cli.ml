@@ -59,6 +59,9 @@ let program_of ~mha hp =
 let table_of ~mha =
   if mha then Transformer.Mha.kernel_names else Transformer.Encoder.kernel_names
 
+(* Set by the --flash-attn setup term before any command body runs. *)
+let flash_attn = ref false
+
 (* ---------------- commands ---------------- *)
 
 let analyze hp _device mha =
@@ -79,7 +82,7 @@ let analyze hp _device mha =
 
 let fuse hp _device mha =
   let program = program_of ~mha hp in
-  let groups = Substation.Fusion.groups ~name_table:(table_of ~mha) program in
+  let groups = Substation.Fusion.groups ~name_table:(table_of ~mha) ~attention:!flash_attn program in
   List.iter
     (fun (g : Substation.Fusion.group) ->
       Format.printf "%-12s <- %s@." g.fused.Ops.Op.name
@@ -99,7 +102,7 @@ let faults_spec ~rate ~sigma ~seed =
 let tune hp device mha op_filter csv_out fault_rate noise fault_seed checkpoint
     =
   let program =
-    Substation.Fusion.fuse ~name_table:(table_of ~mha) (program_of ~mha hp)
+    Substation.Fusion.fuse ~name_table:(table_of ~mha) ~attention:!flash_attn (program_of ~mha hp)
   in
   let faults = faults_spec ~rate:fault_rate ~sigma:noise ~seed:fault_seed in
   let db = Substation.Perfdb.build ~faults ?checkpoint ~device program in
@@ -138,7 +141,7 @@ let tune hp device mha op_filter csv_out fault_rate noise fault_seed checkpoint
 
 let select hp device mha =
   let program =
-    Substation.Fusion.fuse ~name_table:(table_of ~mha) (program_of ~mha hp)
+    Substation.Fusion.fuse ~name_table:(table_of ~mha) ~attention:!flash_attn (program_of ~mha hp)
   in
   let db = Substation.Perfdb.build ~device program in
   let sel = Substation.Selector.select db in
@@ -170,7 +173,7 @@ let compare_frameworks hp device mha =
 
 let memory hp _device mha =
   let program = program_of ~mha hp in
-  let fused = Substation.Fusion.fuse ~name_table:(table_of ~mha) program in
+  let fused = Substation.Fusion.fuse ~name_table:(table_of ~mha) ~attention:!flash_attn program in
   let pu = Ops.Memory.profile program in
   let pf = Ops.Memory.profile fused in
   Format.printf "Configuration: %a@.@." Transformer.Hparams.pp hp;
@@ -330,7 +333,7 @@ let train steps lr checkpoint resume interrupt_after =
 let resilience_demo hp mha exec_rate seed deadline_ms kernel_timeout_ms
     no_fallback retries =
   let program =
-    Substation.Fusion.fuse ~name_table:(table_of ~mha) (program_of ~mha hp)
+    Substation.Fusion.fuse ~name_table:(table_of ~mha) ~attention:!flash_attn (program_of ~mha hp)
   in
   let plan =
     {
@@ -476,7 +479,7 @@ let serve hp trace_spec max_batch max_delay_ms queue_cap deadline_ms real
 let faults_campaign hp device mha seed rates sigmas punch =
   let open Substation in
   let program =
-    Fusion.fuse ~name_table:(table_of ~mha) (program_of ~mha hp)
+    Fusion.fuse ~name_table:(table_of ~mha) ~attention:!flash_attn (program_of ~mha hp)
   in
   Format.printf "fault campaign: %a on %s, seed %d@.@." Transformer.Hparams.pp
     hp device.Gpu.Device.name seed;
@@ -582,9 +585,23 @@ let guard_setup =
     const (function None -> () | Some l -> Guard.set_level l)
     $ guard_arg)
 
+let flash_attn_arg =
+  Arg.(
+    value & flag
+    & info [ "flash-attn" ]
+        ~doc:
+          "Let the fusion pass recognize the attention interior (QK^T / \
+           softmax / dropout / V) and pin it as one streaming tiled kernel \
+           across its contraction barriers, eliding the L x L score \
+           containers.")
+
+let flash_attn_setup = Term.(const (fun b -> flash_attn := b) $ flash_attn_arg)
+
 let cmd name doc term =
   Cmd.v (Cmd.info name ~doc)
-    Term.(const (fun () () r -> r) $ domains_setup $ guard_setup $ term)
+    Term.(
+      const (fun () () () r -> r)
+      $ domains_setup $ guard_setup $ flash_attn_setup $ term)
 
 let analyze_cmd =
   cmd "analyze" "Dataflow analysis: flop, data volumes, operator classes."

@@ -4,6 +4,7 @@ type pattern =
   | Reduction_into_map
   | Sibling
   | Warp_shared_reduction
+  | Streaming_attention
 
 let pattern_to_string = function
   | Producer_consumer_map -> "producer-consumer map chain"
@@ -11,6 +12,7 @@ let pattern_to_string = function
   | Reduction_into_map -> "reduction feeding a map"
   | Sibling -> "sibling operators (launch sharing)"
   | Warp_shared_reduction -> "warp-shared two-dimensional reduction (sink)"
+  | Streaming_attention -> "streaming tiled attention (across contractions)"
 
 type group = {
   members : Ops.Op.t list;
@@ -297,16 +299,330 @@ let build_fused name_table program (g : raw_group) =
       in
       { members; fused; steps = g.steps }
 
-let groups ?(name_table = []) (program : Ops.Program.t) =
-  let items = sink program (segment program.Ops.Program.ops) in
-  List.concat_map
-    (function
-      | Barrier op -> [ { members = [ op ]; fused = op; steps = [] } ]
-      | Region gs -> List.map (build_fused name_table program) gs)
-    items
+(* --- streaming attention prefuse ------------------------------------ *)
 
-let fuse ?name_table program =
-  let gs = groups ?name_table program in
+(* Contractions are fusion barriers for the generic engine above, but the
+   attention interior — qkt, softmax(+causal), dropout, gamma, and their
+   six backward mirrors — is the one place the paper's data-movement
+   accounting wants fusion ACROSS the barriers: the L x L score matrix is
+   produced and consumed entirely inside the window, so a streaming kernel
+   ({!Flashattn}) can elide it. The prefuser below recognizes those
+   windows structurally (via [Op.sem]) in the paper's h/b/j/k/p/w axis
+   convention and pins each as a single fused group; everything outside
+   the windows flows through the generic engine unchanged. Opt-in
+   ([?attention] on {!groups} / {!fuse}) because eliding the score
+   containers changes which intermediates a fused program materializes. *)
+
+type attn_window = {
+  aw_fwd : Ops.Op.t list;  (* qkt; softmax; dropout; gamma *)
+  aw_bwd : Ops.Op.t list;  (* their six backward mirrors; [] if fwd-only *)
+  aw_q : string;
+  aw_k : string;
+  aw_v : string;
+  aw_out : string;  (* gam *)
+  aw_dout : string;  (* d_gam *)
+  aw_dq : string;
+  aw_dk : string;
+  aw_dv : string;
+  aw_alpha_sm : string;  (* probe container: present iff members replayed *)
+  aw_internal : string list;  (* elided under the streaming kernel *)
+  aw_prescale : float;
+  aw_causal : bool;
+  aw_dropout : Flashattn.dropout option;
+}
+
+let beta_order dims = List.map fst dims = [ "h"; "b"; "j"; "k" ]
+
+let match_attn_fwd = function
+  | (o1 : Ops.Op.t) :: o2 :: o3 :: (o4 : Ops.Op.t) :: _ -> begin
+      match (o1.sem, o2.sem, o3.sem, o4.sem) with
+      | ( Some (Ops.Op.Contract c1),
+          Some (Ops.Op.Red (Ops.Op.Softmax r)),
+          Some (Ops.Op.Elt e),
+          Some (Ops.Op.Contract c2) )
+        when String.equal c1.c_spec "phbk,phbj->hbjk"
+             && String.equal c2.c_spec "whbk,hbjk->whbj"
+             && c1.c_scale = 1.0 && c2.c_scale = 1.0
+             && String.equal r.r_x c1.c_out
+             && Axis.equal r.r_axis "k"
+             && (match r.r_causal with
+                | None -> true
+                | Some (cq, ck) -> Axis.equal cq "j" && Axis.equal ck "k")
+             && String.equal e.e_x r.r_out
+             && e.e_mask <> None
+             && (match e.e_fn with
+                | Ops.Op.Dropout_gen d -> d.p = 0.0 || beta_order e.e_dims
+                | _ -> false)
+             && (match c2.c_inputs with
+                | [ _; a ] -> String.equal a e.e_out
+                | _ -> false)
+             && (not o1.backward) && (not o2.backward) && (not o3.backward)
+             && not o4.backward ->
+          let mask = Option.get e.e_mask in
+          let dropout =
+            match e.e_fn with
+            | Ops.Op.Dropout_gen d when d.p > 0.0 ->
+                Some
+                  { Flashattn.p = d.p; seed = d.seed; key = o3.name;
+                    dims = e.e_dims }
+            | _ -> None
+          in
+          Some
+            ( [ o1; o2; o3; o4 ],
+              {
+                aw_fwd = [ o1; o2; o3; o4 ];
+                aw_bwd = [];
+                aw_q = List.nth c1.c_inputs 1;
+                aw_k = List.nth c1.c_inputs 0;
+                aw_v = List.nth c2.c_inputs 0;
+                aw_out = c2.c_out;
+                aw_dout = "";
+                aw_dq = "";
+                aw_dk = "";
+                aw_dv = "";
+                aw_alpha_sm = r.r_out;
+                aw_internal = [ c1.c_out; r.r_out; mask; e.e_out ];
+                aw_prescale = r.r_prescale;
+                aw_causal = r.r_causal <> None;
+                aw_dropout = dropout;
+              },
+              mask )
+      | _ -> None
+    end
+  | _ -> None
+
+let match_attn_bwd w ~mask = function
+  | (b0 : Ops.Op.t) :: b1 :: b2 :: b3 :: b4 :: (b5 : Ops.Op.t) :: _ -> begin
+      match (b0.sem, b1.sem, b2.sem, b3.sem, b4.sem, b5.sem) with
+      | ( Some (Ops.Op.Contract g1),
+          Some (Ops.Op.Contract g2),
+          Some (Ops.Op.Elt e2),
+          Some (Ops.Op.Red (Ops.Op.Softmax_dx sd)),
+          Some (Ops.Op.Contract q1),
+          Some (Ops.Op.Contract q2) )
+        when String.equal g1.c_spec "whbk,whbj->hbjk"
+             && String.equal g2.c_spec "hbjk,whbj->whbk"
+             && String.equal q1.c_spec "phbk,hbjk->phbj"
+             && String.equal q2.c_spec "phbj,hbjk->phbk"
+             && g1.c_scale = 1.0 && g2.c_scale = 1.0 && q1.c_scale = 1.0
+             && q2.c_scale = 1.0
+             && g1.c_inputs = [ w.aw_v; List.nth g1.c_inputs 1 ]
+             && g2.c_inputs = [ List.nth w.aw_internal 3; List.nth g1.c_inputs 1 ]
+             && e2.e_fn = Ops.Op.Mul2
+             && String.equal e2.e_x g1.c_out
+             && e2.e_operand = Some mask
+             && String.equal sd.sd_dy e2.e_out
+             && String.equal sd.sd_y w.aw_alpha_sm
+             && Axis.equal sd.sd_axis "k"
+             && sd.sd_prescale = w.aw_prescale
+             && q1.c_inputs = [ w.aw_k; sd.sd_out ]
+             && q2.c_inputs = [ w.aw_q; sd.sd_out ]
+             && b0.backward && b1.backward && b2.backward && b3.backward
+             && b4.backward && b5.backward ->
+          Some
+            ( [ b0; b1; b2; b3; b4; b5 ],
+              {
+                w with
+                aw_bwd = [ b0; b1; b2; b3; b4; b5 ];
+                aw_dout = List.nth g1.c_inputs 1;
+                aw_dq = q1.c_out;
+                aw_dk = q2.c_out;
+                aw_dv = g2.c_out;
+                aw_internal =
+                  w.aw_internal @ [ g1.c_out; e2.e_out; sd.sd_out ];
+              } )
+      | _ -> None
+    end
+  | _ -> None
+
+(* The elided containers must be produced and consumed strictly inside the
+   window pair: any outside reader or writer vetoes the prefuse. *)
+let window_closed (program : Ops.Program.t) w =
+  let inside (o : Ops.Op.t) =
+    List.memq o w.aw_fwd || List.memq o w.aw_bwd
+  in
+  List.for_all
+    (fun c ->
+      List.for_all
+        (fun (o : Ops.Op.t) ->
+          inside o || ((not (List.mem c o.reads)) && not (List.mem c o.writes)))
+        program.Ops.Program.ops)
+    w.aw_internal
+
+let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: t -> drop (n - 1) t
+
+let find_attention (program : Ops.Program.t) =
+  let ops = program.Ops.Program.ops in
+  let rec scan acc l =
+    match l with
+    | [] -> List.rev acc
+    | _ :: rest -> begin
+        match match_attn_fwd l with
+        | Some (span, w, mask) -> scan ((w, mask) :: acc) (drop (List.length span) l)
+        | None -> scan acc rest
+      end
+  in
+  let pair (w, mask) =
+    let rec seek l =
+      match l with
+      | [] -> w
+      | _ :: rest -> begin
+          match match_attn_bwd w ~mask l with
+          | Some (_, w') -> w'
+          | None -> seek rest
+        end
+    in
+    seek ops
+  in
+  scan [] ops |> List.map pair |> List.filter (window_closed program)
+
+(* The forward stat container: per-row logsumexp the streaming backward
+   reuses. Stored in the environment only (not a declared program
+   container); the backward recomputes it when a fallback replay ran the
+   forward members instead. *)
+let lse_container w = w.aw_out ^ ".lse"
+
+let attn_steps members =
+  List.map
+    (fun (o : Ops.Op.t) -> (o.Ops.Op.name, Streaming_attention))
+    (List.tl members)
+
+let build_attn_fwd name_table w =
+  let members = w.aw_fwd in
+  let name = canonical_name name_table members in
+  let seq env = List.iter (fun (o : Ops.Op.t) -> o.Ops.Op.run env) members in
+  let run env =
+    if not (Fastmode.enabled ()) then seq env
+    else
+      Guard.protected
+        ~kernel:("fused." ^ name)
+        ~outputs:(fun () ->
+          List.filter_map
+            (fun c -> Option.map Dense.unsafe_data (Hashtbl.find_opt env c))
+            [ w.aw_out ])
+        ~fallback:(fun () -> seq env)
+        (fun () ->
+          let out, lse =
+            Flashattn.forward ~causal:w.aw_causal ?dropout:w.aw_dropout
+              ~prescale:w.aw_prescale
+              ~q:(Ops.Op.lookup env w.aw_q)
+              ~k:(Ops.Op.lookup env w.aw_k)
+              ~v:(Ops.Op.lookup env w.aw_v)
+              ()
+          in
+          Ops.Op.store env w.aw_out out;
+          Option.iter (Hashtbl.replace env (lse_container w)) lse)
+  in
+  let gamma = List.nth members 3 in
+  let fused =
+    {
+      gamma with
+      Ops.Op.name;
+      reads = [ w.aw_k; w.aw_q; w.aw_v ];
+      writes = [ w.aw_out ];
+      flop = List.fold_left (fun acc (o : Ops.Op.t) -> acc + o.flop) 0 members;
+      run;
+      vjp = None;
+      sem = None;
+    }
+  in
+  { members; fused; steps = attn_steps members }
+
+let build_attn_bwd name_table w =
+  let members = w.aw_bwd in
+  let name = canonical_name name_table members in
+  (* fallback replay needs the score-matrix intermediates the streaming
+     forward elided; recompute them by replaying the forward members
+     (deterministic, so re-stored values are identical) *)
+  let seq env =
+    if not (Hashtbl.mem env w.aw_alpha_sm) then
+      List.iter (fun (o : Ops.Op.t) -> o.Ops.Op.run env) w.aw_fwd;
+    List.iter (fun (o : Ops.Op.t) -> o.Ops.Op.run env) members
+  in
+  let run env =
+    if not (Fastmode.enabled ()) then seq env
+    else
+      Guard.protected
+        ~kernel:("fused." ^ name)
+        ~outputs:(fun () ->
+          List.filter_map
+            (fun c -> Option.map Dense.unsafe_data (Hashtbl.find_opt env c))
+            [ w.aw_dq; w.aw_dk; w.aw_dv ])
+        ~fallback:(fun () -> seq env)
+        (fun () ->
+          let dq, dk, dv =
+            Flashattn.backward ~causal:w.aw_causal ?dropout:w.aw_dropout
+              ?lse:(Hashtbl.find_opt env (lse_container w))
+              ~prescale:w.aw_prescale
+              ~q:(Ops.Op.lookup env w.aw_q)
+              ~k:(Ops.Op.lookup env w.aw_k)
+              ~v:(Ops.Op.lookup env w.aw_v)
+              ~d_out:(Ops.Op.lookup env w.aw_dout)
+              ()
+          in
+          Ops.Op.store env w.aw_dq dq;
+          Ops.Op.store env w.aw_dk dk;
+          Ops.Op.store env w.aw_dv dv)
+  in
+  let last = List.nth members 5 in
+  let fused =
+    {
+      last with
+      Ops.Op.name;
+      reads = [ w.aw_v; w.aw_dout; w.aw_k; w.aw_q ];
+      writes = [ w.aw_dq; w.aw_dk; w.aw_dv ];
+      flop = List.fold_left (fun acc (o : Ops.Op.t) -> acc + o.flop) 0 members;
+      run;
+      vjp = None;
+      sem = None;
+    }
+  in
+  { members; fused; steps = attn_steps members }
+
+(* --- entry points ---------------------------------------------------- *)
+
+let groups ?(name_table = []) ?(attention = false) (program : Ops.Program.t) =
+  let default ops =
+    sink program (segment ops)
+    |> List.concat_map (function
+         | Barrier op -> [ { members = [ op ]; fused = op; steps = [] } ]
+         | Region gs -> List.map (build_fused name_table program) gs)
+  in
+  let windows = if attention then find_attention program else [] in
+  if windows = [] then default program.Ops.Program.ops
+  else begin
+    let spans =
+      List.concat_map
+        (fun w ->
+          (List.hd w.aw_fwd, List.length w.aw_fwd, `Fwd w)
+          ::
+          (match w.aw_bwd with
+          | [] -> []
+          | b -> [ (List.hd b, List.length b, `Bwd w) ]))
+        windows
+    in
+    let flush acc current =
+      if current = [] then acc else default (List.rev current) :: acc
+    in
+    let rec walk acc current = function
+      | [] -> List.rev (flush acc current)
+      | (op : Ops.Op.t) :: rest -> begin
+          match List.find_opt (fun (h, _, _) -> h == op) spans with
+          | Some (_, n, which) ->
+              let g =
+                match which with
+                | `Fwd w -> build_attn_fwd name_table w
+                | `Bwd w -> build_attn_bwd name_table w
+              in
+              walk ([ g ] :: flush acc current) [] (drop (n - 1) rest)
+          | None -> walk acc (op :: current) rest
+        end
+    in
+    List.concat (walk [] [] program.Ops.Program.ops)
+  end
+
+let fuse ?name_table ?attention program =
+  let gs = groups ?name_table ?attention program in
   Ops.Program.replace_ops program (List.map (fun g -> g.fused) gs)
 
 let movement_saved ~bytes_per_elem (program : Ops.Program.t) =

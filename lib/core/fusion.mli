@@ -32,6 +32,11 @@ type pattern =
   | Warp_shared_reduction
       (** a terminal reduction sunk past a contraction barrier into a group
           reducing over the same extents (how bias-dW joins BDRB) *)
+  | Streaming_attention
+      (** the attention interior (qkt/softmax/dropout/gamma and its six
+          backward mirrors) fused across its contraction barriers into one
+          cache-resident streaming kernel ({!Flashattn}), eliding the
+          L x L score containers *)
 
 val pattern_to_string : pattern -> string
 
@@ -42,17 +47,28 @@ type group = {
       (** how each non-first member joined (member name, pattern) *)
 }
 
-(** [fuse ?name_table program] rewrites the program, replacing each fused
-    group by one operator. [name_table] maps member-name sets to canonical
-    kernel names (e.g. {!Transformer.Encoder.kernel_names}); unnamed groups
-    get the concatenation of member names. *)
-val fuse : ?name_table:(string list * string) list -> Ops.Program.t
-  -> Ops.Program.t
+(** [fuse ?name_table ?attention program] rewrites the program, replacing
+    each fused group by one operator. [name_table] maps member-name sets to
+    canonical kernel names (e.g. {!Transformer.Encoder.kernel_names});
+    unnamed groups get the concatenation of member names.
 
-(** [groups ?name_table program] exposes the grouping for inspection;
-    singleton groups are included (their [fused] op is the original). *)
-val groups : ?name_table:(string list * string) list -> Ops.Program.t
-  -> group list
+    [attention] (default [false]) additionally recognizes the attention
+    interior — qkt / softmax(+causal) / dropout / gamma and, when present,
+    their six backward mirrors — and pins each window as one fused group
+    running the streaming tiled kernel ({!Flashattn}) under the kernel
+    guard, with sequential member replay as the oracle fallback (the
+    backward's replay first re-runs the forward members to rematerialize
+    the elided score containers). Windows whose intermediates leak outside
+    the pair are left to the generic engine. Opt-in because the streaming
+    kernel elides the L x L score containers from the environment. *)
+val fuse : ?name_table:(string list * string) list -> ?attention:bool
+  -> Ops.Program.t -> Ops.Program.t
+
+(** [groups ?name_table ?attention program] exposes the grouping for
+    inspection; singleton groups are included (their [fused] op is the
+    original). *)
+val groups : ?name_table:(string list * string) list -> ?attention:bool
+  -> Ops.Program.t -> group list
 
 (** [external_reads program members] / [external_writes program members]:
     the containers a kernel fusing [members] must actually load / store —

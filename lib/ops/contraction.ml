@@ -115,7 +115,15 @@ let einsum ~name ?(scale = 1.0) ~dims ?(backward = false) p () =
     run = (fun env -> Op.store env p.output (run_part env ~scale p));
     backward;
     vjp = Some vjp;
-    sem = None;
+    (* renamed parts are opaque to structural matchers: the spec no longer
+       names the containers' own axes *)
+    sem =
+      (if p.renames = [] then
+         Some
+           (Op.Contract
+              { c_spec = p.spec; c_inputs = p.inputs; c_out = p.output;
+                c_scale = scale })
+       else None);
   }
 
 let grouped ~name ?(scale = 1.0) ~dims ?(backward = false) ~group_role

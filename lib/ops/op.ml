@@ -92,7 +92,14 @@ type red_sem =
     }
   | Bias_dw of { bw_dy : string; bw_out : string; bw_axes : Axis.t list }
 
-type sem = Elt of elt_sem | Red of red_sem
+type contract_sem = {
+  c_spec : string;
+  c_inputs : string list;
+  c_out : string;
+  c_scale : float;
+}
+
+type sem = Elt of elt_sem | Red of red_sem | Contract of contract_sem
 
 type vjp = cotangents:(string * Dense.t) list -> env -> (string * Dense.t) list
 

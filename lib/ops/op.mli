@@ -107,7 +107,17 @@ type red_sem =
     }
   | Bias_dw of { bw_dy : string; bw_out : string; bw_axes : Axis.t list }
 
-type sem = Elt of elt_sem | Red of red_sem
+(** A single-part einsum, declared so structural pattern matchers (the
+    attention prefuser) can recognize contraction chains without running
+    them. Only attached when the part applies no axis renames. *)
+type contract_sem = {
+  c_spec : string;  (** einsum spec, e.g. "phbk,phbj->hbjk" *)
+  c_inputs : string list;
+  c_out : string;
+  c_scale : float;
+}
+
+type sem = Elt of elt_sem | Red of red_sem | Contract of contract_sem
 
 (** A vector-Jacobian-product rule: given the cotangents of (some of) the
     operator's outputs and the forward environment, return the gradient

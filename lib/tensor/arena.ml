@@ -21,6 +21,8 @@ type dpool = {
   mutable retained : int;  (* floats parked across all classes *)
   mutable tick : int;
   mutable evictions : int;  (* length classes dropped by the cap *)
+  mutable live : int;  (* floats currently borrowed (in flight) *)
+  mutable peak : int;  (* high-water mark of [live] since last reset *)
 }
 
 type t = { pools : dpool Domain.DLS.key }
@@ -37,13 +39,22 @@ type stats = {
   classes : int;
   evictions : int;
   capacity_floats : int;
+  live_floats : int;
+  peak_floats : int;
 }
 
 let create () =
   {
     pools =
       Domain.DLS.new_key (fun () ->
-          { table = Hashtbl.create 16; retained = 0; tick = 0; evictions = 0 });
+          {
+            table = Hashtbl.create 16;
+            retained = 0;
+            tick = 0;
+            evictions = 0;
+            live = 0;
+            peak = 0;
+          });
   }
 
 let stats t =
@@ -53,7 +64,13 @@ let stats t =
     classes = Hashtbl.length d.table;
     evictions = d.evictions;
     capacity_floats = !max_retained;
+    live_floats = d.live;
+    peak_floats = d.peak;
   }
+
+let reset_peak t =
+  let d = Domain.DLS.get t.pools in
+  d.peak <- d.live
 
 let entry d n =
   match Hashtbl.find_opt d.table n with
@@ -92,6 +109,8 @@ let borrow t n =
   d.tick <- d.tick + 1;
   let e = entry d n in
   e.last_use <- d.tick;
+  d.live <- d.live + n;
+  if d.live > d.peak then d.peak <- d.live;
   match e.bufs with
   | buf :: rest ->
       e.bufs <- rest;
@@ -109,11 +128,16 @@ let release t buf =
   d.tick <- d.tick + 1;
   let e = entry d n in
   e.last_use <- d.tick;
-  if (not (List.memq buf e.bufs)) && n <= !max_retained then begin
-    (* a buffer alone above the cap is simply left to the collector *)
-    e.bufs <- buf :: e.bufs;
-    d.retained <- d.retained + n;
-    if d.retained > !max_retained then evict_until_fits d ~keep:n
+  if not (List.memq buf e.bufs) then begin
+    (* only a first release retires a live borrow; double releases from
+       convoluted unwind paths must not double-decrement *)
+    d.live <- (if d.live > n then d.live - n else 0);
+    if n <= !max_retained then begin
+      (* a buffer alone above the cap is simply left to the collector *)
+      e.bufs <- buf :: e.bufs;
+      d.retained <- d.retained + n;
+      if d.retained > !max_retained then evict_until_fits d ~keep:n
+    end
   end
 
 let with_scratch t n f =
@@ -134,6 +158,8 @@ let with_zeroed t n f =
 let reset t =
   let d = Domain.DLS.get t.pools in
   Hashtbl.reset d.table;
-  d.retained <- 0
+  d.retained <- 0;
+  d.live <- 0;
+  d.peak <- 0
 
 let global = create ()

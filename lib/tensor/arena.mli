@@ -41,10 +41,18 @@ type stats = {
   classes : int;  (** distinct buffer lengths pooled *)
   evictions : int;  (** length classes dropped by the cap *)
   capacity_floats : int;  (** current per-domain cap *)
+  live_floats : int;  (** floats currently borrowed (in flight) *)
+  peak_floats : int;  (** high-water mark of [live_floats] since the last
+                          {!reset} / {!reset_peak} — the scratch working
+                          set a kernel actually touched *)
 }
 
 val stats : t -> stats
 (** Retention counters for the calling domain's pool. *)
+
+val reset_peak : t -> unit
+(** Reset the calling domain's high-water mark to the current live total,
+    so a benchmark can bracket one kernel's scratch working set. *)
 
 val set_max_retained : int -> unit
 (** Set the per-domain retention cap, in floats ([>= 0]; 0 disables

@@ -30,6 +30,17 @@ let float t =
   let bits = Int64.shift_right_logical (next_int64 t) 11 in
   Int64.to_float bits *. (1.0 /. 9007199254740992.0)
 
+(* splitmix64 is counter-based: the state after n draws is
+   state0 + n*gamma and each output is a pure finalization of the state,
+   so the value of draw [i] (0-based) is computable without walking the
+   stream. This is what lets tiled kernels consume a mask stream in
+   arbitrary tile order while agreeing bitwise with the sequential walk
+   of the naive operators. *)
+let float_at t i =
+  let s = Int64.add t.state (Int64.mul (Int64.of_int (i + 1)) golden_gamma) in
+  let bits = Int64.shift_right_logical (mix s) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
 let uniform t ~lo ~hi = lo +. ((hi -. lo) *. float t)
 
 let gaussian t =

@@ -21,6 +21,13 @@ val next_int64 : t -> int64
 (** [float t] draws uniformly from [0, 1). *)
 val float : t -> float
 
+(** [float_at t i] is the value the [(i+1)]-th {!float} call on [t] would
+    return, without advancing the state: splitmix64 is counter-based, so
+    draw [i] is a pure finalization of [state + (i+1)*gamma]. Tiled
+    kernels use this to sample a mask stream at arbitrary positions while
+    agreeing bitwise with a sequential walk. *)
+val float_at : t -> int -> float
+
 (** [uniform t ~lo ~hi] draws uniformly from [lo, hi). *)
 val uniform : t -> lo:float -> hi:float -> float
 

@@ -417,6 +417,11 @@ let kernel_names =
   [
     ([ "bias_q"; "bias_k"; "bias_v" ], "AIB");
     ([ "softmax"; "attn_dropout" ], "SM");
+    (* streaming-attention windows (only formed under ~attention:true) *)
+    ([ "qkt"; "softmax"; "attn_dropout"; "gamma" ], "ATTN");
+    ( [ "gamma_dx1"; "gamma_dx2"; "attn_dropout_dx"; "softmax_dx"; "qkt_dx1";
+        "qkt_dx2" ],
+      "ATTN_dx" );
     ([ "output_bias"; "attn_out_dropout"; "residual1"; "ln1" ], "DRLN");
     ([ "bias1"; "relu"; "ff_dropout" ], "BRD");
     ([ "bias1"; "gelu"; "ff_dropout" ], "BGD");

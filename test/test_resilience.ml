@@ -209,6 +209,53 @@ let test_hang_times_out_to_fallback () =
        (Guard.quarantine ()));
   Guard.reset ()
 
+(* The streaming attention kernel runs under the same guard: a crash
+   inside the fused interior heals to the naive einsum + masked-softmax
+   chain (whose own crashed einsums heal to their oracles), so the run
+   lands bitwise on the all-naive result and the quarantine names the
+   streaming kernel. *)
+let test_flashattn_crash_heals () =
+  Guard.reset ();
+  let hp =
+    { Transformer.Hparams.tiny with batch = 2; seq = 12; heads = 2; proj = 8 }
+  in
+  let prng = Prng.create 53L in
+  let q =
+    mk_mat prng [ "p"; "h"; "b"; "j" ]
+      [ hp.Transformer.Hparams.proj; hp.Transformer.Hparams.heads;
+        hp.Transformer.Hparams.batch; hp.Transformer.Hparams.seq ]
+  in
+  let k =
+    mk_mat prng [ "p"; "h"; "b"; "k" ]
+      [ hp.Transformer.Hparams.proj; hp.Transformer.Hparams.heads;
+        hp.Transformer.Hparams.batch; hp.Transformer.Hparams.seq ]
+  in
+  let v =
+    mk_mat prng [ "w"; "h"; "b"; "k" ]
+      [ hp.Transformer.Hparams.proj; hp.Transformer.Hparams.heads;
+        hp.Transformer.Hparams.batch; hp.Transformer.Hparams.seq ]
+  in
+  let oracle =
+    Fastmode.with_mode false (fun () ->
+        Transformer.Mha.context hp ~causal:true ~q ~k ~v ())
+  in
+  let faults = Gpu.Faults.make_exec ~seed:19L ~crash_rate:1.0 () in
+  let healed =
+    Gpu.Faults.with_exec_faults faults (fun () ->
+        Fastmode.with_mode true (fun () ->
+            Transformer.Mha.context hp ~causal:true ~q ~k ~v ()))
+  in
+  check_bool "crashed attention kernel healed to the naive chain, bitwise"
+    true
+    (bitwise_equal oracle healed);
+  check_bool "quarantine names the streaming kernel" true
+    (List.exists
+       (fun (e : Guard.entry) ->
+         e.Guard.q_kernel = "flashattn.context"
+         && e.Guard.q_reason = "injected crash")
+       (Guard.quarantine ()));
+  Guard.reset ()
+
 (* ---------------- executor resilience matrix ---------------- *)
 
 let encoder_hp =
@@ -460,6 +507,8 @@ let () =
             test_guard_off_propagates;
           Alcotest.test_case "hang times out to fallback" `Quick
             test_hang_times_out_to_fallback;
+          Alcotest.test_case "streaming attention crash heals" `Quick
+            test_flashattn_crash_heals;
         ] );
       ( "executor resilience",
         [
