@@ -4,9 +4,10 @@
 DUNE ?= dune
 
 .PHONY: check build test smoke resilience-smoke bench-smoke bench-scaling \
-	serve-smoke bench-serve attn-smoke bench-attn clean
+	serve-smoke bench-serve attn-smoke bench-attn plan-smoke bench-plan clean
 
-check: build test smoke resilience-smoke bench-smoke serve-smoke attn-smoke
+check: build test smoke resilience-smoke bench-smoke serve-smoke attn-smoke \
+	plan-smoke
 
 build:
 	$(DUNE) build
@@ -65,6 +66,19 @@ attn-smoke:
 # that scratch stays O(L * d_head); regenerates BENCH_pr8.json.
 bench-attn:
 	$(DUNE) exec bench/main.exe -- attn-json
+
+# <1 s: memory-planned execution of the fused tiny encoder checked bitwise
+# against the allocate-everything interpreter (fast and naive), the >=25%
+# resident-set reduction, and a prepacked 8-token decode checked bitwise
+# against per-call packing (nonzero exit on divergence).
+plan-smoke:
+	$(DUNE) exec bench/main.exe -- plan-smoke
+
+# Planned-vs-unplanned encoder fwd+bwd wall clock, plan-vs-naive peak
+# resident floats (asserts >=25% reduction), and decode tokens/s with
+# weight prepacking on vs off; regenerates BENCH_pr9.json.
+bench-plan:
+	$(DUNE) exec bench/main.exe -- plan-json
 
 clean:
 	$(DUNE) clean

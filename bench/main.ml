@@ -241,6 +241,12 @@ let () =
   | "attn-smoke" ->
       Attn_bench.run `Smoke;
       exit 0
+  | "plan-json" ->
+      Memplan_bench.run `Json;
+      exit 0
+  | "plan-smoke" ->
+      Memplan_bench.run `Smoke;
+      exit 0
   | _ -> ());
   Printf.printf
     "substation benchmark harness - reproducing \"Data Movement Is All You \

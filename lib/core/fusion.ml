@@ -482,6 +482,10 @@ let find_attention (program : Ops.Program.t) =
    forward members instead. *)
 let lse_container w = w.aw_out ^ ".lse"
 
+(* Tell the memory planner about the sidecar so a planned run drops the
+   logsumexp together with its (dead) attention output. *)
+let () = Ops.Memplan.register_sidecar ".lse"
+
 let attn_steps members =
   List.map
     (fun (o : Ops.Op.t) -> (o.Ops.Op.name, Streaming_attention))

@@ -185,6 +185,27 @@ let run_functional ?(check = Check_nan) ?resilience ?fast plan inputs =
       in
       match fast with None -> go () | Some b -> Fastmode.with_mode b go)
 
+(* Planned interpretation: same semantics and the same per-op numerical
+   scan as [run_functional], but intermediates live in the memory
+   planner's recycled slots (in-place / aliased where legal) instead of
+   fresh allocations. Falls back to the unplanned interpreter when
+   planning is disabled (SUBSTATION_NOPLAN=1). *)
+let run_planned ?(check = Check_nan) ?fast ?keep plan inputs =
+  if not (Ops.Memplan.enabled ()) then run_functional ~check ?fast plan inputs
+  else
+    let mp = Ops.Memplan.for_program ?keep plan.program in
+    let check_op =
+      match check with
+      | No_check -> None
+      | _ ->
+          Some
+            (fun (op : Ops.Op.t) env ->
+              List.iter (scan_container ~check env op.Ops.Op.name)
+                op.Ops.Op.writes)
+    in
+    let go () = Ops.Memplan.execute ?check_op mp inputs in
+    match fast with None -> go () | Some b -> Fastmode.with_mode b go
+
 let default_kernels ?quality ~device program ops =
   List.map
     (fun (op : Ops.Op.t) ->

@@ -99,6 +99,23 @@ val run_functional :
   (string * Dense.t) list ->
   Ops.Op.env
 
+(** [run_planned ?check ?fast ?keep plan inputs] interprets the plan's
+    program through the static memory planner ({!Ops.Memplan}):
+    bitwise-equal to {!run_functional} with the same per-op numerical
+    scan, but intermediates recycle lifetime-analyzed slot buffers
+    (in-place / aliased where legal) instead of allocating fresh.
+    [keep] names intermediate containers the caller reads from the
+    returned environment (terminal outputs are always kept). Falls back
+    to {!run_functional} when planning is disabled
+    ([SUBSTATION_NOPLAN=1]). *)
+val run_planned :
+  ?check:numeric_check ->
+  ?fast:bool ->
+  ?keep:string list ->
+  plan ->
+  (string * Dense.t) list ->
+  Ops.Op.env
+
 (** [default_kernels ?quality program ops ~device] builds one kernel per
     operator using the framework-natural configuration. *)
 val default_kernels :

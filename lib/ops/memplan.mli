@@ -1,0 +1,84 @@
+(** Static memory planning: lifetime-analyzed slot placement, in-place and
+    aliased execution, and a schedule chosen to minimize the resident set.
+
+    {!Program.run} allocates a fresh tensor per op and retains every
+    container, so its peak resident set is the sum of all intermediates.
+    [plan] analyzes container lifetimes over a (post-fusion) program,
+    compares the program order against a greedy peak-minimizing
+    topological reorder, and assigns each non-escaping container to a
+    recycled slot buffer: element-wise ops whose input dies at that op
+    run in place, pure copies become zero-copy aliases, contractions
+    write straight into their slot, and ops the planner cannot interpret
+    run their own closure with the output adopted into the slot after the
+    fact. Aliasing is conservative — pinned inputs and outputs that
+    escape to the caller are always copied for real, and a buffer with
+    live aliases is never overwritten.
+
+    [execute] is bitwise-equal to {!Program.run} (serial and parallel,
+    fast and naive mode): the environment remains the source of truth,
+    planner loops apply exactly the naive constructors' per-element
+    functions, and guarded kernels recover into private storage no live
+    tensor aliases.
+
+    Setting [SUBSTATION_NOPLAN=1] in the environment disables planning
+    process-wide ({!enabled} returns [false]); callers are expected to
+    fall back to the unplanned interpreter. *)
+
+type t
+(** A compiled plan: a placement-annotated action per op plus the slot
+    buffers it recycles across runs. *)
+
+type stats = {
+  ops : int;
+  containers : int;  (** materialized (written) containers *)
+  naive_peak_floats : int;  (** allocate-everything resident set *)
+  plan_peak_floats : int;  (** slab + escaping outputs under the plan *)
+  live_peak_floats : int;  (** max simultaneously-live floats in the schedule *)
+  slots : int;
+  slab_floats : int;  (** total recycled slot storage *)
+  placed : int;  (** sem-interpreted ops writing straight into slots *)
+  adopted : int;  (** opaque ops whose outputs were adopted into slots *)
+  inplace : int;  (** element-wise ops overwriting their dying input *)
+  aliased : int;  (** copies elided into zero-copy views *)
+  copies_elided_floats : int;
+  reordered : bool;  (** schedule differs from program order *)
+}
+
+val enabled : unit -> bool
+(** [false] when [SUBSTATION_NOPLAN=1] (or {!set_enabled}[ false]). *)
+
+val set_enabled : bool -> unit
+(** Override the environment switch (tests and benchmarks). *)
+
+val register_sidecar : string -> unit
+(** Register an environment-key suffix that shadows a container (e.g.
+    [".lse"] for streaming attention's per-row logsumexp): removing a
+    dead container also removes [container ^ suffix]. *)
+
+val plan : ?keep:string list -> ?reorder:bool -> Program.t -> t
+(** Analyze and place [p]. Containers in [keep] (plus terminal outputs
+    that no op reads) escape to the caller: they get fresh storage every
+    run and are never aliased. [reorder] (default [true]) also tries the
+    greedy peak-minimizing schedule and keeps whichever order yields the
+    smaller planned resident set. *)
+
+val for_program : ?keep:string list -> ?reorder:bool -> Program.t -> t
+(** Memoized {!plan}, keyed on the program's physical identity — re-runs
+    of the same program reuse both the analysis and the slot buffers, so
+    steady-state allocation for placed containers is zero. *)
+
+val stats : t -> stats
+
+val execute :
+  ?check_op:(Op.t -> Op.env -> unit) -> t -> (string * Dense.t) list -> Op.env
+(** Run the plan over [inputs]. [check_op], called after each op with the
+    environment still holding that op's outputs (and before dead
+    containers are dropped), hosts the executor's numerical guards. The
+    returned environment holds the inputs plus kept containers. A
+    concurrent [execute] of the same plan is safe: the second caller runs
+    against private (non-recycled) buffers. *)
+
+val run :
+  ?keep:string list -> ?reorder:bool -> Program.t -> (string * Dense.t) list
+  -> Op.env
+(** [execute (for_program p) inputs]. *)

@@ -50,8 +50,11 @@ type elt_fn =
   | Gelu_grad  (** out = x * gelu'(operand) *)
   | Sigmoid_grad  (** out = x * y * (1 - y); operand is the forward output *)
   | Tanh_grad  (** out = x * (1 - y^2) *)
-  | Dropout_gen of { p : float; seed : int64 }
-      (** generates the mask (stored in [e_mask]), out = x * mask *)
+  | Dropout_gen of { p : float; seed : int64; key : string }
+      (** generates the mask (stored in [e_mask]), out = x * mask; [key] is
+          the PRNG stream name ([Prng.of_key seed key]) — the constructing
+          op's name, preserved here because fusion may rename the op while
+          the mask stream must stay put *)
 
 type elt_sem = {
   e_x : string;  (** primary (chained) input *)

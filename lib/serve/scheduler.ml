@@ -94,6 +94,9 @@ let create ?(policy = default_policy) ?(step_cost = default_step_cost) ~clock
   if policy.max_batch < 1 then invalid_arg "Scheduler.create: max_batch >= 1";
   if model.Model.hp.Transformer.Hparams.dropout_p <> 0.0 then
     invalid_arg "Scheduler.create: serving model must have dropout_p = 0";
+  (* bracket this serving run's scratch working set: the arena peak the
+     metrics report starts at this scheduler's creation *)
+  Arena.reset_peak Arena.global;
   {
     model;
     clock;

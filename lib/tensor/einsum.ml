@@ -93,7 +93,18 @@ let odometer_contract ~scale ~dims ~strides ~out_strides ~datas ~out_data =
     bump (n - 1)
   done
 
-let contract_naive ~scale inputs ~out =
+(* Result tensor for a contraction: fresh zeros, or — when the memory
+   planner supplies a destination slot — a zero-filled wrap of the
+   caller's buffer (no allocation, bitwise-identical accumulation). *)
+let out_tensor dims into =
+  match into with
+  | None -> Dense.zeros dims
+  | Some buf ->
+      let t = Dense.of_buffer dims buf in
+      Array.fill buf 0 (Array.length buf) 0.0;
+      t
+
+let contract_naive ~scale ?into inputs ~out =
   let sizes = axis_sizes inputs in
   let size a =
     match Hashtbl.find_opt sizes a with
@@ -105,7 +116,7 @@ let contract_naive ~scale inputs ~out =
   in
   let reduced = Axis.diff all_in_axes out in
   let loop_axes = out @ reduced in
-  let out_t = Dense.zeros (List.map (fun a -> (a, size a)) out) in
+  let out_t = out_tensor (List.map (fun a -> (a, size a)) out) into in
   let dims = Array.of_list (List.map size loop_axes) in
   let strides =
     Array.of_list (List.map (fun t -> Dense.strides_for t loop_axes) inputs)
@@ -226,9 +237,12 @@ let clear_caches () =
   plan_misses := 0;
   plan_evictions := 0
 
-(* Axis names are [a-z0-9_]*, so ',' ':' '|' are safe separators. The key
-   captures output axes plus every input's axes-in-storage-order and sizes,
-   i.e. everything the plan depends on. *)
+(* Axis names are [a-z0-9_]*, so ',' ':' '|' '#' are safe separators. The
+   key captures output axes plus every input's axes-in-storage-order and
+   sizes, and the execution regime (fast mode, pool domain count):
+   everything the plan depends on now or that a cached plan could bake in.
+   Without the regime suffix a [--domains] change mid-process could replay
+   a loop plan tuned under a stale worker count. *)
 let plan_key inputs ~out =
   let buf = Buffer.create 64 in
   List.iter
@@ -247,6 +261,10 @@ let plan_key inputs ~out =
           Buffer.add_char buf ',')
         (Shape.to_list (Dense.shape t)))
     inputs;
+  Buffer.add_string buf
+    (Printf.sprintf "#f%cd%d"
+       (if Fastmode.enabled () then '1' else '0')
+       (Pool.num_domains ()));
   Buffer.contents buf
 
 let canonical_strides dims =
@@ -411,22 +429,149 @@ let dot idx strides =
   done;
   !acc
 
+(* ------------------------------------------------------------------ *)
+(* Weight prepacking: parameters contracted through a non-direct view
+   (e.g. the decode out-projection "whi,whbj->ibj", whose [i,w,h] row view
+   walks wo stored (w,h,i)) are re-packed into GEMM scratch on every call.
+   For weights that pack is identical every time — the operand is the
+   whole tensor (all batch strides 0) and [pack] is a pure strided copy —
+   so registered tensors keep one packed image per view signature, built
+   on first use and reused until the optimizer mutates the weight. This
+   removes the dominant per-token data movement of serving decode GEMVs.
+
+   Registration is keyed by physical identity of the data array (the
+   optimizer mutates parameters in place), bounded FIFO so throwaway test
+   models cannot leak. Lookup on the hot path is lock-free over immutable
+   snapshots; insertions take a mutex (autotune sweeps contract in
+   parallel). *)
+
+type prepack_entry = {
+  pp_data : float array;  (* identity key: the registered tensor's storage *)
+  mutable pp_packs : (string * float array) list;  (* view signature -> image *)
+}
+
+type prepack_stats = {
+  pp_registered : int;
+  pp_images : int;
+  pp_floats : int;  (* floats held by packed images *)
+  pp_hits : int;
+  pp_builds : int;
+}
+
+let prepack_capacity = 1024
+let prepack_reg : prepack_entry list ref = ref []
+let prepack_on = ref true
+let prepack_hits = ref 0
+let prepack_builds = ref 0
+let prepack_mutex = Mutex.create ()
+
+let rec take n = function
+  | [] -> []
+  | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest
+
+let prepack_find data =
+  List.find_opt (fun e -> e.pp_data == data) !prepack_reg
+
+let register_prepacked t =
+  let data = Dense.unsafe_data t in
+  Mutex.protect prepack_mutex (fun () ->
+      if prepack_find data = None then
+        prepack_reg :=
+          take prepack_capacity ({ pp_data = data; pp_packs = [] } :: !prepack_reg))
+
+let invalidate_prepacked t =
+  let data = Dense.unsafe_data t in
+  Mutex.protect prepack_mutex (fun () ->
+      match prepack_find data with
+      | Some e -> e.pp_packs <- []
+      | None -> ())
+
+let clear_prepacked () =
+  Mutex.protect prepack_mutex (fun () ->
+      prepack_reg := [];
+      prepack_hits := 0;
+      prepack_builds := 0)
+
+let set_prepack_enabled b = prepack_on := b
+
+let prepack_stats () =
+  let reg = !prepack_reg in
+  let images = List.fold_left (fun acc e -> acc + List.length e.pp_packs) 0 reg in
+  let floats =
+    List.fold_left
+      (fun acc e ->
+        List.fold_left (fun a (_, b) -> a + Array.length b) acc e.pp_packs)
+      0 reg
+  in
+  {
+    pp_registered = List.length reg;
+    pp_images = images;
+    pp_floats = floats;
+    pp_hits = !prepack_hits;
+    pp_builds = !prepack_builds;
+  }
+
+let view_sig view =
+  let buf = Buffer.create 32 in
+  Array.iter (fun d -> Buffer.add_string buf (string_of_int d); Buffer.add_char buf ',') view.vdims;
+  Buffer.add_char buf '/';
+  Array.iter (fun s -> Buffer.add_string buf (string_of_int s); Buffer.add_char buf ',') view.vstrides;
+  Buffer.contents buf
+
+(* The packed image of [data] through [view], when [data] is registered
+   and the operand's batch strides are all zero (the pack then starts at
+   offset 0 for every batch, so one image serves the whole contraction,
+   bitwise-identical to the per-call [pack]). *)
+let prepacked_for data bstrides view count =
+  if (not !prepack_on) || not (Array.for_all (fun s -> s = 0) bstrides) then None
+  else
+    match prepack_find data with
+    | None -> None
+    | Some e -> (
+        let key = view_sig view in
+        match List.assoc_opt key e.pp_packs with
+        | Some img ->
+            incr prepack_hits;
+            Some img
+        | None ->
+            Mutex.protect prepack_mutex (fun () ->
+                match List.assoc_opt key e.pp_packs with
+                | Some img ->
+                    incr prepack_hits;
+                    Some img
+                | None ->
+                    let img = Array.make count 0.0 in
+                    pack data 0 view img count;
+                    e.pp_packs <- (key, img) :: e.pp_packs;
+                    incr prepack_builds;
+                    Some img))
+
 (* Below this total multiply-accumulate volume a batch-parallel region is
    not worth dispatching. *)
 let par_min_work = 8192
 
-let run_matmul p ~scale inputs =
+let run_matmul p ~scale ?into inputs =
   let row_t = List.nth inputs p.row_input
   and col_t = List.nth inputs (1 - p.row_input) in
-  let out_t = Dense.zeros p.mp_out_dims in
+  let out_t = out_tensor p.mp_out_dims into in
   let rdata = Dense.unsafe_data row_t
   and cdata = Dense.unsafe_data col_t
   and odata = Dense.unsafe_data out_t in
   let mm = p.mm and nn = p.nn and kk = p.kk in
   let nb = Array.length p.batch_dims in
   let nbatches = Array.fold_left ( * ) 1 p.batch_dims in
-  let a_sz = if p.row_view.direct then 0 else mm * kk in
-  let b_sz = if p.col_view.direct then 0 else kk * nn in
+  (* Resolve prepacked operand images before the (possibly parallel) batch
+     sweep so workers never race on the registry. *)
+  let row_pre =
+    if p.row_view.direct then None
+    else prepacked_for rdata p.row_batch_strides p.row_view (mm * kk)
+  in
+  let col_pre =
+    if p.col_view.direct then None
+    else prepacked_for cdata p.col_batch_strides p.col_view (kk * nn)
+  in
+  let a_sz = if p.row_view.direct || row_pre <> None then 0 else mm * kk in
+  let b_sz = if p.col_view.direct || col_pre <> None then 0 else kk * nn in
   let c_sz = if p.out_view.direct then 0 else mm * nn in
   (* One worker's batch sub-range [b_lo, b_hi). Offsets start from the
      decomposed linear index and then bump incrementally exactly as the
@@ -445,17 +590,21 @@ let run_matmul p ~scale inputs =
                 for _ = b_lo + 1 to b_hi do
                   let a, a_off =
                     if p.row_view.direct then (rdata, !r_off)
-                    else begin
-                      pack rdata !r_off p.row_view a_buf (mm * kk);
-                      (a_buf, 0)
-                    end
+                    else
+                      match row_pre with
+                      | Some img -> (img, 0)
+                      | None ->
+                          pack rdata !r_off p.row_view a_buf (mm * kk);
+                          (a_buf, 0)
                   in
                   let b, b_off =
                     if p.col_view.direct then (cdata, !c_off)
-                    else begin
-                      pack cdata !c_off p.col_view b_buf (kk * nn);
-                      (b_buf, 0)
-                    end
+                    else
+                      match col_pre with
+                      | Some img -> (img, 0)
+                      | None ->
+                          pack cdata !c_off p.col_view b_buf (kk * nn);
+                          (b_buf, 0)
                   in
                   if p.out_view.direct then begin
                     (* out starts zeroed, so accumulate-in-place is assignment *)
@@ -501,35 +650,38 @@ let run_matmul p ~scale inputs =
   else run_range 0 nbatches;
   out_t
 
-let run_general p ~scale inputs =
-  let out_t = Dense.zeros p.gp_out_dims in
+let run_general p ~scale ?into inputs =
+  let out_t = out_tensor p.gp_out_dims into in
   odometer_contract ~scale ~dims:p.gp_dims ~strides:p.gp_strides
     ~out_strides:p.gp_out_strides
     ~datas:(Array.of_list (List.map Dense.unsafe_data inputs))
     ~out_data:(Dense.unsafe_data out_t);
   out_t
 
-let contract ?(scale = 1.0) ?fast inputs ~out =
+let contract ?(scale = 1.0) ?fast ?into inputs ~out =
   if inputs = [] then invalid_arg "Einsum.contract: no inputs";
   let fast = match fast with Some b -> b | None -> Fastmode.enabled () in
-  if not fast then contract_naive ~scale inputs ~out
+  if not fast then contract_naive ~scale ?into inputs ~out
   else begin
     let key = plan_key inputs ~out in
     let plan = plan_lookup key (fun () -> build_plan inputs ~out) in
     (* Both fast paths run under the kernel guard: a crash, kernel
        timeout, or (at Nan/Finite level) non-finite output re-executes the
-       contraction through the naive odometer oracle. Each attempt writes
-       a fresh output tensor, so the fallback starts clean. *)
+       contraction through the naive odometer oracle. Each attempt starts
+       from a clean (zero-filled) output — fresh zeros, or the re-zeroed
+       [into] buffer, which the planner guarantees nothing live aliases —
+       so a fallback can never inherit a crashed kernel's partial sums. *)
     let guarded kernel run =
       Guard.protected ~kernel
         ~outputs:(fun t -> [ Dense.unsafe_data t ])
-        ~fallback:(fun () -> contract_naive ~scale inputs ~out)
+        ~fallback:(fun () -> contract_naive ~scale ?into inputs ~out)
         run
     in
     match plan with
-    | Matmul p -> guarded "einsum.matmul" (fun () -> run_matmul p ~scale inputs)
+    | Matmul p ->
+        guarded "einsum.matmul" (fun () -> run_matmul p ~scale ?into inputs)
     | General p ->
-        guarded "einsum.general" (fun () -> run_general p ~scale inputs)
+        guarded "einsum.general" (fun () -> run_general p ~scale ?into inputs)
   end
 
 let eval ?scale ?fast str inputs =

@@ -26,9 +26,20 @@ val spec_to_string : spec -> string
     into batch/m/n/k groups) onto the cache-blocked {!Gemm} kernel, packing
     non-contiguous operands through arena scratch; everything else runs the
     general odometer loop with its plan precomputed. [~fast:false] is the
-    naive reference oracle. *)
+    naive reference oracle.
+
+    [into] supplies the result's storage: a buffer of exactly the result
+    volume, zero-filled and wrapped instead of a fresh allocation (the
+    memory planner's slot path). The caller guarantees no live tensor
+    aliases it; on a guard fallback the naive oracle re-zeroes and reuses
+    the same buffer, so recovery never leaks a partial fast result. *)
 val contract :
-  ?scale:float -> ?fast:bool -> Dense.t list -> out:Axis.t list -> Dense.t
+  ?scale:float ->
+  ?fast:bool ->
+  ?into:float array ->
+  Dense.t list ->
+  out:Axis.t list ->
+  Dense.t
 
 (** [eval ?scale ?fast spec_string inputs] checks each input's axis set
     against the spec operand (order-insensitive: layouts are free) and
@@ -59,6 +70,38 @@ val cache_stats : unit -> cache_stats
 (** [set_plan_cache_capacity n] bounds the plan cache to [n >= 1] entries,
     evicting least-recently-used plans first. *)
 val set_plan_cache_capacity : int -> unit
+
+(** {1 Weight prepacking}
+
+    A parameter contracted through a non-direct matrix view (a layout the
+    GEMM cannot stream directly, e.g. the decode out-projection
+    "whi,whbj->ibj") is normally re-packed into arena scratch on every
+    call. [register_prepacked] marks a tensor as long-lived: the packed
+    image is built once per view signature on first use and reused —
+    bitwise-identical to the per-call pack — until [invalidate_prepacked]
+    (called by the optimizer after an in-place weight update) drops the
+    images. Registration keys on physical identity of the data array and
+    is bounded (FIFO, 1024 tensors). *)
+
+val register_prepacked : Dense.t -> unit
+val invalidate_prepacked : Dense.t -> unit
+
+(** Drop every registration and packed image (tests / benches). *)
+val clear_prepacked : unit -> unit
+
+(** Disable/enable prepacked-image use globally (A/B benching; default
+    enabled). Registrations are kept. *)
+val set_prepack_enabled : bool -> unit
+
+type prepack_stats = {
+  pp_registered : int;  (** tensors registered *)
+  pp_images : int;  (** packed images currently held *)
+  pp_floats : int;  (** floats held by those images *)
+  pp_hits : int;  (** contractions served by a prepacked image *)
+  pp_builds : int;  (** images built *)
+}
+
+val prepack_stats : unit -> prepack_stats
 
 (** [flops spec ~size] is the number of floating-point operations (2 x the
     loop volume: one multiply and one accumulate) for the contraction when

@@ -181,6 +181,11 @@ let attend (hp : Hparams.t) ~params ~caches x =
                ~prescale:(Hparams.scaler hp) ~q:qqb ~k:kkb_pad ~v:vvb_pad ()))
     else naive_gam ()
   in
+  (* The out-projection reads [wo] through a non-direct row view ([i;w;h]
+     over (w,h,i) storage), which the GEMM would otherwise re-pack into
+     arena scratch on every decoded token — the dominant per-token cost of
+     a decode GEMV. [wo] is registered prepacked at {!Params.init}, so
+     einsum reuses the one packed image until the optimizer updates it. *)
   let attn = Einsum.eval "whi,whbj->ibj" [ p "wo"; gam ] in
   (Dense.add_bcast attn (p "bo"), kkb, vvb)
 

@@ -13,7 +13,12 @@ let create ?(n_layers = 2) ?(vocab = 16) (hp : Hparams.t) =
     vocab;
     n_layers;
     embedding =
-      Dense.randn prng [ ("v", vocab); ("i", hp.embed) ] ~stddev:0.05;
+      (let e =
+         Dense.randn prng [ ("v", vocab); ("i", hp.embed) ] ~stddev:0.05
+       in
+       (* The tied output head contracts the embedding every step. *)
+       Einsum.register_prepacked e;
+       e);
     layer_params =
       Array.init n_layers (fun layer ->
           let hp_l =
@@ -131,7 +136,9 @@ let cross_entropy ~logits ~targets =
 
 let update_in_place p g ~lr =
   let pd = Dense.unsafe_data p and gd = Dense.unsafe_data (Dense.align g p) in
-  Array.iteri (fun i v -> pd.(i) <- v -. (lr *. gd.(i))) (Array.copy pd)
+  Array.iteri (fun i v -> pd.(i) <- v -. (lr *. gd.(i))) (Array.copy pd);
+  (* the weight changed under any prepacked GEMM images: drop them *)
+  Einsum.invalidate_prepacked p
 
 let sgd_step m grads ~lr =
   update_in_place m.embedding grads.d_embedding ~lr;
@@ -179,7 +186,8 @@ let adam_update ~beta1 ~beta2 ~eps ~lr ~step p g m1 v =
     vd.(i) <- (beta2 *. vd.(i)) +. ((1.0 -. beta2) *. gd.(i) *. gd.(i));
     let mhat = md.(i) /. c1 and vhat = vd.(i) /. c2 in
     pd.(i) <- pd.(i) -. (lr *. mhat /. (sqrt vhat +. eps))
-  done
+  done;
+  Einsum.invalidate_prepacked p
 
 let adam_step ?(beta1 = 0.9) ?(beta2 = 0.999) ?(eps = 1e-8) m state grads ~lr =
   state.step <- state.step + 1;
@@ -231,6 +239,7 @@ let blit_into ~what src dst =
 
 let restore m s =
   blit_into ~what:"embedding" s.s_embedding (Dense.unsafe_data m.embedding);
+  Einsum.invalidate_prepacked m.embedding;
   if Array.length s.s_layers <> Array.length m.layer_params then
     invalid_arg "Model.restore: snapshot layer count differs from model";
   Array.iteri
@@ -238,7 +247,9 @@ let restore m s =
       List.iter
         (fun (name, p) ->
           match List.assoc_opt name s.s_layers.(layer) with
-          | Some buf -> blit_into ~what:name buf (Dense.unsafe_data p)
+          | Some buf ->
+              blit_into ~what:name buf (Dense.unsafe_data p);
+              Einsum.invalidate_prepacked p
           | None ->
               invalid_arg
                 ("Model.restore: snapshot is missing parameter " ^ name))

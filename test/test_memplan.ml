@@ -1,0 +1,488 @@
+(* Tests for the static memory planner and weight prepacking: planned
+   execution must be bitwise-equal to the allocate-everything oracle
+   (serial and parallel, fast and naive, unfused and fused), in-place and
+   alias placement must respect lifetime legality, prepacked GEMM images
+   must match per-call packing bitwise and survive optimizer updates via
+   invalidation, and the einsum plan cache must key on the execution
+   regime (fast mode, domain count). *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let bits_equal a b =
+  let a = Dense.align a b in
+  Array.for_all2
+    (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+    (Dense.unsafe_data a) (Dense.unsafe_data b)
+
+let tiny = Transformer.Hparams.tiny
+let device = Gpu.Device.v100
+
+let layer_inputs hp seed =
+  let prng = Prng.create seed in
+  let params = Transformer.Params.init hp in
+  let x = Transformer.Params.random_input hp prng in
+  let d_y = Transformer.Params.random_cotangent hp prng in
+  ("x", x) :: ("d_y", d_y) :: params
+
+(* Planned env must be a subset of the oracle env (dead intermediates are
+   dropped) and bitwise-equal on every container it kept. *)
+let planned_agrees ~name ?keep program inputs ~fast =
+  let env_ref =
+    Fastmode.with_mode fast (fun () -> Ops.Program.run program inputs)
+  in
+  let mp = Ops.Memplan.plan ?keep program in
+  let env_pl =
+    Fastmode.with_mode fast (fun () -> Ops.Memplan.execute mp inputs)
+  in
+  let compared = ref 0 in
+  Hashtbl.iter
+    (fun c t_pl ->
+      match Hashtbl.find_opt env_ref c with
+      | None -> Alcotest.failf "%s: planned env kept unknown container %s" name c
+      | Some t_ref ->
+          incr compared;
+          if not (bits_equal t_ref t_pl) then
+            Alcotest.failf "%s: container %s differs from oracle" name c)
+    env_pl;
+  check_bool
+    (Printf.sprintf "%s: compared some containers" name)
+    true (!compared > 0);
+  (env_pl, Ops.Memplan.stats mp)
+
+let encoder_fused hp =
+  Substation.Fusion.fuse ~name_table:Transformer.Encoder.kernel_names
+    (Transformer.Encoder.program hp)
+
+(* ---------------- planned == oracle, encoder fwd+bwd ---------------- *)
+
+let test_encoder_planned_bitwise () =
+  let inputs = layer_inputs tiny 11L in
+  List.iter
+    (fun fast ->
+      let tag = if fast then "fast" else "naive" in
+      let env, _ =
+        planned_agrees
+          ~name:("encoder unfused " ^ tag)
+          (Transformer.Encoder.program tiny)
+          inputs ~fast
+      in
+      List.iter
+        (fun c ->
+          check_bool
+            (Printf.sprintf "unfused %s keeps %s" tag c)
+            true
+            (Hashtbl.mem env c))
+        [ "y"; "d_x"; "d_wq"; "d_w2" ];
+      let env_f, _ =
+        planned_agrees
+          ~name:("encoder fused " ^ tag)
+          (encoder_fused tiny) inputs ~fast
+      in
+      check_bool
+        (Printf.sprintf "fused %s keeps y" tag)
+        true (Hashtbl.mem env_f "y"))
+    [ false; true ]
+
+let test_encoder_keep () =
+  let inputs = layer_inputs tiny 13L in
+  let env, _ =
+    planned_agrees ~name:"encoder keep" ~keep:[ "ln1_out" ]
+      (Transformer.Encoder.program tiny)
+      inputs ~fast:true
+  in
+  check_bool "kept intermediate survives" true (Hashtbl.mem env "ln1_out")
+
+(* ---------------- peak-reduction acceptance ---------------- *)
+
+let test_peak_reduction () =
+  List.iter
+    (fun (tag, program) ->
+      let mp = Ops.Memplan.plan program in
+      let s = Ops.Memplan.stats mp in
+      check_bool
+        (Printf.sprintf
+           "%s: planned resident set <= 75%% of naive (plan %d naive %d)" tag
+           s.Ops.Memplan.plan_peak_floats s.Ops.Memplan.naive_peak_floats)
+        true
+        (float_of_int s.Ops.Memplan.plan_peak_floats
+        <= 0.75 *. float_of_int s.Ops.Memplan.naive_peak_floats))
+    [
+      ("encoder unfused", Transformer.Encoder.program tiny);
+      ("encoder fused", encoder_fused tiny);
+    ]
+
+(* ---------------- hand-built programs: legality ---------------- *)
+
+let dims = [ ("a", 4); ("b", 6) ]
+
+let chain_inputs seed =
+  let prng = Prng.create seed in
+  [ ("x0", Dense.rand prng dims ~lo:(-1.0) ~hi:1.0) ]
+
+let test_inplace_taken_when_legal () =
+  (* x0 -> relu t1 -> gelu t2 -> tanh t3 -> sigmoid y: t1 and t2 each die
+     at their consumer, whose output does not escape, so both interior
+     consumers overwrite their input. The final op's output [y] escapes to
+     the caller and must NOT be produced in place. *)
+  let ops =
+    [
+      Ops.Elementwise.relu ~name:"r" ~x:"x0" ~out:"t1" dims ();
+      Ops.Elementwise.gelu ~name:"g" ~x:"t1" ~out:"t2" dims ();
+      Ops.Elementwise.tanh_ ~name:"t" ~x:"t2" ~out:"t3" dims ();
+      Ops.Elementwise.sigmoid ~name:"s" ~x:"t3" ~out:"y" dims ();
+    ]
+  in
+  let program =
+    Ops.Program.make
+      ~containers:
+        [ ("x0", dims); ("t1", dims); ("t2", dims); ("t3", dims); ("y", dims) ]
+      ops
+  in
+  let _, s =
+    planned_agrees ~name:"inplace chain" program (chain_inputs 3L) ~fast:false
+  in
+  check_int "both interior ops run in place" 2 s.Ops.Memplan.inplace
+
+let test_inplace_refused_for_live_source () =
+  (* t1 is read again after the gelu, and both outputs escape: nothing may
+     run in place or alias. *)
+  let ops =
+    [
+      Ops.Elementwise.relu ~name:"r" ~x:"x0" ~out:"t1" dims ();
+      Ops.Elementwise.gelu ~name:"g" ~x:"t1" ~out:"y1" dims ();
+      Ops.Elementwise.tanh_ ~name:"t" ~x:"t1" ~out:"y2" dims ();
+    ]
+  in
+  let program =
+    Ops.Program.make
+      ~containers:
+        [ ("x0", dims); ("t1", dims); ("y1", dims); ("y2", dims) ]
+      ops
+  in
+  let _, s =
+    planned_agrees ~name:"live source" program (chain_inputs 5L) ~fast:false
+  in
+  check_int "no in-place with a later reader" 0 s.Ops.Memplan.inplace;
+  check_int "no aliasing of escaping outputs" 0 s.Ops.Memplan.aliased
+
+let test_alias_vs_copy_fallback () =
+  (* copy of a slot-backed intermediate aliases; copy of a pinned input
+     must be a real copy (a later in-place op would otherwise clobber the
+     caller's tensor). *)
+  let alias_prog =
+    Ops.Program.make
+      ~containers:
+        [ ("x0", dims); ("t1", dims); ("t2", dims); ("y", dims) ]
+      [
+        Ops.Elementwise.relu ~name:"r" ~x:"x0" ~out:"t1" dims ();
+        Ops.Elementwise.copy ~name:"c" ~x:"t1" ~out:"t2" dims ();
+        Ops.Elementwise.gelu ~name:"g" ~x:"t2" ~out:"y" dims ();
+      ]
+  in
+  let _, s =
+    planned_agrees ~name:"alias copy" alias_prog (chain_inputs 7L) ~fast:false
+  in
+  check_int "slot-backed copy aliased" 1 s.Ops.Memplan.aliased;
+  let copy_prog =
+    Ops.Program.make
+      ~containers:[ ("x0", dims); ("t2", dims); ("y", dims) ]
+      [
+        Ops.Elementwise.copy ~name:"c" ~x:"x0" ~out:"t2" dims ();
+        Ops.Elementwise.gelu ~name:"g" ~x:"t2" ~out:"y" dims ();
+      ]
+  in
+  let _, s2 =
+    planned_agrees ~name:"pinned copy" copy_prog (chain_inputs 9L) ~fast:false
+  in
+  check_int "pinned source copied for real" 0 s2.Ops.Memplan.aliased
+
+(* ---------------- randomized layouts through dropout ---------------- *)
+
+let test_random_layout_chains () =
+  (* Element-wise chains (including dropout's mask stream) over inputs in
+     permuted storage orders: planned interpretation walks operands by
+     strides, so every layout must still match the oracle bitwise. *)
+  List.iter
+    (fun seed ->
+      let prng = Prng.create (Int64.of_int seed) in
+      let d3 = [ ("a", 3); ("b", 4); ("c", 5) ] in
+      let x = Dense.rand prng d3 ~lo:(-1.0) ~hi:1.0 in
+      let x =
+        if seed mod 2 = 0 then Dense.permute x [ "c"; "a"; "b" ] else x
+      in
+      let ops =
+        [
+          Ops.Elementwise.gelu ~name:"g" ~x:"x0" ~out:"t1" d3 ();
+          Ops.Elementwise.dropout ~name:"d" ~x:"t1" ~out:"t2" ~mask:"m" d3
+            ~p:0.25 ~seed:(Int64.of_int (seed * 31)) ();
+          Ops.Elementwise.add ~name:"a" ~x:"t2" ~y:"x0" ~out:"y" d3 ();
+        ]
+      in
+      let program =
+        Ops.Program.make
+          ~containers:
+            [ ("x0", d3); ("t1", d3); ("t2", d3); ("m", d3); ("y", d3) ]
+          ops
+      in
+      ignore
+        (planned_agrees
+           ~name:(Printf.sprintf "layout chain %d" seed)
+           program
+           [ ("x0", x) ]
+           ~fast:false))
+    [ 1; 2; 3; 4 ]
+
+(* ---------------- serial == parallel ---------------- *)
+
+let test_planned_serial_equals_parallel () =
+  let program = encoder_fused tiny in
+  let inputs = layer_inputs tiny 17L in
+  let mp = Ops.Memplan.plan program in
+  let run n =
+    Pool.with_domains n (fun () ->
+        Fastmode.with_mode true (fun () -> Ops.Memplan.execute mp inputs))
+  in
+  let env1 = run 1 in
+  let env4 = run 4 in
+  Hashtbl.iter
+    (fun c t1 ->
+      match Hashtbl.find_opt env4 c with
+      | None -> Alcotest.failf "parallel env missing %s" c
+      | Some t4 ->
+          if not (bits_equal t1 t4) then
+            Alcotest.failf "serial/parallel differ on %s" c)
+    env1
+
+(* ---------------- executor integration ---------------- *)
+
+let test_run_planned_guard_and_fallback () =
+  let plan =
+    Frameworks.Pytorch_sim.plan ~device
+      ~workload:Frameworks.Executor.Encoder_layer tiny
+  in
+  let inputs = layer_inputs tiny 19L in
+  let env_ref = Frameworks.Executor.run_functional ~fast:true plan inputs in
+  let env_pl = Frameworks.Executor.run_planned ~fast:true plan inputs in
+  check_bool "run_planned matches run_functional on y" true
+    (bits_equal
+       (Ops.Op.lookup env_ref "y")
+       (Ops.Op.lookup env_pl "y"));
+  (* the numerical guard scans planned writes too *)
+  let prng = Prng.create 23L in
+  let bad = Transformer.Params.random_input tiny prng in
+  (Dense.unsafe_data bad).(0) <- Float.nan;
+  let bad_inputs =
+    ("x", bad) :: List.remove_assoc "x" inputs
+  in
+  (try
+     ignore (Frameworks.Executor.run_planned ~fast:true plan bad_inputs);
+     Alcotest.fail "expected Numerical_fault through the planned path"
+   with Frameworks.Executor.Numerical_fault _ -> ());
+  (* SUBSTATION_NOPLAN escape hatch: disabled planning falls back to the
+     unplanned interpreter, which retains every intermediate *)
+  Ops.Memplan.set_enabled false;
+  Fun.protect
+    ~finally:(fun () -> Ops.Memplan.set_enabled true)
+    (fun () ->
+      let env_off = Frameworks.Executor.run_planned ~fast:true plan inputs in
+      check_bool "disabled planner retains intermediates" true
+        (Hashtbl.mem env_off "ln1_out"))
+
+(* ---------------- plan-cache regime keying ---------------- *)
+
+let test_plan_cache_keys_on_domains () =
+  Einsum.clear_caches ();
+  let prng = Prng.create 29L in
+  let a = Dense.rand prng [ ("b", 3); ("m", 8); ("k", 8) ] ~lo:(-1.0) ~hi:1.0 in
+  let b = Dense.rand prng [ ("b", 3); ("k", 8); ("n", 8) ] ~lo:(-1.0) ~hi:1.0 in
+  let eval n =
+    Pool.with_domains n (fun () ->
+        Einsum.contract ~fast:true [ a; b ] ~out:[ "b"; "m"; "n" ])
+  in
+  let r1 = eval 1 in
+  let m1 = (Einsum.cache_stats ()).Einsum.misses in
+  let r4 = eval 4 in
+  let m2 = (Einsum.cache_stats ()).Einsum.misses in
+  check_int "distinct domain counts compile distinct plans" (m1 + 1) m2;
+  let r1' = eval 1 in
+  let s = Einsum.cache_stats () in
+  check_int "repeat under the same regime misses nothing" m2 s.Einsum.misses;
+  check_bool "repeat hits the cached plan" true (s.Einsum.hits > 0);
+  check_bool "same result under either regime" true
+    (bits_equal r1 r4 && bits_equal r1 r1')
+
+(* ---------------- weight prepacking ---------------- *)
+
+let test_prepack_bitwise_and_invalidation () =
+  Einsum.clear_prepacked ();
+  let prng = Prng.create 31L in
+  (* decode out-projection shape: "whi,whbj->ibj" reads wo through a
+     non-direct row view, the prepack target *)
+  let wo =
+    Dense.rand prng [ ("w", 4); ("h", 3); ("i", 5) ] ~lo:(-1.0) ~hi:1.0
+  in
+  let g = Dense.rand prng [ ("w", 4); ("h", 3); ("b", 2); ("j", 6) ] ~lo:(-1.0) ~hi:1.0 in
+  let out = [ "i"; "b"; "j" ] in
+  let fresh () = Einsum.contract ~fast:true [ wo; g ] ~out in
+  let baseline = fresh () in
+  Einsum.register_prepacked wo;
+  let s0 = Einsum.prepack_stats () in
+  let first = fresh () in
+  let second = fresh () in
+  let s1 = Einsum.prepack_stats () in
+  check_bool "prepacked result bitwise equals per-call packing" true
+    (bits_equal baseline first && bits_equal baseline second);
+  check_bool "image built once" true
+    (s1.Einsum.pp_builds = s0.Einsum.pp_builds + 1);
+  check_bool "second call hit the image" true (s1.Einsum.pp_hits > s0.Einsum.pp_hits);
+  (* in-place weight mutation + invalidation -> image rebuilt, result
+     tracks the new weight *)
+  (Dense.unsafe_data wo).(0) <- 2.5;
+  Einsum.invalidate_prepacked wo;
+  let updated = fresh () in
+  Einsum.set_prepack_enabled false;
+  let reference =
+    Fun.protect
+      ~finally:(fun () -> Einsum.set_prepack_enabled true)
+      fresh
+  in
+  check_bool "post-update result tracks the mutated weight" true
+    (bits_equal updated reference);
+  Einsum.clear_prepacked ()
+
+let model_hp =
+  { (Transformer.Hparams.with_dropout tiny 0.0) with
+    Transformer.Hparams.batch = 2;
+    seq = 4;
+  }
+
+let test_decode_prepack_on_off_bitwise () =
+  (* KV-cached decode (decode_batch -> Mha.attend) reads the wo
+     out-projection through the non-direct view the prepack targets. *)
+  let m = Transformer.Model.create ~n_layers:1 ~vocab:7 model_hp in
+  let prompt = [| 1; 3; 2; 5 |] in
+  let decode_run () =
+    let s = Transformer.Model.new_session m in
+    Fastmode.with_mode true (fun () ->
+        Array.to_list prompt
+        |> List.concat_map (fun tok ->
+               Array.to_list
+                 (Transformer.Model.logits_column
+                    (Transformer.Model.decode_batch m [| s |] ~tokens:[| tok |])
+                    ~b:0)))
+  in
+  let s0 = Einsum.prepack_stats () in
+  let on = decode_run () in
+  let s1 = Einsum.prepack_stats () in
+  Einsum.set_prepack_enabled false;
+  let off =
+    Fun.protect ~finally:(fun () -> Einsum.set_prepack_enabled true) decode_run
+  in
+  check_bool "decode served from prepacked images" true
+    (s1.Einsum.pp_hits > s0.Einsum.pp_hits);
+  check_bool "decode logits bitwise equal with prepack on/off" true
+    (List.for_all2
+       (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+       on off)
+
+let test_optimizer_update_repacks () =
+  (* identical models; one steps with prepack enabled, the other with the
+     feature off entirely. In-place updates must invalidate the images, so
+     the post-update logits agree bitwise. *)
+  let run_with_prepack enabled =
+    Einsum.set_prepack_enabled enabled;
+    Fun.protect
+      ~finally:(fun () -> Einsum.set_prepack_enabled true)
+      (fun () ->
+        let m = Transformer.Model.create ~n_layers:1 ~vocab:5 model_hp in
+        let tokens = [| [| 1; 2; 3; 0 |]; [| 4; 0; 2; 1 |] |] in
+        ignore (Transformer.Training.step m ~tokens ~targets:tokens ~lr:0.1);
+        ignore (Transformer.Training.step m ~tokens ~targets:tokens ~lr:0.1);
+        (Transformer.Model.forward m ~tokens).Transformer.Model.logits)
+  in
+  let with_pp = run_with_prepack true in
+  let without_pp = run_with_prepack false in
+  check_bool "two SGD steps with prepack == without, bitwise" true
+    (bits_equal with_pp without_pp)
+
+let test_interrupted_training_then_planned_run () =
+  (* a crash/resume cycle (which restores weights in place, invalidating
+     any prepacked images) followed by planned execution over the restored
+     weights: everything stays bitwise-equal to the uninterrupted path *)
+  let ckpt = Filename.temp_file "substation-memplan" ".ckpt" in
+  Sys.remove ckpt;
+  let steps = 3 and lr = 0.05 in
+  let m_ref = Transformer.Model.create ~n_layers:1 ~vocab:5 model_hp in
+  ignore (Transformer.Training.train m_ref ~steps ~lr (Prng.create 7L));
+  let m = Transformer.Model.create ~n_layers:1 ~vocab:5 model_hp in
+  let prng = Prng.create 7L in
+  let rec go () =
+    match
+      Transformer.Training.train ~checkpoint:ckpt ~interrupt_after:1 m ~steps
+        ~lr prng
+    with
+    | h -> h
+    | exception Transformer.Training.Interrupted _ -> go ()
+  in
+  ignore (go ());
+  let tokens = [| [| 1; 2; 3; 0 |]; [| 4; 0; 2; 1 |] |] in
+  check_bool "resumed model bitwise equals uninterrupted" true
+    (bits_equal
+       (Transformer.Model.forward m_ref ~tokens).Transformer.Model.logits
+       (Transformer.Model.forward m ~tokens).Transformer.Model.logits);
+  (* planned encoder execution over layer-0 weights of the resumed model *)
+  let prng = Prng.create 41L in
+  let inputs =
+    ("x", Transformer.Params.random_input model_hp prng)
+    :: ("d_y", Transformer.Params.random_cotangent model_hp prng)
+    :: m.Transformer.Model.layer_params.(0)
+  in
+  ignore
+    (planned_agrees ~name:"planned over resumed weights"
+       (Transformer.Encoder.program model_hp)
+       inputs ~fast:true)
+
+let () =
+  Alcotest.run "memplan"
+    [
+      ( "planned",
+        [
+          Alcotest.test_case "encoder fwd+bwd bitwise" `Quick
+            test_encoder_planned_bitwise;
+          Alcotest.test_case "keep-list" `Quick test_encoder_keep;
+          Alcotest.test_case "peak reduction >= 25%" `Quick
+            test_peak_reduction;
+          Alcotest.test_case "serial == parallel" `Quick
+            test_planned_serial_equals_parallel;
+        ] );
+      ( "placement",
+        [
+          Alcotest.test_case "in-place when legal" `Quick
+            test_inplace_taken_when_legal;
+          Alcotest.test_case "in-place refused for live source" `Quick
+            test_inplace_refused_for_live_source;
+          Alcotest.test_case "alias vs conservative copy" `Quick
+            test_alias_vs_copy_fallback;
+          Alcotest.test_case "random layouts + dropout" `Quick
+            test_random_layout_chains;
+        ] );
+      ( "executor",
+        [
+          Alcotest.test_case "run_planned: parity, guard, escape hatch"
+            `Quick test_run_planned_guard_and_fallback;
+          Alcotest.test_case "plan cache keys on regime" `Quick
+            test_plan_cache_keys_on_domains;
+        ] );
+      ( "prepack",
+        [
+          Alcotest.test_case "bitwise + invalidation" `Quick
+            test_prepack_bitwise_and_invalidation;
+          Alcotest.test_case "decode on/off bitwise" `Quick
+            test_decode_prepack_on_off_bitwise;
+          Alcotest.test_case "optimizer update repacks" `Quick
+            test_optimizer_update_repacks;
+          Alcotest.test_case "interrupt/resume + planned run" `Quick
+            test_interrupted_training_then_planned_run;
+        ] );
+    ]
