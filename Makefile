@@ -4,10 +4,11 @@
 DUNE ?= dune
 
 .PHONY: check build test smoke resilience-smoke bench-smoke bench-scaling \
-	serve-smoke bench-serve attn-smoke bench-attn plan-smoke bench-plan clean
+	serve-smoke bench-serve attn-smoke bench-attn plan-smoke bench-plan \
+	compile-smoke bench-compile clean
 
 check: build test smoke resilience-smoke bench-smoke serve-smoke attn-smoke \
-	plan-smoke
+	plan-smoke compile-smoke
 
 build:
 	$(DUNE) build
@@ -79,6 +80,19 @@ plan-smoke:
 # weight prepacking on vs off; regenerates BENCH_pr9.json.
 bench-plan:
 	$(DUNE) exec bench/main.exe -- plan-json
+
+# <1 s: verified compile of the L=64 encoder — after every pipeline pass
+# the staged program is checked against the uncompiled interpreter
+# (bitwise outside the documented attention-backward ulps cone) — plus
+# the plan-cache hit with zero passes re-run (nonzero exit otherwise).
+compile-smoke:
+	$(DUNE) exec bench/main.exe -- compile-smoke
+
+# Cold/cached/verified compile timings, per-pass stats, and the
+# compiled-vs-uncompiled execute comparison on the L=64 encoder;
+# regenerates BENCH_pr10.json.
+bench-compile:
+	$(DUNE) exec bench/main.exe -- compile-json
 
 clean:
 	$(DUNE) clean

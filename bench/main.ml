@@ -247,6 +247,12 @@ let () =
   | "plan-smoke" ->
       Memplan_bench.run `Smoke;
       exit 0
+  | "compile-json" ->
+      Compile_bench.run `Json;
+      exit 0
+  | "compile-smoke" ->
+      Compile_bench.run `Smoke;
+      exit 0
   | _ -> ());
   Printf.printf
     "substation benchmark harness - reproducing \"Data Movement Is All You \

@@ -476,6 +476,63 @@ let serve hp trace_spec max_batch max_delay_ms queue_cap deadline_ms real
     (Serve.Metrics.quantile mt.Serve.Metrics.latency 0.5 *. 1e3)
     (Serve.Metrics.quantile mt.Serve.Metrics.latency 0.99 *. 1e3)
 
+(* [compile]: lower a program through the staged pipeline and report the
+   plan — per-pass stats, tuned bindings, cache behavior, optional
+   per-stage SDFG export and bitwise verification against the uncompiled
+   interpreter. *)
+let compile_run hp device mha do_verify show_trace dot_dir =
+  let params =
+    if mha then Transformer.Mha.param_names else Transformer.Encoder.param_names
+  in
+  let keep_stages = dot_dir <> None in
+  let regime = Compile.Regime.current ~attention:!flash_attn () in
+  let go () =
+    Compile.Compiled.compile ~device ~name_table:(table_of ~mha) ~params
+      ~verify:do_verify ~keep_stages regime (program_of ~mha hp)
+  in
+  let t0 = Pool.now () in
+  let plan = go () in
+  let first = Pool.now () -. t0 in
+  if show_trace then print_string (Compile.Compiled.trace_to_string plan)
+  else
+    Format.printf "plan %s  %d ops -> %d ops%s@."
+      (String.sub plan.Compile.Compiled.fingerprint 0 12)
+      (List.length plan.Compile.Compiled.source.Ops.Program.ops)
+      (List.length plan.Compile.Compiled.program.Ops.Program.ops)
+      (if plan.Compile.Compiled.verified then "  verified" else "");
+  (match dot_dir with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      List.iteri
+        (fun i (pass, prog) ->
+          let path = Filename.concat dir (Printf.sprintf "%02d-%s.dot" i pass) in
+          Sdfg.Dot.write_file ~title:pass (Ops.Program.graph prog) path;
+          Format.printf "wrote %s@." path)
+        plan.Compile.Compiled.stages);
+  (* Demonstrate the plan cache: recompile the same (program, regime) and
+     show the second compile re-runs zero passes. Verification always
+     recompiles, so the hit is only observable without --verify. *)
+  if not do_verify then begin
+    let runs0 = Compile.Compiled.pass_runs () in
+    let t1 = Pool.now () in
+    let plan2 = go () in
+    let second = Pool.now () -. t1 in
+    let hit = plan2 == plan && Compile.Compiled.pass_runs () = runs0 in
+    Format.printf
+      "recompile: cache %s (%d passes re-run)  %.2f ms -> %.3f ms@."
+      (if hit then "hit" else "miss")
+      (Compile.Compiled.pass_runs () - runs0)
+      (first *. 1e3) (second *. 1e3)
+  end;
+  let cs = Compile.Compiled.cache_stats () in
+  Format.printf "plan cache: %d hit(s), %d miss(es), %d compile(s)@."
+    cs.Compile.Compiled.hits cs.Compile.Compiled.misses
+    cs.Compile.Compiled.compiles
+
+(* [env]: the consolidated SUBSTATION_* environment, one parse point. *)
+let env_dump () = print_string (Substation.Env.describe ())
+
 let faults_campaign hp device mha seed rates sigmas punch =
   let open Substation in
   let program =
@@ -690,6 +747,47 @@ let faults_cmd =
 let select_cmd =
   cmd "select" "Global configuration selection via SSSP (paper Fig. 6)."
     Term.(const select $ hp_arg $ device_arg $ mha_arg)
+
+let verify_arg =
+  Arg.(
+    value & flag
+    & info [ "verify" ]
+        ~doc:
+          "Prove the lowering: after every pass, execute the staged program \
+           and check it against the uncompiled interpreter (bitwise, ulps \
+           for the streaming attention-backward cone).")
+
+let compile_trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "Print the per-pass trace: operator counts before/after, peak \
+           floats, elapsed time, and the tuned kernel bindings.")
+
+let dot_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dot-dir" ] ~docv:"DIR"
+        ~doc:
+          "Export each pass's output program as a Graphviz SDFG to \
+           DIR/NN-pass.dot.")
+
+let compile_cmd =
+  cmd "compile"
+    "Lower a program through the staged compiler pipeline (canonicalize, \
+     DCE/CSE, attention windowing, fusion, tuned binding, memory planning, \
+     prepack) and report the cached plan."
+    Term.(
+      const compile_run $ hp_arg $ device_arg $ mha_arg $ verify_arg
+      $ compile_trace_arg $ dot_dir_arg)
+
+let env_cmd =
+  cmd "env"
+    "Describe the SUBSTATION_* environment toggles: current values, \
+     defaults, and any malformed settings that were ignored."
+    Term.(const env_dump $ const ())
 
 let compare_cmd =
   cmd "compare" "Compare simulated frameworks (paper Tables IV-V)."
@@ -909,7 +1007,8 @@ let () =
     (eval
        (Cmd.group info
           [
-            analyze_cmd; fuse_cmd; tune_cmd; select_cmd; compare_cmd; table_cmd;
-            figure_cmd; summary_cmd; train_cmd; memory_cmd; trace_cmd; presets_cmd;
-            kv_fusion_cmd; cost_cmd; faults_cmd; resilience_cmd; serve_cmd;
+            analyze_cmd; fuse_cmd; compile_cmd; env_cmd; tune_cmd; select_cmd;
+            compare_cmd; table_cmd; figure_cmd; summary_cmd; train_cmd;
+            memory_cmd; trace_cmd; presets_cmd; kv_fusion_cmd; cost_cmd;
+            faults_cmd; resilience_cmd; serve_cmd;
           ]))

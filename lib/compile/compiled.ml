@@ -1,0 +1,388 @@
+(* First-class compiled plans: the pass manager, the verified lowering,
+   the LRU plan cache, and the single executor every consumer
+   (Executor.run_*, Transformer.Model, Serve, the CLI) now funnels
+   through. *)
+
+type plan = {
+  source : Ops.Program.t;
+  program : Ops.Program.t;  (* after the pipeline *)
+  regime : Regime.t;
+  fingerprint : string;
+  cache_key : string;
+  trace : Pass.stat list;
+  bindings : (string * Tuning.t) list;  (* op name -> tuned binding *)
+  memplan : Ops.Memplan.t option;
+  prepack : string list;  (* weight containers registered at execute *)
+  attn_sites : Substation.Fusion.attn_site list;
+  stages : (string * Ops.Program.t) list;  (* with ~keep_stages *)
+  verified : bool;
+}
+
+exception
+  Verification_failed of { vf_pass : string; vf_container : string }
+
+let () =
+  Printexc.register_printer (function
+    | Verification_failed { vf_pass; vf_container } ->
+        Some
+          (Printf.sprintf
+             "Compile.Verification_failed: pass %s changed container %s \
+              beyond the verified envelope (bitwise, or ulps for the \
+              streaming attention-backward cone)"
+             vf_pass vf_container)
+    | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Counters and the LRU plan cache                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Global pass-execution counter: tests assert a cache hit re-runs
+   exactly zero passes. *)
+let pass_runs_counter = ref 0
+let pass_runs () = !pass_runs_counter
+
+type cache_stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  compiles : int;
+  capacity : int;
+}
+
+let hits = ref 0
+let misses = ref 0
+let evictions = ref 0
+let compiles = ref 0
+let capacity = ref 32
+let tick = ref 0
+
+let cache : (string, plan * int ref) Hashtbl.t = Hashtbl.create 64
+
+let cache_stats () =
+  {
+    hits = !hits;
+    misses = !misses;
+    evictions = !evictions;
+    compiles = !compiles;
+    capacity = !capacity;
+  }
+
+let clear_cache () = Hashtbl.reset cache
+
+let set_cache_capacity n =
+  if n < 1 then invalid_arg "Compiled.set_cache_capacity: capacity must be >= 1";
+  capacity := n;
+  clear_cache ()
+
+let find_cached key =
+  match Hashtbl.find_opt cache key with
+  | Some (plan, age) ->
+      incr tick;
+      age := !tick;
+      incr hits;
+      Some plan
+  | None ->
+      incr misses;
+      None
+
+let insert_cached key plan =
+  if Hashtbl.length cache >= !capacity then begin
+    (* evict the least-recently-used entry *)
+    let victim =
+      Hashtbl.fold
+        (fun k (_, age) acc ->
+          match acc with
+          | Some (_, a) when a <= !age -> acc
+          | _ -> Some (k, !age))
+        cache None
+    in
+    match victim with
+    | Some (k, _) ->
+        Hashtbl.remove cache k;
+        incr evictions
+    | None -> ()
+  end;
+  incr tick;
+  Hashtbl.replace cache key (plan, ref !tick)
+
+(* Prepack invalidation for in-place weight updates: the packed-operand
+   registry is keyed on physical arrays, so dropping the stale pack is
+   all a weight update needs — cached plans stay valid (they hold names,
+   not values) and simply re-register on their next execution. *)
+let invalidate_weights tensors = List.iter Einsum.invalidate_prepacked tensors
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let execute ?check_op ?wrap_op (plan : plan) inputs =
+  List.iter
+    (fun c ->
+      match List.assoc_opt c inputs with
+      | Some t -> Einsum.register_prepacked t
+      | None -> ())
+    plan.prepack;
+  let wrap (op : Ops.Op.t) body =
+    let body =
+      match List.assoc_opt op.Ops.Op.name plan.bindings with
+      | Some b when not (Tuning.is_none b) ->
+          fun () -> Tuning.with_binding b body
+      | _ -> body
+    in
+    match wrap_op with Some w -> w op body | None -> body ()
+  in
+  let go () =
+    match plan.memplan with
+    | Some mp when Ops.Memplan.enabled () ->
+        Ops.Memplan.execute ?check_op ~wrap_op:wrap mp inputs
+    | _ ->
+        let env = Ops.Op.env_of_list inputs in
+        List.iter
+          (fun (op : Ops.Op.t) ->
+            wrap op (fun () ->
+                op.Ops.Op.run env;
+                match check_op with Some f -> f op env | None -> ()))
+          plan.program.Ops.Program.ops;
+        env
+  in
+  Fastmode.with_mode plan.regime.Regime.fast go
+
+(* ------------------------------------------------------------------ *)
+(* Verification                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Deterministic inputs for the verification runs: one seeded stream per
+   pinned input container (read before written). *)
+let synth_inputs (p : Ops.Program.t) =
+  let written = Hashtbl.create 32 and chosen = Hashtbl.create 32 in
+  let inputs = ref [] in
+  List.iter
+    (fun (o : Ops.Op.t) ->
+      List.iter
+        (fun c ->
+          if (not (Hashtbl.mem written c)) && not (Hashtbl.mem chosen c) then begin
+            Hashtbl.replace chosen c ();
+            inputs := c :: !inputs
+          end)
+        o.reads;
+      List.iter (fun c -> Hashtbl.replace written c ()) o.writes)
+    p.Ops.Program.ops;
+  List.rev_map
+    (fun c ->
+      let dims = Ops.Program.container_dims p c in
+      (c, Dense.rand (Prng.of_key 0x5EEDC0DEL c) dims ~lo:(-1.0) ~hi:1.0))
+    !inputs
+
+let bitwise_equal a b =
+  Dense.volume a = Dense.volume b
+  &&
+  try
+    Dense.iter a (fun idx v ->
+        if
+          Int64.bits_of_float v <> Int64.bits_of_float (Dense.get b idx)
+        then raise Exit);
+    true
+  with Exit | Invalid_argument _ | Not_found -> false
+
+(* Tolerance for the attention-backward cone: the streaming backward
+   recomputes probabilities as exp(score - logsumexp), which agrees with
+   the naive chain's stored exp(s - max)/sum softmax only within ulps.
+   1e-9 relative is ~6 orders above the observed drift and ~6 below any
+   real numerical bug. *)
+let ulps_close a b =
+  Dense.volume a = Dense.volume b
+  &&
+  try
+    Dense.iter a (fun idx v ->
+        let w = Dense.get b idx in
+        let tol = 1e-9 *. Float.max 1.0 (Float.abs v) in
+        if not (Float.abs (v -. w) <= tol) then raise Exit);
+    true
+  with Exit | Invalid_argument _ | Not_found -> false
+
+(* The containers downstream of a streaming attention-backward window:
+   its dq/dk/dv outputs plus everything dataflow-reachable from them in
+   the source schedule (one forward sweep suffices — the schedule is the
+   dataflow order). These are checked within ulps; everything else must
+   match the uncompiled interpreter bitwise. *)
+let tainted_containers (plan : plan) =
+  let tainted = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Substation.Fusion.attn_site) ->
+      match s.Substation.Fusion.site_kind with
+      | `Bwd ->
+          List.iter
+            (fun c -> Hashtbl.replace tainted c ())
+            s.Substation.Fusion.site_writes
+      | `Fwd -> ())
+    plan.attn_sites;
+  if Hashtbl.length tainted > 0 then
+    List.iter
+      (fun (o : Ops.Op.t) ->
+        if List.exists (Hashtbl.mem tainted) o.Ops.Op.reads then
+          List.iter (fun c -> Hashtbl.replace tainted c ()) o.Ops.Op.writes)
+      plan.source.Ops.Program.ops;
+  tainted
+
+(* The exact-mode ambient binding the verification runs execute under:
+   streamed KV tiles agree with the naive chain only within ulps, so the
+   bitwise check pins every recognized window to single-pass exact mode
+   (kv_tile >= L_k). The tuned-binding pass restricts itself to the same
+   envelope, so verified plans stay verified in production. *)
+let verify_binding sites =
+  match sites with
+  | [] -> Tuning.none
+  | _ ->
+      let max_kv =
+        List.fold_left
+          (fun acc (s : Substation.Fusion.attn_site) ->
+            max acc s.site_seq_k)
+          1 sites
+      in
+      Tuning.make ~attn:(32, max_kv) ()
+
+let verify_stage ~pass_name ~reference ~outputs plan inputs =
+  let env =
+    Tuning.with_binding (verify_binding plan.attn_sites) (fun () ->
+        execute plan inputs)
+  in
+  List.iter
+    (fun c ->
+      match Hashtbl.find_opt env c with
+      | None -> raise (Verification_failed { vf_pass = pass_name; vf_container = c })
+      | Some _ -> ())
+    outputs;
+  let tainted = tainted_containers plan in
+  Hashtbl.iter
+    (fun c ref_t ->
+      match Hashtbl.find_opt env c with
+      | Some got ->
+          let ok =
+            if Hashtbl.mem tainted c then ulps_close ref_t got
+            else bitwise_equal ref_t got
+          in
+          if not ok then
+            raise
+              (Verification_failed { vf_pass = pass_name; vf_container = c })
+      | None -> ())
+    reference
+
+(* ------------------------------------------------------------------ *)
+(* Compilation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let cache_key_of ~fingerprint ~regime ~params =
+  fingerprint ^ "|" ^ Regime.key regime ^ "|params:"
+  ^ Digest.to_hex (Digest.string (String.concat "," params))
+
+let build ?device ?db ?(name_table = []) ?(params = []) ~verify ?verify_inputs
+    ~keep_stages ~fingerprint ~cache_key regime source =
+  incr compiles;
+  let ctx = Pass.make_ctx ?device ?db ~name_table ~params regime in
+  let interim ~program ~trace ~stages =
+    {
+      source;
+      program;
+      regime;
+      fingerprint;
+      cache_key;
+      trace = List.rev trace;
+      bindings = ctx.Pass.bindings;
+      memplan = ctx.Pass.memplan;
+      prepack = ctx.Pass.prepack;
+      attn_sites = ctx.Pass.attn_sites;
+      stages = List.rev stages;
+      verified = false;
+    }
+  in
+  let reference_and_inputs =
+    if not verify then None
+    else begin
+      let inputs =
+        match verify_inputs with
+        | Some i -> i
+        | None -> synth_inputs source
+      in
+      (* The uncompiled interpreter is the verification oracle: the source
+         program run op-for-op under the regime's backend mode. *)
+      let env =
+        Fastmode.with_mode regime.Regime.fast (fun () ->
+            Ops.Program.run source inputs)
+      in
+      let snapshot = Hashtbl.copy env in
+      let outputs = Passes.live_out ~keep:regime.Regime.keep source in
+      Some (snapshot, outputs, inputs)
+    end
+  in
+  let program, trace, stages =
+    List.fold_left
+      (fun (p, trace, stages) (pass : Pass.t) ->
+        if not (pass.p_enabled ctx) then (p, trace, stages)
+        else begin
+          ctx.Pass.note <- "";
+          ctx.Pass.peak_override <- None;
+          let before = List.length p.Ops.Program.ops in
+          let t0 = Pool.now () in
+          let p' = pass.p_rewrite ctx p in
+          let elapsed = Pool.now () -. t0 in
+          incr pass_runs_counter;
+          let stat =
+            {
+              Pass.st_pass = pass.p_name;
+              st_ops_before = before;
+              st_ops_after = List.length p'.Ops.Program.ops;
+              st_peak_floats =
+                (match ctx.Pass.peak_override with
+                | Some n -> n
+                | None -> Pass.naive_peak_floats p');
+              st_elapsed = elapsed;
+              st_note = ctx.Pass.note;
+            }
+          in
+          let stages =
+            if keep_stages then (pass.p_name, p') :: stages else stages
+          in
+          (match reference_and_inputs with
+          | Some (reference, outputs, inputs) ->
+              verify_stage ~pass_name:pass.p_name ~reference ~outputs
+                (interim ~program:p' ~trace:(stat :: trace) ~stages)
+                inputs
+          | None -> ());
+          (p', stat :: trace, stages)
+        end)
+      (source, [], []) Passes.pipeline
+  in
+  let plan = interim ~program ~trace ~stages in
+  { plan with verified = verify }
+
+let compile ?device ?db ?name_table ?(params = []) ?(verify = false)
+    ?verify_inputs ?(use_cache = true) ?(keep_stages = false) regime program =
+  let fingerprint = Fingerprint.of_program program in
+  let cache_key = cache_key_of ~fingerprint ~regime ~params in
+  match if use_cache && not verify then find_cached cache_key else None with
+  | Some plan -> plan
+  | None ->
+      let plan =
+        build ?device ?db ?name_table ~params ~verify ?verify_inputs
+          ~keep_stages ~fingerprint ~cache_key regime program
+      in
+      if use_cache then insert_cached cache_key plan;
+      plan
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let pp_trace ppf (plan : plan) =
+  Format.fprintf ppf "plan %s  regime[%s]%s@." (String.sub plan.fingerprint 0 12)
+    (Regime.key plan.regime)
+    (if plan.verified then "  verified" else "");
+  List.iter (fun s -> Format.fprintf ppf "  %a@." Pass.pp_stat s) plan.trace;
+  if plan.bindings <> [] then begin
+    Format.fprintf ppf "  tuned bindings:@.";
+    List.iter
+      (fun (op, b) -> Format.fprintf ppf "    %-32s %s@." op (Tuning.to_string b))
+      plan.bindings
+  end
+
+let trace_to_string plan = Format.asprintf "%a" pp_trace plan

@@ -1,0 +1,111 @@
+(** First-class compiled plans.
+
+    [compile regime program] lowers a program through the standard pass
+    pipeline ({!Passes.pipeline}) and returns a {!plan}: the staged
+    program plus every non-program artifact the passes produced — tuned
+    per-op kernel bindings, the static memory plan, prepack annotations,
+    recognized attention windows, and a per-pass stats trace. Plans are
+    cached in an LRU keyed by (structural program fingerprint x regime x
+    params), so consumers that rebuild structurally-identical programs
+    every step (the training loop, serving sessions) compile once and
+    execute many: a cache hit re-runs zero passes (observable through
+    {!pass_runs}).
+
+    [~verify:true] proves the lowering: after {e every} pass the staged
+    program is executed and checked against the uncompiled interpreter
+    ([Ops.Program.run] on the source). The check is bitwise for every
+    container {e except} the dataflow cone downstream of a streaming
+    attention-{e backward} window, which is held to a 1e-9 relative
+    envelope: the streaming backward recomputes probabilities as
+    [exp(score - logsumexp)], mathematically identical but ulps apart
+    from the naive chain's stored [exp(s - max)/sum] softmax (observed
+    drift <= 4.4e-16, the repo's PR-8 contract). Verification pins
+    recognized attention windows to single-pass exact mode (kv_tile >=
+    L_k) — the envelope within which the streaming {e forward} is
+    bitwise; the tuned-binding pass restricts itself to the same
+    envelope, so a verified plan keeps its guarantees in production. *)
+
+type plan = {
+  source : Ops.Program.t;
+  program : Ops.Program.t;  (** after the pipeline *)
+  regime : Regime.t;
+  fingerprint : string;
+  cache_key : string;
+  trace : Pass.stat list;  (** one entry per executed pass, in order *)
+  bindings : (string * Tuning.t) list;  (** op name -> tuned binding *)
+  memplan : Ops.Memplan.t option;
+  prepack : string list;  (** weight containers registered at execute *)
+  attn_sites : Substation.Fusion.attn_site list;
+  stages : (string * Ops.Program.t) list;  (** with [~keep_stages] *)
+  verified : bool;
+}
+
+(** Raised by [~verify:true] when a pass changes a container beyond the
+    verified envelope (bitwise; ulps for the attention-backward cone). *)
+exception Verification_failed of { vf_pass : string; vf_container : string }
+
+(** Compile [program] under [regime]. [device] enables the tuned-binding
+    pass (and [db], when given, lets it degrade gracefully on holed perf
+    databases). [params] names the weight containers eligible for
+    prepacking. [verify_inputs] supplies the verification run's inputs
+    (synthesized deterministically from the program's pinned input
+    containers when omitted). [keep_stages] records each pass's output
+    program (for per-stage SDFG export). [use_cache] (default [true])
+    consults and fills the LRU plan cache; [~verify:true] always
+    recompiles (and re-proves) but still caches the result. *)
+val compile :
+  ?device:Gpu.Device.t ->
+  ?db:Substation.Perfdb.t ->
+  ?name_table:(string list * string) list ->
+  ?params:string list ->
+  ?verify:bool ->
+  ?verify_inputs:(string * Dense.t) list ->
+  ?use_cache:bool ->
+  ?keep_stages:bool ->
+  Regime.t ->
+  Ops.Program.t ->
+  plan
+
+(** Execute a plan: registers prepacked weights, pins the regime's
+    backend mode, scopes each op's tuned binding ({!Tuning.with_binding}),
+    and interprets through the memory plan when one was produced (else
+    op-for-op). [check_op op env] runs after each op with its outputs
+    still present (numerical guards); [wrap_op op body] wraps each op's
+    execution + check (resilience retries) and must call [body] exactly
+    once on the success path. *)
+val execute :
+  ?check_op:(Ops.Op.t -> Ops.Op.env -> unit) ->
+  ?wrap_op:(Ops.Op.t -> (unit -> unit) -> unit) ->
+  plan ->
+  (string * Dense.t) list ->
+  Ops.Op.env
+
+(** Drop the stale packed operands of in-place-updated weight tensors
+    ([Einsum.invalidate_prepacked] on each): cached plans stay valid —
+    they hold container names, not values — and re-register the packs on
+    their next execution. *)
+val invalidate_weights : Dense.t list -> unit
+
+(** {1 Cache and counters} *)
+
+type cache_stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  compiles : int;  (** full pipeline runs (cache misses + verifies) *)
+  capacity : int;
+}
+
+val cache_stats : unit -> cache_stats
+val clear_cache : unit -> unit
+
+(** Resize (and clear) the LRU plan cache. Default capacity: 32. *)
+val set_cache_capacity : int -> unit
+
+(** Total passes executed process-wide — a cache hit adds zero. *)
+val pass_runs : unit -> int
+
+(** {1 Reporting} *)
+
+val pp_trace : Format.formatter -> plan -> unit
+val trace_to_string : plan -> string

@@ -1,0 +1,84 @@
+(* The typed pass interface: a named rewrite over [Ops.Program.t] with
+   declared invariants, threaded through a mutable compilation context
+   that accumulates the non-program plan artifacts (attention sites,
+   tuned bindings, the memory plan, prepack annotations). *)
+
+type invariant =
+  | Bitwise_semantics
+      (* the rewritten program computes bitwise-identical values for
+         every container both versions materialize *)
+  | Ops_not_increased  (* |ops| after <= |ops| before *)
+  | Metadata_only  (* does not rewrite the program at all *)
+
+let invariant_to_string = function
+  | Bitwise_semantics -> "bitwise-semantics"
+  | Ops_not_increased -> "ops-not-increased"
+  | Metadata_only -> "metadata-only"
+
+type stat = {
+  st_pass : string;
+  st_ops_before : int;
+  st_ops_after : int;
+  st_peak_floats : int;  (* allocate-everything resident set after the pass
+                            (the memory-planning pass reports its planned
+                            peak instead) *)
+  st_elapsed : float;  (* seconds spent in the rewrite *)
+  st_note : string;  (* pass-specific: windows found, bindings bound, ... *)
+}
+
+type ctx = {
+  regime : Regime.t;
+  device : Gpu.Device.t option;
+  db : Substation.Perfdb.t option;
+  name_table : (string list * string) list;
+  params : string list;  (* weight containers eligible for prepacking *)
+  mutable attn_sites : Substation.Fusion.attn_site list;
+  mutable bindings : (string * Tuning.t) list;  (* op name -> binding *)
+  mutable memplan : Ops.Memplan.t option;
+  mutable prepack : string list;  (* containers to register prepacked *)
+  mutable note : string;  (* the running pass's [st_note] *)
+  mutable peak_override : int option;  (* the running pass's peak, if it
+                                          knows better than the naive sum *)
+}
+
+let make_ctx ?device ?db ?(name_table = []) ?(params = []) regime =
+  {
+    regime;
+    device;
+    db;
+    name_table;
+    params;
+    attn_sites = [];
+    bindings = [];
+    memplan = None;
+    prepack = [];
+    note = "";
+    peak_override = None;
+  }
+
+type t = {
+  p_name : string;
+  p_invariants : invariant list;
+  p_enabled : ctx -> bool;
+  p_rewrite : ctx -> Ops.Program.t -> Ops.Program.t;
+}
+
+(* Allocate-everything resident set: every declared container some op
+   reads or writes, materialized simultaneously. *)
+let naive_peak_floats (p : Ops.Program.t) =
+  let touched = Hashtbl.create 64 in
+  List.iter
+    (fun (o : Ops.Op.t) ->
+      List.iter (fun c -> Hashtbl.replace touched c ()) (o.reads @ o.writes))
+    p.Ops.Program.ops;
+  List.fold_left
+    (fun acc (c, ds) ->
+      if Hashtbl.mem touched c then
+        acc + List.fold_left (fun v (_, n) -> v * n) 1 ds
+      else acc)
+    0 p.Ops.Program.containers
+
+let pp_stat ppf s =
+  Format.fprintf ppf "%-18s ops %3d -> %3d  peak %9d floats  %6.2f ms%s" s.st_pass
+    s.st_ops_before s.st_ops_after s.st_peak_floats (s.st_elapsed *. 1000.)
+    (if s.st_note = "" then "" else "  " ^ s.st_note)

@@ -1,0 +1,58 @@
+(** The typed pass interface: a named rewrite over [Ops.Program.t] with
+    declared invariants, threaded through a mutable compilation context
+    accumulating the non-program plan artifacts. *)
+
+type invariant =
+  | Bitwise_semantics
+      (** the rewritten program computes bitwise-identical values for
+          every container both versions materialize (what
+          [Compiled.compile ~verify:true] checks) *)
+  | Ops_not_increased
+  | Metadata_only  (** does not rewrite the program at all *)
+
+val invariant_to_string : invariant -> string
+
+type stat = {
+  st_pass : string;
+  st_ops_before : int;
+  st_ops_after : int;
+  st_peak_floats : int;
+      (** allocate-everything resident set after the pass; the
+          memory-planning pass reports its planned peak instead *)
+  st_elapsed : float;  (** seconds spent in the rewrite *)
+  st_note : string;
+}
+
+type ctx = {
+  regime : Regime.t;
+  device : Gpu.Device.t option;
+  db : Substation.Perfdb.t option;
+  name_table : (string list * string) list;
+  params : string list;
+  mutable attn_sites : Substation.Fusion.attn_site list;
+  mutable bindings : (string * Tuning.t) list;
+  mutable memplan : Ops.Memplan.t option;
+  mutable prepack : string list;
+  mutable note : string;
+  mutable peak_override : int option;
+}
+
+val make_ctx :
+  ?device:Gpu.Device.t ->
+  ?db:Substation.Perfdb.t ->
+  ?name_table:(string list * string) list ->
+  ?params:string list ->
+  Regime.t ->
+  ctx
+
+type t = {
+  p_name : string;
+  p_invariants : invariant list;
+  p_enabled : ctx -> bool;
+  p_rewrite : ctx -> Ops.Program.t -> Ops.Program.t;
+}
+
+(** Allocate-everything resident set of a program, in floats. *)
+val naive_peak_floats : Ops.Program.t -> int
+
+val pp_stat : Format.formatter -> stat -> unit

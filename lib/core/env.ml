@@ -1,0 +1,6 @@
+(* [Substation.Env]: the documented face of the single SUBSTATION_*
+   environment parse point. The implementation lives in the tensor layer
+   ({!Substation_env}) because the lowest-level consumers (Fastmode, Pool,
+   Guard, Flashattn, Memplan) must read it without a dependency cycle. *)
+
+include Substation_env

@@ -629,6 +629,77 @@ let fuse ?name_table ?attention program =
   let gs = groups ?name_table ?attention program in
   Ops.Program.replace_ops program (List.map (fun g -> g.fused) gs)
 
+(* Staged variant for the compiler pipeline: replace ONLY the attention
+   windows with their streaming fused ops, leaving every other operator
+   untouched (the generic engine runs as a separate, later pass), and
+   report where the windows are so the tuned-binding pass can size their
+   tiles. Fused attention ops carry [cls = Contraction], so the generic
+   engine downstream treats them as barriers and never re-fuses them. *)
+
+type attn_site = {
+  site_op : string;  (* fused op name *)
+  site_kind : [ `Fwd | `Bwd ];
+  site_writes : string list;  (* fwd: [out]; bwd: [dq; dk; dv] *)
+  site_heads : int;
+  site_batch : int;
+  site_seq_q : int;
+  site_seq_k : int;
+  site_d_head : int;
+  site_causal : bool;
+}
+
+let prefuse_attention ?(name_table = []) (program : Ops.Program.t) =
+  let windows = find_attention program in
+  if windows = [] then (program, [])
+  else begin
+    let axis c a =
+      match List.assoc_opt a (Ops.Program.container_dims program c) with
+      | Some n -> n
+      | None -> 0
+    in
+    let site_of w (g : group) kind =
+      {
+        site_op = g.fused.Ops.Op.name;
+        site_kind = kind;
+        site_writes = g.fused.Ops.Op.writes;
+        site_heads = axis w.aw_q "h";
+        site_batch = axis w.aw_q "b";
+        site_seq_q = axis w.aw_q "j";
+        site_seq_k = axis w.aw_k "k";
+        site_d_head = axis w.aw_q "p";
+        site_causal = w.aw_causal;
+      }
+    in
+    let spans =
+      List.concat_map
+        (fun w ->
+          (List.hd w.aw_fwd, List.length w.aw_fwd, `Fwd w)
+          ::
+          (match w.aw_bwd with
+          | [] -> []
+          | b -> [ (List.hd b, List.length b, `Bwd w) ]))
+        windows
+    in
+    let rec walk acc sites = function
+      | [] -> (List.rev acc, List.rev sites)
+      | (op : Ops.Op.t) :: rest -> begin
+          match List.find_opt (fun (h, _, _) -> h == op) spans with
+          | Some (_, n, which) ->
+              let g, w, kind =
+                match which with
+                | `Fwd w -> (build_attn_fwd name_table w, w, `Fwd)
+                | `Bwd w -> (build_attn_bwd name_table w, w, `Bwd)
+              in
+              walk (g.fused :: acc)
+                (site_of w g kind :: sites)
+                (drop (n - 1) rest)
+          | None -> walk (op :: acc) sites rest
+        end
+    in
+    let ops, sites = walk [] [] program.Ops.Program.ops in
+    (Ops.Program.replace_ops program ops, sites)
+  end
+
 let movement_saved ~bytes_per_elem (program : Ops.Program.t) =
   let graph = Ops.Program.graph program in
   let unfused =

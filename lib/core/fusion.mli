@@ -70,6 +70,41 @@ val fuse : ?name_table:(string list * string) list -> ?attention:bool
 val groups : ?name_table:(string list * string) list -> ?attention:bool
   -> Ops.Program.t -> group list
 
+(** {2 Staged attention windowing (compiler pipeline)} *)
+
+(** Where a streaming-attention window was recognized: the fused op's name
+    plus the geometry the tuned-binding pass needs to size its tiles. *)
+type attn_site = {
+  site_op : string;  (** name of the fused op in the rewritten program *)
+  site_kind : [ `Fwd | `Bwd ];
+  site_writes : string list;
+      (** the window's external outputs — fwd: the attention output;
+          bwd: [dq; dk; dv]. The streaming {e backward} recomputes
+          probabilities from the saved logsumexp, so its outputs (and
+          their dataflow cone) agree with the naive chain within ulps,
+          not bitwise — verification treats that cone specially. *)
+  site_heads : int;
+  site_batch : int;
+  site_seq_q : int;
+  site_seq_k : int;
+  site_d_head : int;  (** the q/k feature extent (p) *)
+  site_causal : bool;
+}
+
+(** [prefuse_attention program] replaces only the recognized attention
+    windows with their streaming fused ops ({!Flashattn} under the kernel
+    guard, member replay as oracle), leaving every other operator
+    untouched, and reports the window sites. The generic engine
+    ({!fuse} without [?attention], or the pipeline's later fusion pass)
+    treats the fused ops as contraction barriers, so running it afterwards
+    reproduces exactly [fuse ~attention:true]. Returns the program
+    unchanged (physically the same ops list content, a new [Program.t])
+    when no window matches. *)
+val prefuse_attention :
+  ?name_table:(string list * string) list ->
+  Ops.Program.t ->
+  Ops.Program.t * attn_site list
+
 (** [external_reads program members] / [external_writes program members]:
     the containers a kernel fusing [members] must actually load / store —
     interim containers (produced and consumed strictly inside the group)

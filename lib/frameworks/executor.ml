@@ -108,34 +108,47 @@ let pp_run_report ppf r =
     Format.fprintf ppf "}"
   end
 
+(* The per-op numerical scan, as a compiled-plan [check_op]. *)
+let check_op_of check =
+  match check with
+  | No_check -> None
+  | _ ->
+      Some
+        (fun (op : Ops.Op.t) env ->
+          List.iter (scan_container ~check env op.Ops.Op.name) op.Ops.Op.writes)
+
 let run_with_policy ~resilience ~check plan inputs =
   let retried : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  (* The resilience path compiles under the passthrough regime (no
+     rewriting, every intermediate retained): structurally identical runs
+     hit the plan cache, so the compile step is free after the first. *)
+  let regime =
+    { (Compile.Regime.passthrough ()) with Compile.Regime.guard = resilience.guard }
+  in
+  let cplan = Compile.Compiled.compile regime plan.program in
+  (* The retry loop rides the compiled executor's [wrap_op] hook: each
+     attempt re-runs the op body plus its numerical scan. A fresh attempt
+     sees fresh fault draws (the injector's per-kernel instance counters
+     advance), so transient failures clear on retry exactly as real ones
+     would. *)
+  let wrap (op : Ops.Op.t) body =
+    let rec attempt n =
+      match body () with
+      | () -> ()
+      | exception Pool.Cancelled -> raise Pool.Cancelled
+      | exception (Pool.Deadline_exceeded _ as e) ->
+          (* The kernel guard already absorbed per-kernel timeouts; one
+             that reaches the op loop is the run deadline. *)
+          raise e
+      | exception _ when n < resilience.retries ->
+          Hashtbl.replace retried op.Ops.Op.name (n + 1);
+          attempt (n + 1)
+    in
+    attempt 0
+  in
   let interpret () =
-    let env = Ops.Op.env_of_list inputs in
-    List.iter
-      (fun (op : Ops.Op.t) ->
-        let rec attempt n =
-          match
-            op.run env;
-            if check <> No_check then
-              List.iter (scan_container ~check env op.name) op.writes
-          with
-          | () -> ()
-          | exception Pool.Cancelled -> raise Pool.Cancelled
-          | exception (Pool.Deadline_exceeded _ as e) ->
-              (* The kernel guard already absorbed per-kernel timeouts;
-                 one that reaches the op loop is the run deadline. *)
-              raise e
-          | exception _ when n < resilience.retries ->
-              (* A fresh attempt sees fresh fault draws (the injector's
-                 per-kernel instance counters advance), so transient
-                 failures clear on retry exactly as real ones would. *)
-              Hashtbl.replace retried op.name (n + 1);
-              attempt (n + 1)
-        in
-        attempt 0)
-      plan.program.Ops.Program.ops;
-    env
+    Compile.Compiled.execute ?check_op:(check_op_of check) ~wrap_op:wrap cplan
+      inputs
   in
   let under_deadline f =
     match resilience.deadline with
@@ -170,41 +183,25 @@ let run_resilient ?(resilience = default_resilience) ?(check = Check_nan) ?fast
 let run_functional ?(check = Check_nan) ?resilience ?fast plan inputs =
   match resilience with
   | Some r -> fst (run_resilient ~resilience:r ~check ?fast plan inputs)
-  | None -> (
-      let go () =
-        match check with
-        | No_check -> Ops.Program.run plan.program inputs
-        | _ ->
-            let env = Ops.Op.env_of_list inputs in
-            List.iter
-              (fun (op : Ops.Op.t) ->
-                op.run env;
-                List.iter (scan_container ~check env op.name) op.writes)
-              plan.program.Ops.Program.ops;
-            env
+  | None ->
+      let cplan =
+        Compile.Compiled.compile (Compile.Regime.passthrough ?fast ())
+          plan.program
       in
-      match fast with None -> go () | Some b -> Fastmode.with_mode b go)
+      Compile.Compiled.execute ?check_op:(check_op_of check) cplan inputs
 
 (* Planned interpretation: same semantics and the same per-op numerical
    scan as [run_functional], but intermediates live in the memory
    planner's recycled slots (in-place / aliased where legal) instead of
-   fresh allocations. Falls back to the unplanned interpreter when
-   planning is disabled (SUBSTATION_NOPLAN=1). *)
+   fresh allocations. The planned regime disables its memory-plan pass
+   when planning is off (SUBSTATION_NOPLAN=1), so the compiled plan
+   degrades to the unplanned interpreter by itself. *)
 let run_planned ?(check = Check_nan) ?fast ?keep plan inputs =
-  if not (Ops.Memplan.enabled ()) then run_functional ~check ?fast plan inputs
-  else
-    let mp = Ops.Memplan.for_program ?keep plan.program in
-    let check_op =
-      match check with
-      | No_check -> None
-      | _ ->
-          Some
-            (fun (op : Ops.Op.t) env ->
-              List.iter (scan_container ~check env op.Ops.Op.name)
-                op.Ops.Op.writes)
-    in
-    let go () = Ops.Memplan.execute ?check_op mp inputs in
-    match fast with None -> go () | Some b -> Fastmode.with_mode b go
+  let cplan =
+    Compile.Compiled.compile (Compile.Regime.planned ?fast ?keep ())
+      plan.program
+  in
+  Compile.Compiled.execute ?check_op:(check_op_of check) cplan inputs
 
 let default_kernels ?quality ~device program ops =
   List.map

@@ -90,7 +90,12 @@ val run_resilient :
     run through {!run_resilient} (dropping the report). [fast] pins the
     numeric backend for the duration of the run ([true] = blocked-GEMM
     einsum + fused kernels, [false] = the naive oracle); when omitted,
-    the ambient {!Fastmode.enabled} setting applies. *)
+    the ambient {!Fastmode.enabled} setting applies.
+
+    All three entry points compile through {!Compile.Compiled} first —
+    [run_functional]/[run_resilient] under the passthrough regime (no
+    rewriting), [run_planned] under the planned one — so structurally
+    identical runs hit the plan cache and re-run zero passes. *)
 val run_functional :
   ?check:numeric_check ->
   ?resilience:resilience ->
@@ -105,8 +110,8 @@ val run_functional :
     scan, but intermediates recycle lifetime-analyzed slot buffers
     (in-place / aliased where legal) instead of allocating fresh.
     [keep] names intermediate containers the caller reads from the
-    returned environment (terminal outputs are always kept). Falls back
-    to {!run_functional} when planning is disabled
+    returned environment (terminal outputs are always kept). Degrades
+    to the unplanned interpreter when planning is disabled
     ([SUBSTATION_NOPLAN=1]). *)
 val run_planned :
   ?check:numeric_check ->

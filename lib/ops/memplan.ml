@@ -41,11 +41,7 @@
 (* Global switches                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let env_disabled =
-  lazy
-    (match Sys.getenv_opt "SUBSTATION_NOPLAN" with
-    | Some ("1" | "true" | "yes" | "on") -> true
-    | _ -> false)
+let env_disabled = lazy (Substation_env.noplan ())
 
 let state = ref None (* None = follow the env var *)
 let enabled () = match !state with Some b -> b | None -> not (Lazy.force env_disabled)
@@ -729,23 +725,26 @@ let run_contract env slots sizes (c : Op.contract_sem) out_d =
   | _ -> ());
   Op.store env c.Op.c_out r
 
-let execute_with slots t ?check_op inputs =
+let execute_with slots t ?check_op ?wrap_op inputs =
   let sizes = t.p_slot_sizes in
   let env = Op.env_of_list inputs in
   Array.iter
     (fun act ->
-      (match act.act_mode with
-      | Opaque adoptions ->
-          act.act_op.Op.run env;
-          List.iter (adopt env slots sizes) adoptions
-      | Celt { e; out; mask } -> run_elt env slots sizes act.act_op e out mask
-      | Calias { e } ->
-          let x = Op.lookup env e.Op.e_x in
-          Op.store env e.Op.e_out
-            (Dense.of_buffer (Shape.to_list (Dense.shape x))
-               (Dense.unsafe_data x))
-      | Ccontract { c; out } -> run_contract env slots sizes c out);
-      (match check_op with Some f -> f act.act_op env | None -> ());
+      let body () =
+        (match act.act_mode with
+        | Opaque adoptions ->
+            act.act_op.Op.run env;
+            List.iter (adopt env slots sizes) adoptions
+        | Celt { e; out; mask } -> run_elt env slots sizes act.act_op e out mask
+        | Calias { e } ->
+            let x = Op.lookup env e.Op.e_x in
+            Op.store env e.Op.e_out
+              (Dense.of_buffer (Shape.to_list (Dense.shape x))
+                 (Dense.unsafe_data x))
+        | Ccontract { c; out } -> run_contract env slots sizes c out);
+        match check_op with Some f -> f act.act_op env | None -> ()
+      in
+      (match wrap_op with Some w -> w act.act_op body | None -> body ());
       List.iter
         (fun c ->
           Hashtbl.remove env c;
@@ -755,13 +754,15 @@ let execute_with slots t ?check_op inputs =
   Arena.record_plan_run ();
   env
 
-let execute ?check_op t inputs =
+let execute ?check_op ?wrap_op t inputs =
   (* A plan's slot buffers are single-flight; a concurrent (or reentrant)
      execute of the same plan runs against private slots instead. *)
   if Atomic.compare_and_set t.p_busy false true then
     Fun.protect
       ~finally:(fun () -> Atomic.set t.p_busy false)
-      (fun () -> execute_with t.p_slots t ?check_op inputs)
-  else execute_with (Array.map (fun _ -> None) t.p_slots) t ?check_op inputs
+      (fun () -> execute_with t.p_slots t ?check_op ?wrap_op inputs)
+  else
+    execute_with (Array.map (fun _ -> None) t.p_slots) t ?check_op ?wrap_op
+      inputs
 
 let run ?keep ?reorder p inputs = execute (for_program ?keep ?reorder p) inputs

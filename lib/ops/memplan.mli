@@ -70,13 +70,22 @@ val for_program : ?keep:string list -> ?reorder:bool -> Program.t -> t
 val stats : t -> stats
 
 val execute :
-  ?check_op:(Op.t -> Op.env -> unit) -> t -> (string * Dense.t) list -> Op.env
+  ?check_op:(Op.t -> Op.env -> unit) ->
+  ?wrap_op:(Op.t -> (unit -> unit) -> unit) ->
+  t ->
+  (string * Dense.t) list ->
+  Op.env
 (** Run the plan over [inputs]. [check_op], called after each op with the
     environment still holding that op's outputs (and before dead
-    containers are dropped), hosts the executor's numerical guards. The
-    returned environment holds the inputs plus kept containers. A
-    concurrent [execute] of the same plan is safe: the second caller runs
-    against private (non-recycled) buffers. *)
+    containers are dropped), hosts the executor's numerical guards.
+    [wrap_op op body] wraps each op's execution (action body + check, but
+    not the dead-container removal, so a retrying wrapper sees a
+    consistent environment); the compiled-plan executor uses it to scope
+    per-op tuned bindings and resilience retries. [wrap_op] must call
+    [body] exactly once on the success path. The returned environment
+    holds the inputs plus kept containers. A concurrent [execute] of the
+    same plan is safe: the second caller runs against private
+    (non-recycled) buffers. *)
 
 val run :
   ?keep:string list -> ?reorder:bool -> Program.t -> (string * Dense.t) list

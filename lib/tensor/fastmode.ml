@@ -2,12 +2,7 @@
    reference (oracle) implementations. The naive paths stay in-tree as the
    semantic ground truth; every fast kernel is validated against them. *)
 
-let env_disables () =
-  match Sys.getenv_opt "SUBSTATION_NAIVE" with
-  | Some ("1" | "true" | "yes" | "on") -> true
-  | Some _ | None -> false
-
-let state = ref (not (env_disables ()))
+let state = ref (not (Substation_env.naive ()))
 let enabled () = !state
 let set b = state := b
 

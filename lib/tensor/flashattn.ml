@@ -42,25 +42,17 @@ type dropout = {
 (* Tile defaults                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let parse_tiles s =
-  match String.index_opt s 'x' with
-  | Some i -> begin
-      match
-        ( int_of_string_opt (String.sub s 0 i),
-          int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) )
-      with
-      | Some q, Some k when q > 0 && k > 0 -> Some (q, k)
-      | _ -> None
-    end
-  | None -> None
-
 let tiles =
   ref
-    (match Option.bind (Sys.getenv_opt "SUBSTATION_ATTN_TILES") parse_tiles with
+    (match Substation_env.attn_tiles () with
     | Some t -> t
     | None -> (32, 128))
 
-let default_tiles () = !tiles
+(* The ambient tuned binding (installed per-op by the compiled-plan
+   executor) wins over the process-wide default; explicit ?q_tile/?kv_tile
+   arguments win over both. *)
+let default_tiles () =
+  match Tuning.attn_tiles () with Some t -> t | None -> !tiles
 
 let set_default_tiles ~q_tile ~kv_tile =
   if q_tile <= 0 || kv_tile <= 0 then
@@ -609,7 +601,7 @@ let forward ?axes ?q_tile ?kv_tile ?causal ?valid ?dropout ?(stats = true)
     ~prescale ~q ~k ~v () =
   let axes_v = Option.value axes ~default:paper_axes in
   let g = geom_of ?axes ?causal ?valid ?dropout ~prescale ~q ~k ~v () in
-  let dq_tile, dkv_tile = !tiles in
+  let dq_tile, dkv_tile = default_tiles () in
   let qt = max 1 (min g.nj (Option.value q_tile ~default:dq_tile)) in
   let kvt = max 1 (min g.nk (Option.value kv_tile ~default:dkv_tile)) in
   let out =

@@ -41,9 +41,12 @@ let level_of_string = function
   | _ -> None
 
 let env_level () =
-  match Sys.getenv_opt "SUBSTATION_GUARD" with
+  match Substation_env.guard () with
   | None -> None
-  | Some s -> level_of_string (String.lowercase_ascii (String.trim s))
+  | Some Substation_env.Goff -> Some Off
+  | Some Substation_env.Gexn -> Some Exceptions
+  | Some Substation_env.Gnan -> Some Nan
+  | Some Substation_env.Gfinite -> Some Finite
 
 (* Exceptions are always caught by default: that costs nothing on the
    clean path (no output scan) and means a crashing kernel degrades to the

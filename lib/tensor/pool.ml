@@ -49,14 +49,7 @@
    changes between jobs, so scoped overrides in tests are cheap but not
    free. *)
 
-let env_domains () =
-  match Sys.getenv_opt "SUBSTATION_DOMAINS" with
-  | None -> None
-  | Some s -> (
-      match int_of_string_opt (String.trim s) with
-      | Some n when n >= 0 -> Some n
-      | Some _ | None -> None)
-
+let env_domains () = Substation_env.domains ()
 let override : int option ref = ref None
 
 let num_domains () =

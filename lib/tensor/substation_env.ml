@@ -1,0 +1,167 @@
+(* Single parse point for every SUBSTATION_* environment toggle.
+
+   Historically each subsystem read its own variable at module init
+   (fastmode.ml, pool.ml, guard.ml, memplan.ml, flashattn.ml) with
+   subtly different parsers, and a typo — SUBSTATION_NAIVE=ture — was
+   silently ignored. This module parses the whole environment once,
+   records every malformed value as a warning (printed to stderr the
+   first time any setting is consulted, and surfaced in [describe]),
+   and hands the subsystems typed values.
+
+   The parse is lazy-once: [Sys.getenv_opt] at first use, cached for the
+   process. Scoped overrides (Fastmode.with_mode, Pool.with_domains,
+   Guard.with_level, Memplan.set_enabled) still win over the environment
+   exactly as before — this module only replaces where the env values
+   come from, not the override layering. *)
+
+type guard_level = Goff | Gexn | Gnan | Gfinite
+
+type t = {
+  naive : bool;  (* SUBSTATION_NAIVE: disable the fast CPU backend *)
+  noplan : bool;  (* SUBSTATION_NOPLAN: disable the static memory planner *)
+  guard : guard_level option;  (* SUBSTATION_GUARD: kernel-guard level *)
+  domains : int option;  (* SUBSTATION_DOMAINS: worker domain count *)
+  attn_tiles : (int * int) option;  (* SUBSTATION_ATTN_TILES: "QxK" *)
+  warnings : string list;  (* malformed values, variable-labelled *)
+}
+
+let parse_bool ~var warnings s =
+  match String.lowercase_ascii (String.trim s) with
+  | "1" | "true" | "yes" | "on" -> (true, warnings)
+  | "0" | "false" | "no" | "off" -> (false, warnings)
+  | _ ->
+      ( false,
+        Printf.sprintf
+          "%s=%S is not a boolean (want 1/true/yes/on or 0/false/no/off); \
+           ignoring it"
+          var s
+        :: warnings )
+
+let parse_guard ~var warnings s =
+  match String.lowercase_ascii (String.trim s) with
+  | "off" | "0" | "none" -> (Some Goff, warnings)
+  | "exn" | "exceptions" -> (Some Gexn, warnings)
+  | "nan" -> (Some Gnan, warnings)
+  | "finite" | "inf" -> (Some Gfinite, warnings)
+  | _ ->
+      ( None,
+        Printf.sprintf
+          "%s=%S is not a guard level (want off|exn|nan|finite); using the \
+           default"
+          var s
+        :: warnings )
+
+let parse_domains ~var warnings s =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n >= 0 -> (Some n, warnings)
+  | Some _ | None ->
+      ( None,
+        Printf.sprintf
+          "%s=%S is not a non-negative integer; using the runtime's \
+           recommended domain count"
+          var s
+        :: warnings )
+
+let parse_tiles ~var warnings s =
+  let parsed =
+    match String.index_opt s 'x' with
+    | Some i -> (
+        match
+          ( int_of_string_opt (String.sub s 0 i),
+            int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+          )
+        with
+        | Some q, Some k when q > 0 && k > 0 -> Some (q, k)
+        | _ -> None)
+    | None -> None
+  in
+  match parsed with
+  | Some _ as t -> (t, warnings)
+  | None ->
+      ( None,
+        Printf.sprintf
+          "%s=%S is not a tile shape (want \"QxK\" with positive integers, \
+           e.g. 32x128); using the default"
+          var s
+        :: warnings )
+
+let opt ~lookup ~var parse warnings default =
+  match lookup var with
+  | None -> (default, warnings)
+  | Some s -> parse ~var warnings s
+
+(* [parse_with lookup] parses from an arbitrary variable source — the
+   whole parser as a pure function, so tests can exercise malformed
+   values without touching the process environment. *)
+let parse_with lookup =
+  let w = [] in
+  let naive, w = opt ~lookup ~var:"SUBSTATION_NAIVE" parse_bool w false in
+  let noplan, w = opt ~lookup ~var:"SUBSTATION_NOPLAN" parse_bool w false in
+  let guard, w = opt ~lookup ~var:"SUBSTATION_GUARD" parse_guard w None in
+  let domains, w = opt ~lookup ~var:"SUBSTATION_DOMAINS" parse_domains w None in
+  let attn_tiles, w =
+    opt ~lookup ~var:"SUBSTATION_ATTN_TILES" parse_tiles w None
+  in
+  { naive; noplan; guard; domains; attn_tiles; warnings = List.rev w }
+
+let parse_environment () = parse_with Sys.getenv_opt
+
+let warned = ref false
+
+let cached =
+  lazy
+    (let t = parse_environment () in
+     if t.warnings <> [] && not !warned then begin
+       warned := true;
+       List.iter
+         (fun msg -> Printf.eprintf "substation: warning: %s\n%!" msg)
+         t.warnings
+     end;
+     t)
+
+let get () = Lazy.force cached
+
+let naive () = (get ()).naive
+let noplan () = (get ()).noplan
+let guard () = (get ()).guard
+let domains () = (get ()).domains
+let attn_tiles () = (get ()).attn_tiles
+let warnings () = (get ()).warnings
+
+let guard_level_to_string = function
+  | Goff -> "off"
+  | Gexn -> "exn"
+  | Gnan -> "nan"
+  | Gfinite -> "finite"
+
+let describe () =
+  let t = get () in
+  let b = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "SUBSTATION_NAIVE      %-10s fast CPU backend %s"
+    (if t.naive then "1" else "(unset)")
+    (if t.naive then "DISABLED (naive oracle only)" else "enabled");
+  line "SUBSTATION_NOPLAN     %-10s static memory planner %s"
+    (if t.noplan then "1" else "(unset)")
+    (if t.noplan then "DISABLED (allocate-everything)" else "enabled");
+  line "SUBSTATION_GUARD      %-10s kernel-guard level %s"
+    (match t.guard with
+    | Some g -> guard_level_to_string g
+    | None -> "(unset)")
+    (match t.guard with
+    | Some g -> guard_level_to_string g
+    | None -> "exn (default)");
+  line "SUBSTATION_DOMAINS    %-10s worker domains %s"
+    (match t.domains with Some n -> string_of_int n | None -> "(unset)")
+    (match t.domains with
+    | Some n -> string_of_int n
+    | None -> "recommended count");
+  line "SUBSTATION_ATTN_TILES %-10s streaming-attention tiles %s"
+    (match t.attn_tiles with
+    | Some (q, k) -> Printf.sprintf "%dx%d" q k
+    | None -> "(unset)")
+    (match t.attn_tiles with
+    | Some (q, k) -> Printf.sprintf "%dx%d" q k
+    | None -> "32x128 (default)");
+  List.iter (fun msg -> line "warning: %s" msg) t.warnings;
+  Buffer.contents b

@@ -1,0 +1,56 @@
+(** The single parse point for every [SUBSTATION_*] environment toggle.
+
+    Recognized variables:
+
+    - [SUBSTATION_NAIVE] — boolean; disables the fast CPU backend so every
+      kernel runs through the naive oracle ({!Fastmode}).
+    - [SUBSTATION_NOPLAN] — boolean; disables the static memory planner
+      ([Ops.Memplan]), reverting to allocate-everything interpretation.
+    - [SUBSTATION_GUARD] — [off|exn|nan|finite]; kernel-guard level
+      ({!Guard}).
+    - [SUBSTATION_DOMAINS] — non-negative integer; worker domain count
+      ({!Pool}; 0 and 1 both mean serial).
+    - [SUBSTATION_ATTN_TILES] — ["QxK"] (e.g. [32x128]); default
+      streaming-attention tile shape ({!Flashattn}).
+
+    Booleans accept [1/true/yes/on] and [0/false/no/off],
+    case-insensitively. A malformed value is {e never} silently ignored:
+    it is recorded as a warning, printed once to stderr the first time any
+    setting is consulted, and included in {!describe}'s dump. The
+    environment is parsed once per process; scoped overrides
+    ([Fastmode.with_mode], [Pool.with_domains], [Guard.with_level],
+    [Memplan.set_enabled]) layer on top exactly as before. *)
+
+type guard_level = Goff | Gexn | Gnan | Gfinite
+
+type t = {
+  naive : bool;
+  noplan : bool;
+  guard : guard_level option;
+  domains : int option;
+  attn_tiles : (int * int) option;
+  warnings : string list;
+}
+
+(** The parsed environment (cached after the first call). *)
+val get : unit -> t
+
+(** [parse_with lookup] runs the full parse against an arbitrary variable
+    source (no caching, no stderr) — the process environment never
+    consulted. Lets tests exercise malformed values deterministically. *)
+val parse_with : (string -> string option) -> t
+
+val naive : unit -> bool
+val noplan : unit -> bool
+val guard : unit -> guard_level option
+val domains : unit -> int option
+val attn_tiles : unit -> (int * int) option
+
+(** Warnings for malformed values, in variable order. *)
+val warnings : unit -> string list
+
+val guard_level_to_string : guard_level -> string
+
+(** Human-readable dump of every toggle: the raw setting, the effective
+    value, and any parse warnings — what [substation_cli env] prints. *)
+val describe : unit -> string

@@ -1,0 +1,64 @@
+(* Ambient tuned-parameter bindings for the real CPU kernels.
+
+   The compiler pipeline's tuned-binding pass decides, per operator, which
+   GEMM cache-block shape and which streaming-attention tile shape to run
+   with; the kernels themselves take no extra arguments. Instead the plan
+   executor installs a binding around each op with [with_binding], and
+   {!Gemm}/{!Flashattn} consult the ambient state at launch time. Outside
+   any binding the kernels see the historical static defaults, so code
+   that never compiles a plan behaves exactly as before.
+
+   Bitwise-safety contract: GEMM accumulates each C element in strictly
+   ascending k order regardless of kc/nc (see gemm.ml), and Flashattn's
+   exact mode (kv_tile >= L_k) plus its q_tile register blocking preserve
+   per-destination addition order — so every value a binding can carry is
+   numerics-neutral by construction. The tuned-binding pass only ever
+   binds shapes inside that envelope. *)
+
+type gemm_blocks = { kc : int; nc : int }
+
+(* The historical constants from gemm.ml; moved here so tuned and static
+   paths share one source of truth. *)
+let default_gemm_blocks = { kc = 128; nc = 512 }
+
+type t = { gemm : gemm_blocks option; attn : (int * int) option }
+
+let none = { gemm = None; attn = None }
+
+let make ?gemm ?attn () =
+  (match gemm with
+  | Some { kc; nc } when kc <= 0 || nc <= 0 ->
+      invalid_arg "Tuning.make: gemm blocks must be positive"
+  | _ -> ());
+  (match attn with
+  | Some (q, k) when q <= 0 || k <= 0 ->
+      invalid_arg "Tuning.make: attention tiles must be positive"
+  | _ -> ());
+  { gemm; attn }
+
+let ambient : t ref = ref none
+let current () = !ambient
+
+let with_binding b f =
+  let saved = !ambient in
+  ambient := b;
+  Fun.protect ~finally:(fun () -> ambient := saved) f
+
+let gemm_blocks () =
+  match !ambient.gemm with Some b -> b | None -> default_gemm_blocks
+
+let attn_tiles () = !ambient.attn
+
+let is_none b = b.gemm = None && b.attn = None
+
+let to_string b =
+  let parts =
+    (match b.gemm with
+    | Some { kc; nc } -> [ Printf.sprintf "gemm=%dx%d" kc nc ]
+    | None -> [])
+    @
+    match b.attn with
+    | Some (q, k) -> [ Printf.sprintf "attn=%dx%d" q k ]
+    | None -> []
+  in
+  match parts with [] -> "static" | ps -> String.concat " " ps

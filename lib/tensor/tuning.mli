@@ -1,0 +1,49 @@
+(** Ambient tuned-parameter bindings connecting the autotuner's decisions
+    to the real CPU kernels.
+
+    The compiler's tuned-binding pass attaches a {!t} to each operator of
+    a compiled plan; the executor installs it with {!with_binding} around
+    the op's launch, and {!Gemm}/{!Flashattn} consult {!gemm_blocks}/
+    {!attn_tiles} when their explicit arguments are omitted. Every value a
+    binding can carry is bitwise-neutral by the kernels' accumulation-order
+    contracts, so tuning changes speed, never results. *)
+
+(** GEMM cache-block shape: [kc] k-panel depth, [nc] n column-block
+    width (see gemm.ml's i/j/k tiling). *)
+type gemm_blocks = { kc : int; nc : int }
+
+(** The static defaults the kernels use outside any binding
+    ((kc, nc) = (128, 512), the historical gemm.ml constants). *)
+val default_gemm_blocks : gemm_blocks
+
+type t = {
+  gemm : gemm_blocks option;  (** [None] = static default *)
+  attn : (int * int) option;  (** (q_tile, kv_tile); [None] = default *)
+}
+
+(** The empty binding: every kernel uses its static default. *)
+val none : t
+
+(** Validating constructor; raises [Invalid_argument] on non-positive
+    shapes. *)
+val make : ?gemm:gemm_blocks -> ?attn:int * int -> unit -> t
+
+(** The binding currently in scope ({!none} at the top level). *)
+val current : unit -> t
+
+(** [with_binding b f] runs [f] with [b] as the ambient binding,
+    restoring the previous binding afterwards (exception-safe). *)
+val with_binding : t -> (unit -> 'a) -> 'a
+
+(** Effective GEMM blocks: the ambient binding's, else
+    {!default_gemm_blocks}. *)
+val gemm_blocks : unit -> gemm_blocks
+
+(** Ambient attention tiles, if any ([Flashattn] falls back to its own
+    process-wide default when [None]). *)
+val attn_tiles : unit -> (int * int) option
+
+val is_none : t -> bool
+
+(** ["gemm=KCxNC attn=QxK"], or ["static"] for {!none}. *)
+val to_string : t -> string

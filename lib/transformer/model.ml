@@ -42,6 +42,25 @@ let embed_with m hp tokens =
       and i = List.assoc "i" idx in
       Dense.get m.embedding [ ("v", tokens.(b).(j)); ("i", i) ])
 
+(* The layer forward as a compiled plan. The training backward reads the
+   forward's retained intermediates out of the layer env (and appends its
+   own), so the regime is passthrough: no rewriting, every intermediate
+   materialized. Structure depends only on (hp, activation, causal) — the
+   plan cache makes this compile once per geometry and execute many
+   (every layer of every step re-runs zero passes). *)
+let layer_plan hp ~activation ~causal =
+  let fwd =
+    Ops.Program.make ~containers:(Encoder.containers hp)
+      (Encoder.forward_ops ~activation ~causal hp)
+  in
+  Compile.Compiled.compile ~name_table:Encoder.kernel_names
+    (Compile.Regime.passthrough ()) fwd
+
+(* Warm the plan cache for a geometry before the hot loop starts. *)
+let precompile ?(causal = false) ?(activation = `Relu) m ~batch ~seq =
+  let hp = { m.hp with Hparams.batch; seq } in
+  ignore (layer_plan hp ~activation ~causal)
+
 (* Like [forward], but batch/seq follow the token array and the layer
    program can be the causal decoder block ([forward] is the training
    special case). Serves as the full-recompute decoding oracle. *)
@@ -53,13 +72,11 @@ let forward_with ?(causal = false) ?(activation = `Relu) m ~tokens =
   in
   let x0 = embed_with m hp tokens in
   let x = ref x0 in
+  let plan = layer_plan hp ~activation ~causal in
   let layer_envs =
     Array.init m.n_layers (fun layer ->
-        let fwd = Ops.Program.make ~containers:(Encoder.containers hp)
-            (Encoder.forward_ops ~activation ~causal hp)
-        in
         let env =
-          Ops.Program.run fwd (("x", !x) :: m.layer_params.(layer))
+          Compile.Compiled.execute plan (("x", !x) :: m.layer_params.(layer))
         in
         x := Ops.Op.lookup env "y";
         env)

@@ -88,9 +88,20 @@ val parameter_count : t -> int
     requires [dropout_p = 0] and is bitwise equal, per column, to
     [forward_with ~causal:true ~activation:`Gelu] over the full prefix. *)
 
+(** [precompile ?causal ?activation m ~batch ~seq] warms the compiled-plan
+    cache for a layer geometry before the hot loop starts; {!forward_with}
+    then re-runs zero passes. Redundant but harmless when omitted — the
+    first forward compiles and caches the same plan. *)
+val precompile :
+  ?causal:bool -> ?activation:[ `Gelu | `Relu ] -> t
+  -> batch:int -> seq:int -> unit
+
 (** [forward_with ?causal ?activation m ~tokens] generalizes {!forward}:
     batch/seq follow the token array and the layer program can be the
-    causal (decoder) block. [forward] is [forward_with] at the defaults. *)
+    causal (decoder) block. [forward] is [forward_with] at the defaults.
+    The layer forward is a {!Compile.Compiled} plan under the passthrough
+    regime (the backward reads the retained intermediates), compiled once
+    per geometry through the plan cache and executed per layer. *)
 val forward_with :
   ?causal:bool -> ?activation:[ `Gelu | `Relu ] -> t
   -> tokens:int array array -> cache

@@ -94,6 +94,9 @@ let train ?(optimizer = Sgd) ?checkpoint ?interrupt_after (m : Model.t) ~steps
         Substation.Checkpointing.save ~path ~magic:checkpoint_magic
           ~fingerprint:(Lazy.force fp) payload
   in
+  (* Warm the compiled-plan cache: every step's layer forwards are then
+     pure cache hits (zero pass re-runs). *)
+  Model.precompile m ~batch:hp.Hparams.batch ~seq:hp.Hparams.seq;
   let done_this_run = ref 0 in
   for s = start to steps - 1 do
     let tokens =

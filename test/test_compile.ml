@@ -1,0 +1,343 @@
+(* Tests for the staged compiler pipeline: every pass must preserve the
+   uncompiled interpreter's semantics (bitwise, with the documented ulps
+   envelope for the streaming attention-backward cone) across randomized
+   encoder/decoder geometries, fast and naive backends, serial and
+   parallel pools, and with the kernel guard's oracle fallback engaged;
+   the plan cache must hit with zero pass re-runs and stay valid across
+   in-place weight mutation (prepack invalidation); and the tuned-binding
+   pass must change real kernel configurations while degrading gracefully
+   on a holed perf database. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let bits_equal a b =
+  let a = Dense.align a b in
+  Array.for_all2
+    (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+    (Dense.unsafe_data a) (Dense.unsafe_data b)
+
+let tiny = Transformer.Hparams.tiny
+let device = Gpu.Device.v100
+
+let layer_inputs hp seed =
+  let prng = Prng.create seed in
+  let params = Transformer.Params.init hp in
+  let x = Transformer.Params.random_input hp prng in
+  let d_y = Transformer.Params.random_cotangent hp prng in
+  ("x", x) :: ("d_y", d_y) :: params
+
+let compile_current ?db ?(attention = true) program =
+  Compile.Compiled.compile ~device ?db
+    ~name_table:Transformer.Encoder.kernel_names
+    ~params:Transformer.Encoder.param_names
+    (Compile.Regime.current ~attention ())
+    program
+
+(* ---------------- verified lowering: the property test --------------- *)
+
+(* [~verify:true] executes the staged program after every pass and raises
+   on any container outside the verified envelope — so "compiles without
+   Verification_failed" IS the per-pass preservation property. *)
+let verify_program ~name hp program =
+  let inputs = layer_inputs hp (Int64.of_int (Hashtbl.hash name)) in
+  let plan =
+    Compile.Compiled.compile ~device
+      ~name_table:Transformer.Encoder.kernel_names
+      ~params:Transformer.Encoder.param_names ~verify:true
+      ~verify_inputs:inputs
+      (Compile.Regime.current ())
+      program
+  in
+  check_bool (name ^ ": verified") true plan.Compile.Compiled.verified;
+  check_bool
+    (name ^ ": every pass traced")
+    true
+    (List.length plan.Compile.Compiled.trace >= 5);
+  plan
+
+(* Randomized geometries: batch/seq/dropout vary, embed/heads stay at the
+   tiny preset (embed = heads x proj is a program invariant). *)
+let random_hparams prng =
+  {
+    tiny with
+    Transformer.Hparams.batch = 1 + Prng.int prng ~bound:3;
+    seq = 2 + Prng.int prng ~bound:5;
+    dropout_p = (if Prng.int prng ~bound:2 = 0 then 0.0 else 0.1);
+    seed = Int64.of_int (1 + Prng.int prng ~bound:1000);
+  }
+
+let test_verified_encoder_decoder () =
+  let prng = Prng.create 7L in
+  for i = 1 to 3 do
+    let hp = random_hparams prng in
+    ignore
+      (verify_program
+         ~name:(Printf.sprintf "encoder #%d" i)
+         hp
+         (Transformer.Encoder.program hp));
+    ignore
+      (verify_program
+         ~name:(Printf.sprintf "decoder #%d" i)
+         hp
+         (Transformer.Encoder.program_with ~causal:true ~activation:`Gelu hp))
+  done
+
+let test_verified_fast_and_naive () =
+  List.iter
+    (fun fast ->
+      Fastmode.with_mode fast (fun () ->
+          ignore
+            (verify_program
+               ~name:(if fast then "fast backend" else "naive oracle")
+               tiny
+               (Transformer.Encoder.program tiny))))
+    [ true; false ]
+
+let test_verified_parallel () =
+  Pool.with_domains 4 (fun () ->
+      ignore
+        (verify_program ~name:"parallel pool" tiny
+           (Transformer.Encoder.program tiny)))
+
+(* Guard fallback engaged: with injected kernel crashes, every fast
+   kernel (fused attention included) falls back to its naive-oracle
+   replay. The fallback contract is bitwise, so verification must still
+   pass while the guard is actively healing the run. *)
+let test_verified_guard_fallback () =
+  Guard.reset ();
+  let faults = Gpu.Faults.make_exec ~seed:3L ~crash_rate:0.5 () in
+  Gpu.Faults.with_exec_faults faults (fun () ->
+      Guard.with_level Guard.Nan (fun () ->
+          ignore
+            (verify_program ~name:"guard fallback" tiny
+               (Transformer.Encoder.program tiny))));
+  Guard.reset ()
+
+(* ---------------- plan cache ---------------- *)
+
+let test_cache_hit_zero_reruns () =
+  Compile.Compiled.clear_cache ();
+  let plan1 = compile_current (Transformer.Encoder.program tiny) in
+  let runs = Compile.Compiled.pass_runs () in
+  (* a structurally identical rebuild, not the same value *)
+  let plan2 = compile_current (Transformer.Encoder.program tiny) in
+  check_bool "second compile is the cached plan" true (plan1 == plan2);
+  check_int "cache hit re-runs zero passes" runs (Compile.Compiled.pass_runs ());
+  (* a different regime (naive backend) misses: same fingerprint,
+     different cache key *)
+  let plan3 =
+    Fastmode.with_mode false (fun () ->
+        compile_current (Transformer.Encoder.program tiny))
+  in
+  check_bool "regime is part of the key" true (not (plan3 == plan1));
+  check_bool "fingerprint is structural" true
+    (String.equal plan1.Compile.Compiled.fingerprint
+       plan3.Compile.Compiled.fingerprint)
+
+let test_cache_weight_mutation () =
+  Compile.Compiled.clear_cache ();
+  let hp = { tiny with Transformer.Hparams.dropout_p = 0.0 } in
+  let program = Transformer.Encoder.program hp in
+  let inputs = layer_inputs hp 23L in
+  let plan = compile_current program in
+  let y1 =
+    Dense.copy (Ops.Op.lookup (Compile.Compiled.execute plan inputs) "y")
+  in
+  (* mutate a prepacked weight in place, as an optimizer step would *)
+  let w1 = List.assoc "w1" inputs in
+  let data = Dense.unsafe_data w1 in
+  Array.iteri (fun i v -> data.(i) <- v *. 1.5) (Array.copy data);
+  Compile.Compiled.invalidate_weights [ w1 ];
+  (* the cached plan stays valid (zero re-compiles) and the next execute
+     re-registers the pack, reproducing the uncompiled interpreter on the
+     mutated weights bitwise *)
+  let runs = Compile.Compiled.pass_runs () in
+  let plan' = compile_current program in
+  check_bool "plan survives the weight update" true (plan' == plan);
+  check_int "no re-planning after invalidation" runs
+    (Compile.Compiled.pass_runs ());
+  let y2 = Ops.Op.lookup (Compile.Compiled.execute plan' inputs) "y" in
+  let oracle =
+    Ops.Op.lookup
+      (Fastmode.with_mode (Fastmode.enabled ()) (fun () ->
+           Ops.Program.run program inputs))
+      "y"
+  in
+  check_bool "mutated weights flow through" false (bits_equal y1 y2);
+  check_bool "post-mutation execute matches the oracle bitwise" true
+    (bits_equal oracle y2)
+
+(* ---------------- tuned binding ---------------- *)
+
+let test_tuned_binding_changes_kernels () =
+  let plan = compile_current (Transformer.Encoder.program tiny) in
+  let tuned_gemms =
+    List.filter_map
+      (fun (_, (b : Tuning.t)) -> b.Tuning.gemm)
+      plan.Compile.Compiled.bindings
+  in
+  check_bool "some gemm ops were bound" true (tuned_gemms <> []);
+  check_bool "tuned blocks differ from the static default" true
+    (List.exists
+       (fun (g : Tuning.gemm_blocks) -> g <> Tuning.default_gemm_blocks)
+       tuned_gemms);
+  (* attention windows get tile bindings too *)
+  check_bool "attention window bound" true
+    (List.exists
+       (fun (_, (b : Tuning.t)) -> b.Tuning.attn <> None)
+       plan.Compile.Compiled.bindings)
+
+let test_tuned_binding_holed_perfdb () =
+  let fused =
+    Substation.Fusion.fuse ~name_table:Transformer.Encoder.kernel_names
+      (Transformer.Encoder.program tiny)
+  in
+  let db = Substation.Perfdb.build ~device fused in
+  (* hole a real gemm op: the binding pass must degrade it to the static
+     default (no binding) instead of trusting unswept geometry *)
+  let victim = "lin1" in
+  check_bool "victim op exists in the sweep" true
+    (List.mem victim (Substation.Perfdb.op_names db));
+  let holed = Substation.Perfdb.punched db [ victim ] in
+  check_bool "victim is a hole" true
+    (List.mem victim (Substation.Perfdb.holes holed));
+  Compile.Compiled.clear_cache ();
+  let plan =
+    compile_current ~db:holed ~attention:false
+      (Transformer.Encoder.program tiny)
+  in
+  check_bool "holed op kept static" true
+    (List.assoc_opt victim plan.Compile.Compiled.bindings = None);
+  check_bool "other gemms still bound" true
+    (List.exists
+       (fun (name, (b : Tuning.t)) ->
+         (not (String.equal name victim)) && b.Tuning.gemm <> None)
+       plan.Compile.Compiled.bindings);
+  (* the trace records the degradation *)
+  let note =
+    List.fold_left
+      (fun acc (s : Compile.Pass.stat) ->
+        if String.equal s.Compile.Pass.st_pass "tuned-binding" then
+          s.Compile.Pass.st_note
+        else acc)
+      "" plan.Compile.Compiled.trace
+  in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "trace notes the holed op" true (contains note "holed")
+
+(* ---------------- executor rewiring ---------------- *)
+
+let test_executor_compiled_parity () =
+  let inputs = layer_inputs tiny 31L in
+  let program = Transformer.Encoder.program tiny in
+  let plan =
+    {
+      Frameworks.Executor.name = "parity";
+      program;
+      kernels_forward = [];
+      kernels_backward = [];
+      dispatch_overhead = 0.0;
+    }
+  in
+  List.iter
+    (fun fast ->
+      let oracle =
+        Fastmode.with_mode fast (fun () -> Ops.Program.run program inputs)
+      in
+      let env = Frameworks.Executor.run_functional ~fast plan inputs in
+      List.iter
+        (fun c ->
+          check_bool
+            (Printf.sprintf "run_functional fast=%b %s" fast c)
+            true
+            (bits_equal (Ops.Op.lookup oracle c) (Ops.Op.lookup env c)))
+        [ "y"; "d_x"; "d_wq"; "d_w2" ])
+    [ true; false ]
+
+(* ---------------- environment parsing (Substation.Env) --------------- *)
+
+let test_env_parse () =
+  let lookup table var = List.assoc_opt var table in
+  let ok =
+    Substation.Env.parse_with
+      (lookup
+         [
+           ("SUBSTATION_NAIVE", "yes");
+           ("SUBSTATION_GUARD", "finite");
+           ("SUBSTATION_DOMAINS", "4");
+           ("SUBSTATION_ATTN_TILES", "16x64");
+         ])
+  in
+  check_bool "naive parsed" true ok.Substation.Env.naive;
+  check_bool "guard parsed" true
+    (ok.Substation.Env.guard = Some Substation.Env.Gfinite);
+  check_bool "domains parsed" true (ok.Substation.Env.domains = Some 4);
+  check_bool "tiles parsed" true
+    (ok.Substation.Env.attn_tiles = Some (16, 64));
+  check_bool "clean parse has no warnings" true
+    (ok.Substation.Env.warnings = []);
+  (* the historical silent-typo failure mode: every malformed value is
+     recorded, never dropped *)
+  let bad =
+    Substation.Env.parse_with
+      (lookup
+         [
+           ("SUBSTATION_NAIVE", "ture");
+           ("SUBSTATION_GUARD", "nann");
+           ("SUBSTATION_DOMAINS", "-2");
+           ("SUBSTATION_ATTN_TILES", "32by128");
+         ])
+  in
+  check_bool "typo'd boolean falls back to default" false
+    bad.Substation.Env.naive;
+  check_bool "typo'd guard falls back to default" true
+    (bad.Substation.Env.guard = None);
+  check_bool "negative domains rejected" true
+    (bad.Substation.Env.domains = None);
+  check_bool "malformed tiles rejected" true
+    (bad.Substation.Env.attn_tiles = None);
+  check_int "four warnings recorded" 4
+    (List.length bad.Substation.Env.warnings);
+  check_bool "describe mentions nothing spurious" true
+    (String.length (Substation.Env.describe ()) > 0)
+
+let () =
+  Alcotest.run "compile"
+    [
+      ( "verify",
+        [
+          Alcotest.test_case "randomized encoder/decoder, every pass" `Quick
+            test_verified_encoder_decoder;
+          Alcotest.test_case "fast and naive backends" `Quick
+            test_verified_fast_and_naive;
+          Alcotest.test_case "parallel pool" `Quick test_verified_parallel;
+          Alcotest.test_case "guard fallback engaged" `Quick
+            test_verified_guard_fallback;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit re-runs zero passes, keys on regime" `Quick
+            test_cache_hit_zero_reruns;
+          Alcotest.test_case "weight mutation: plan survives, pack refreshes"
+            `Quick test_cache_weight_mutation;
+        ] );
+      ( "tuning",
+        [
+          Alcotest.test_case "bindings change real kernel configs" `Quick
+            test_tuned_binding_changes_kernels;
+          Alcotest.test_case "holed perfdb degrades to static" `Quick
+            test_tuned_binding_holed_perfdb;
+        ] );
+      ( "executor",
+        [
+          Alcotest.test_case "run_functional == uncompiled interpreter" `Quick
+            test_executor_compiled_parity;
+        ] );
+      ( "env",
+        [ Alcotest.test_case "single parse point, loud typos" `Quick test_env_parse ] );
+    ]
